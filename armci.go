@@ -1,0 +1,296 @@
+// Package armci is a Go reproduction of the ARMCI remote-memory
+// communication system and of the optimized synchronization operations of
+// Buntinas, Saify, Panda and Nieplocha, "Optimizing Synchronization
+// Operations for Remote Memory Communication Systems" (IPPS 2003).
+//
+// The package emulates a cluster of user processes and per-node data
+// servers inside one Go program. Processes issue one-sided operations
+// (put, get, accumulate, read-modify-write) against globally addressable
+// memory; operations on remote nodes travel as messages to that node's
+// data server, exactly as in ARMCI's client-server architecture. Three
+// execution fabrics are available:
+//
+//   - FabricSim — a deterministic discrete-event simulation with a
+//     calibrated cost model: virtual-time results reproduce the paper's
+//     figures;
+//   - FabricChan — real goroutines and in-process message queues, for
+//     correctness and stress testing;
+//   - FabricTCP — real goroutines whose every message crosses a loopback
+//     TCP socket, the "emulated over sockets" configuration.
+//
+// The synchronization operations under study are exposed on Proc:
+// AllFence+MPIBarrier (the original GA_Sync path), Barrier (the paper's
+// combined fence+barrier), and Mutex with the original hybrid algorithm,
+// the paper's software queuing lock, and the future-work no-CAS variant.
+package armci
+
+import (
+	"fmt"
+	"time"
+
+	"armci/internal/collective"
+	"armci/internal/core"
+	"armci/internal/model"
+	"armci/internal/proc"
+	"armci/internal/server"
+	"armci/internal/shmem"
+	"armci/internal/trace"
+	"armci/internal/transport"
+)
+
+// Re-exported memory types. Ptr names one remotely accessible location as
+// the paper's (rank, address) tuple; Strided describes ARMCI's
+// non-contiguous transfers; Pair is the two-long operand of the atomic
+// operations the paper adds.
+type (
+	Ptr     = shmem.Ptr
+	Strided = shmem.Strided
+	Pair    = shmem.Pair
+	AccOp   = shmem.AccOp
+)
+
+// Re-exported accumulate element types.
+const (
+	AccFloat64 = shmem.AccFloat64
+	AccInt64   = shmem.AccInt64
+)
+
+// Contig returns the strided descriptor of a contiguous n-byte run.
+func Contig(n int) Strided { return shmem.Contig(n) }
+
+// UnpackPtr decodes a global pointer from the two-word representation
+// produced by Ptr.Pack (how pointers travel through int64 exchanges).
+func UnpackPtr(hi, lo int64) Ptr { return shmem.Unpack(hi, lo) }
+
+// FenceMode selects how put completion is detected (§3.1.1 of the paper).
+type FenceMode = proc.FenceMode
+
+// Fence modes: FenceRequest is the GM-like explicit-confirmation mode used
+// in the paper's evaluation; FenceAck is the LAPI/VIA-like per-put-ack
+// mode.
+const (
+	FenceRequest = proc.FenceRequest
+	FenceAck     = proc.FenceAck
+)
+
+// BarrierAlg selects the barrier exchange pattern.
+type BarrierAlg = collective.BarrierAlg
+
+// Barrier algorithms.
+const (
+	BarrierAuto          = collective.BarrierAuto
+	BarrierPairwise      = collective.BarrierPairwise
+	BarrierDissemination = collective.BarrierDissemination
+	BarrierCentral       = collective.BarrierCentral
+)
+
+// FabricKind selects the execution fabric.
+type FabricKind uint8
+
+const (
+	// FabricSim is the deterministic discrete-event fabric.
+	FabricSim FabricKind = iota
+	// FabricChan is the concurrent in-process fabric.
+	FabricChan
+	// FabricTCP is the concurrent loopback-socket fabric.
+	FabricTCP
+)
+
+func (k FabricKind) String() string {
+	switch k {
+	case FabricSim:
+		return "sim"
+	case FabricChan:
+		return "chan"
+	case FabricTCP:
+		return "tcp"
+	}
+	return fmt.Sprintf("FabricKind(%d)", uint8(k))
+}
+
+// CostPreset names a cost model for the simulated fabric.
+type CostPreset string
+
+// Cost presets.
+const (
+	// PresetZero disables all modeled costs (pure protocol execution).
+	PresetZero CostPreset = "zero"
+	// PresetMyrinet2000 is calibrated to the paper's testbed.
+	PresetMyrinet2000 CostPreset = "myrinet2000"
+	// PresetFastEthernet is a higher-latency ablation preset.
+	PresetFastEthernet CostPreset = "fast-ethernet"
+	// PresetLowLatency is a faster-interconnect ablation preset.
+	PresetLowLatency CostPreset = "low-latency"
+)
+
+func (p CostPreset) params() (model.Params, error) {
+	switch p {
+	case PresetZero, "":
+		return model.Zero(), nil
+	case PresetMyrinet2000:
+		return model.Myrinet2000(), nil
+	case PresetFastEthernet:
+		return model.FastEthernet(), nil
+	case PresetLowLatency:
+		return model.LowLatency(), nil
+	}
+	return model.Params{}, fmt.Errorf("armci: unknown cost preset %q", p)
+}
+
+// Options configures an emulated cluster run.
+type Options struct {
+	// Procs is the number of user processes. Required.
+	Procs int
+	// ProcsPerNode is how many consecutive ranks share an SMP node;
+	// default 1 (the paper's configuration).
+	ProcsPerNode int
+	// Fabric selects the execution substrate; default FabricSim.
+	Fabric FabricKind
+	// Preset selects the cost model; default PresetZero. Only FabricSim
+	// and FabricChan apply modeled costs.
+	Preset CostPreset
+	// FenceMode selects put-completion detection; default FenceRequest.
+	FenceMode FenceMode
+	// BarrierAlg selects the barrier pattern; default BarrierAuto.
+	BarrierAlg BarrierAlg
+	// NumMutexes is how many cluster locks to create. Lock i is homed at
+	// rank LockHomes[i] if given, else at rank i modulo Procs.
+	NumMutexes int
+	// LockHomes optionally places each lock; len must equal NumMutexes.
+	LockHomes []int
+	// NICAssist enables the paper's §5 future work: a NIC agent per node
+	// handles atomic operations and fence confirmations at NIC cost (no
+	// server wake-up, sub-microsecond service), while bulk puts and gets
+	// still flow through the host data servers. Fence confirmations then
+	// check per-origin completion counters instead of message FIFO.
+	NICAssist bool
+	// CaptureTrace records every message send for inspection.
+	CaptureTrace bool
+	// Jitter, when positive, adds a uniformly random extra delay in
+	// [0, Jitter) to every message on FabricChan — a robustness stress
+	// knob. Per-pair FIFO delivery is preserved.
+	Jitter time.Duration
+	// JitterSeed seeds the jitter generator (0 uses a fixed default).
+	JitterSeed int64
+	// ScheduleSeed, when non-zero, randomizes (reproducibly) which of the
+	// simultaneously runnable simulated processes runs next on FabricSim —
+	// schedule exploration for protocol testing.
+	ScheduleSeed int64
+	// Deadline bounds the run (virtual time for FabricSim, wall time
+	// otherwise); 0 uses the fabric default.
+	Deadline time.Duration
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	// Elapsed is the cluster's end-to-end time: virtual for FabricSim,
+	// wall for the concurrent fabrics.
+	Elapsed time.Duration
+	// Stats is the message-trace collector of the run.
+	Stats *trace.Stats
+}
+
+// Run builds a cluster per opt, executes body once per rank (concurrently
+// on the real fabrics, deterministically interleaved on the simulated
+// one), and tears everything down. The body receives the rank's Proc
+// handle, which is valid only until body returns.
+func Run(opt Options, body func(p *Proc)) (*Report, error) {
+	if opt.Procs <= 0 {
+		return nil, fmt.Errorf("armci: Options.Procs must be positive, got %d", opt.Procs)
+	}
+	if opt.LockHomes != nil && len(opt.LockHomes) != opt.NumMutexes {
+		return nil, fmt.Errorf("armci: %d lock homes for %d mutexes", len(opt.LockHomes), opt.NumMutexes)
+	}
+	params, err := opt.Preset.params()
+	if err != nil {
+		return nil, err
+	}
+	stats := trace.New()
+	stats.SetCapture(opt.CaptureTrace)
+	cfg := transport.Config{
+		Procs:        opt.Procs,
+		ProcsPerNode: opt.ProcsPerNode,
+		Model:        params,
+		Trace:        stats,
+		Jitter:       opt.Jitter,
+		JitterSeed:   opt.JitterSeed,
+		ScheduleSeed: opt.ScheduleSeed,
+		Deadline:     opt.Deadline,
+	}
+
+	var fabric transport.Fabric
+	var simF *transport.SimFabric
+	switch opt.Fabric {
+	case FabricSim:
+		simF, err = transport.NewSim(cfg)
+		fabric = simF
+	case FabricChan:
+		fabric, err = transport.NewChan(cfg)
+	case FabricTCP:
+		fabric, err = transport.NewTCP(cfg)
+	default:
+		err = fmt.Errorf("armci: unknown fabric %v", opt.Fabric)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	space := fabric.Space()
+	numNodes := fabric.Config().Procs
+	numNodes = (numNodes + fabric.Config().ProcsPerNode - 1) / fabric.Config().ProcsPerNode
+	layout := proc.NewLayout(space, opt.Procs, numNodes)
+
+	var locks *proc.LockTable
+	if opt.NumMutexes > 0 {
+		homes := opt.LockHomes
+		if homes == nil {
+			homes = make([]int, opt.NumMutexes)
+			for i := range homes {
+				homes[i] = i % opt.Procs
+			}
+		}
+		locks = proc.NewLockTable(space, homes)
+	}
+
+	for n := 0; n < numNodes; n++ {
+		fabric.SpawnServer(n, func(env transport.Env) {
+			server.New(env, layout, server.Options{
+				FenceMode: opt.FenceMode,
+				Locks:     locks,
+			}).Serve()
+		})
+	}
+	if opt.NICAssist {
+		for n := 0; n < numNodes; n++ {
+			// NIC agents live in the server ID space above the node
+			// count and share the server lifecycle.
+			fabric.SpawnServer(numNodes+n, func(env transport.Env) {
+				server.NewAgent(env, layout, server.Options{
+					FenceMode: opt.FenceMode,
+				}).Serve()
+			})
+		}
+	}
+	for r := 0; r < opt.Procs; r++ {
+		fabric.SpawnUser(r, func(env transport.Env) {
+			eng := proc.NewEngine(env, layout, opt.FenceMode)
+			eng.SetNICAssist(opt.NICAssist)
+			comm := collective.New(env)
+			sync := core.NewSync(eng, comm)
+			sync.BarrierAlg = opt.BarrierAlg
+			body(&Proc{eng: eng, comm: comm, sync: sync, locks: locks})
+		})
+	}
+
+	start := time.Now()
+	if err := fabric.Run(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Stats: stats}
+	if simF != nil {
+		rep.Elapsed = simF.Now()
+	} else {
+		rep.Elapsed = time.Since(start)
+	}
+	return rep, nil
+}

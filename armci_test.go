@@ -1,0 +1,119 @@
+package armci_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"armci"
+)
+
+// fabrics lists every execution fabric; most integration tests run on all.
+var fabrics = []armci.FabricKind{armci.FabricSim, armci.FabricChan, armci.FabricTCP}
+
+// TestPutBarrierGet checks the fundamental one-sided contract on every
+// fabric: data put before the combined barrier is visible to every rank
+// after it.
+func TestPutBarrierGet(t *testing.T) {
+	for _, fk := range fabrics {
+		t.Run(fk.String(), func(t *testing.T) {
+			const procs, chunk = 4, 64
+			_, err := armci.Run(armci.Options{Procs: procs, Fabric: fk}, func(p *armci.Proc) {
+				ptrs := p.Malloc(chunk * procs)
+				// Every rank writes its signature into its slot in every
+				// other rank's buffer.
+				me := p.Rank()
+				sig := bytes.Repeat([]byte{byte(me + 1)}, chunk)
+				for r := 0; r < procs; r++ {
+					p.Put(ptrs[r].Add(int64(me*chunk)), sig)
+				}
+				p.Barrier()
+				// Now read everyone's slot from our own buffer directly
+				// and from a remote buffer through the server.
+				for r := 0; r < procs; r++ {
+					got := p.Get(ptrs[(me+1)%procs].Add(int64(r*chunk)), chunk)
+					want := bytes.Repeat([]byte{byte(r + 1)}, chunk)
+					if !bytes.Equal(got, want) {
+						panic(fmt.Sprintf("rank %d: slot %d = %v, want %v", me, r, got[0], want[0]))
+					}
+				}
+				p.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestSyncOldEquivalence checks the original AllFence+MPIBarrier path
+// provides the same visibility guarantee.
+func TestSyncOldEquivalence(t *testing.T) {
+	for _, fk := range fabrics {
+		t.Run(fk.String(), func(t *testing.T) {
+			const procs = 4
+			_, err := armci.Run(armci.Options{Procs: procs, Fabric: fk}, func(p *armci.Proc) {
+				ptrs := p.MallocWords(procs)
+				me := p.Rank()
+				for r := 0; r < procs; r++ {
+					if r != me {
+						p.Store(ptrs[r].Add(int64(me)), int64(100+me))
+					}
+				}
+				p.SyncOld()
+				for r := 0; r < procs; r++ {
+					if r == me {
+						continue
+					}
+					got := p.Load(ptrs[me].Add(int64(r)))
+					if got != int64(100+r) {
+						panic(fmt.Sprintf("rank %d: word from %d = %d, want %d", me, r, got, 100+r))
+					}
+				}
+				p.MPIBarrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMutexMutualExclusion hammers a shared counter under every lock
+// algorithm on every fabric; lost updates would reveal a mutual-exclusion
+// violation.
+func TestMutexMutualExclusion(t *testing.T) {
+	algs := []armci.LockAlg{armci.LockHybrid, armci.LockQueue, armci.LockQueueNoCAS}
+	for _, fk := range fabrics {
+		for _, alg := range algs {
+			t.Run(fmt.Sprintf("%v/%v", fk, alg), func(t *testing.T) {
+				const procs, iters = 4, 25
+				_, err := armci.Run(armci.Options{
+					Procs: procs, Fabric: fk, NumMutexes: 1,
+				}, func(p *armci.Proc) {
+					counter := p.MallocWords(1)[0] // homed at rank 0
+					mu := p.Mutex(0, alg)
+					for i := 0; i < iters; i++ {
+						mu.Lock()
+						v := p.Load(counter)
+						p.Store(counter, v+1)
+						if p.NodeOf(0) != p.MyNode() {
+							p.Fence(p.NodeOf(0)) // make the store visible before release
+						}
+						mu.Unlock()
+					}
+					p.Barrier()
+					if p.Rank() == 0 {
+						got := p.Load(counter)
+						if got != int64(procs*iters) {
+							panic(fmt.Sprintf("counter = %d, want %d", got, procs*iters))
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

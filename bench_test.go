@@ -1,0 +1,214 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+//
+// The Fig* benchmarks execute the corresponding experiment on the
+// deterministic simulated fabric with the calibrated Myrinet-2000 cost
+// model and report the paper's quantity as a custom metric in *virtual*
+// microseconds (vt_us): the wall-time ns/op column measures only how fast
+// the simulator itself runs. The Wire* benchmarks measure the real
+// fabrics in wall time.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package armci_test
+
+import (
+	"fmt"
+	"testing"
+
+	"armci"
+	"armci/internal/bench"
+)
+
+// simOpts are the common experiment options used by the Fig benchmarks:
+// few reps, because the simulation is deterministic.
+func simOpts() bench.Opts {
+	return bench.Opts{Fabric: armci.FabricSim, Preset: armci.PresetMyrinet2000, Reps: 3, Warmup: 1}
+}
+
+// BenchmarkFig7aGASync regenerates Figure 7(a): GA_Sync time under the
+// original implementation (AllFence+MPI_Barrier, metric vt_us_old) and
+// the new combined barrier (metric vt_us_new) for each process count.
+func BenchmarkFig7aGASync(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var row bench.Fig7Row
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Fig7(bench.Fig7Opts{Opts: simOpts(), ProcCounts: []int{n}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = res.Rows[0]
+			}
+			b.ReportMetric(row.OldUS, "vt_us_old")
+			b.ReportMetric(row.NewUS, "vt_us_new")
+		})
+	}
+}
+
+// BenchmarkFig7bFactor regenerates Figure 7(b): the factor of improvement
+// of the combined barrier over the original GA_Sync.
+func BenchmarkFig7bFactor(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var factor float64
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Fig7(bench.Fig7Opts{Opts: simOpts(), ProcCounts: []int{n}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				factor = res.Rows[0].Factor
+			}
+			b.ReportMetric(factor, "factor")
+		})
+	}
+}
+
+// lockRow runs the lock experiment at one process count.
+func lockRow(b *testing.B, n int) bench.LockRow {
+	b.Helper()
+	res, err := bench.Lock(bench.LockOpts{Opts: simOpts(), ProcCounts: []int{n}, Iters: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Rows[0]
+}
+
+// BenchmarkFig8aLockTotal regenerates Figure 8(a): mean time to request
+// and release a lock, hybrid (vt_us_cur) vs queuing lock (vt_us_new).
+func BenchmarkFig8aLockTotal(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var row bench.LockRow
+			for i := 0; i < b.N; i++ {
+				row = lockRow(b, n)
+			}
+			b.ReportMetric(row.Current.TotalUS, "vt_us_cur")
+			b.ReportMetric(row.New.TotalUS, "vt_us_new")
+		})
+	}
+}
+
+// BenchmarkFig8bFactor regenerates Figure 8(b): the lock factor of
+// improvement.
+func BenchmarkFig8bFactor(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var row bench.LockRow
+			for i := 0; i < b.N; i++ {
+				row = lockRow(b, n)
+			}
+			b.ReportMetric(row.Factor, "factor")
+		})
+	}
+}
+
+// BenchmarkFig9LockAcquire regenerates Figure 9: the request+acquire
+// component alone.
+func BenchmarkFig9LockAcquire(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var row bench.LockRow
+			for i := 0; i < b.N; i++ {
+				row = lockRow(b, n)
+			}
+			b.ReportMetric(row.Current.AcquireUS, "vt_us_cur")
+			b.ReportMetric(row.New.AcquireUS, "vt_us_new")
+		})
+	}
+}
+
+// BenchmarkFig10LockRelease regenerates Figure 10: the release component
+// alone.
+func BenchmarkFig10LockRelease(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("procs=%d", n), func(b *testing.B) {
+			var row bench.LockRow
+			for i := 0; i < b.N; i++ {
+				row = lockRow(b, n)
+			}
+			b.ReportMetric(row.Current.ReleaseUS, "vt_us_cur")
+			b.ReportMetric(row.New.ReleaseUS, "vt_us_new")
+		})
+	}
+}
+
+// BenchmarkCrossover regenerates the §3.1.2 analysis: old vs new sync
+// versus the number of servers actually written to (N=16). The paper
+// predicts the old implementation wins below log2(N)/2 = 2 targets.
+func BenchmarkCrossover(b *testing.B) {
+	for _, k := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("targets=%d", k), func(b *testing.B) {
+			var row bench.CrossoverRow
+			for i := 0; i < b.N; i++ {
+				res, err := bench.Crossover(bench.CrossoverOpts{
+					Opts: simOpts(), Procs: 16, KValues: []int{k},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				row = res.Rows[0]
+			}
+			b.ReportMetric(row.OldUS, "vt_us_old")
+			b.ReportMetric(row.NewUS, "vt_us_new")
+		})
+	}
+}
+
+// BenchmarkWireSync measures the real concurrent fabrics in wall time:
+// one all-process sync (old and new) at 8 processes. The absolute values
+// are Go-scheduler numbers, not cluster numbers; the point is that the
+// protocol code itself is cheap and the new path moves fewer messages.
+func BenchmarkWireSync(b *testing.B) {
+	for _, fk := range []armci.FabricKind{armci.FabricChan, armci.FabricTCP} {
+		for _, mode := range []string{"old", "new"} {
+			b.Run(fmt.Sprintf("%v/%s", fk, mode), func(b *testing.B) {
+				const procs = 8
+				_, err := armci.Run(armci.Options{Procs: procs, Fabric: fk}, func(p *armci.Proc) {
+					ptrs := p.Malloc(64)
+					payload := make([]byte, 64)
+					p.MPIBarrier()
+					for i := 0; i < b.N; i++ {
+						for q := 0; q < procs; q++ {
+							if q != p.Rank() {
+								p.Put(ptrs[q], payload)
+							}
+						}
+						if mode == "old" {
+							p.SyncOld()
+						} else {
+							p.Barrier()
+						}
+					}
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWireLock measures one lock+unlock cycle per op on the real
+// in-process fabric under contention, per algorithm.
+func BenchmarkWireLock(b *testing.B) {
+	for _, alg := range []armci.LockAlg{armci.LockHybrid, armci.LockQueue, armci.LockQueueNoCAS} {
+		b.Run(alg.String(), func(b *testing.B) {
+			const procs = 4
+			_, err := armci.Run(armci.Options{
+				Procs: procs, Fabric: armci.FabricChan, NumMutexes: 1,
+			}, func(p *armci.Proc) {
+				mu := p.Mutex(0, alg)
+				p.MPIBarrier()
+				for i := 0; i < b.N; i++ {
+					mu.Lock()
+					mu.Unlock()
+				}
+				p.MPIBarrier()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

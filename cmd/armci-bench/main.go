@@ -1,0 +1,244 @@
+// Command armci-bench regenerates the evaluation of "Optimizing
+// Synchronization Operations for Remote Memory Communication Systems"
+// (IPPS 2003): Figure 7 (GA_Sync, original vs combined barrier), Figures
+// 8-10 (hybrid vs software queuing locks), the §3.1.2 sparse-writer
+// crossover, and the analytical message-count check.
+//
+// Usage:
+//
+//	armci-bench -fig all                  # everything, simulated fabric
+//	armci-bench -fig 7 -procs 2,4,8,16,32 # extend the sweep
+//	armci-bench -fig 8 -fabric chan       # wall-clock sanity run
+//	armci-bench -fig crossover
+//	armci-bench -fig counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"armci"
+	"armci/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("armci-bench: ")
+
+	var (
+		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, crossover, counts, ablate, all")
+		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp")
+		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
+		procsF   = flag.String("procs", "", "comma-separated process counts (default per experiment)")
+		reps     = flag.Int("reps", 0, "timed repetitions per point (default per experiment)")
+		iters    = flag.Int("iters", 0, "lock iterations per process (default 200)")
+		format   = flag.String("format", "table", "output format: table or csv (figs 7, 8, crossover)")
+		timeline = flag.String("timeline", "", "write a per-message CSV timeline of one sync to this file and exit")
+	)
+	flag.Parse()
+
+	fk, err := parseFabric(*fabric)
+	if err != nil {
+		log.Fatal(err)
+	}
+	procCounts, err := parseProcs(*procsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	common := bench.Opts{Fabric: fk, Preset: armci.CostPreset(*preset), Reps: *reps}
+	csv := *format == "csv"
+	if *format != "table" && *format != "csv" {
+		log.Fatalf("unknown -format %q", *format)
+	}
+
+	if *timeline != "" {
+		n := 8
+		if len(procCounts) > 0 {
+			n = procCounts[len(procCounts)-1]
+		}
+		if err := writeTimeline(*timeline, n, armci.CostPreset(*preset)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("timeline of one ARMCI_Barrier at %d processes written to %s\n", n, *timeline)
+		return
+	}
+
+	switch *fig {
+	case "7":
+		runFig7(common, procCounts, csv)
+	case "8", "9", "10", "lock":
+		runLock(common, procCounts, *iters, csv)
+	case "crossover":
+		runCrossover(common, procCounts, csv)
+	case "counts":
+		runCounts(procCounts)
+	case "ablate":
+		runAblations(common)
+	case "striping":
+		runStriping(common, csv)
+	case "sensitivity":
+		runSensitivity(common)
+	case "all":
+		runFig7(common, procCounts, csv)
+		fmt.Println()
+		runLock(common, procCounts, *iters, csv)
+		fmt.Println()
+		runCrossover(common, nil, csv)
+		fmt.Println()
+		runCounts(procCounts)
+		fmt.Println()
+		runAblations(common)
+		fmt.Println()
+		runStriping(common, csv)
+		fmt.Println()
+		runSensitivity(common)
+	default:
+		log.Fatalf("unknown -fig %q", *fig)
+	}
+}
+
+func parseFabric(s string) (armci.FabricKind, error) {
+	switch s {
+	case "sim":
+		return armci.FabricSim, nil
+	case "chan":
+		return armci.FabricChan, nil
+	case "tcp":
+		return armci.FabricTCP, nil
+	}
+	return 0, fmt.Errorf("unknown fabric %q (want sim, chan or tcp)", s)
+}
+
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad process count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func runFig7(common bench.Opts, procCounts []int, csv bool) {
+	res, err := bench.Fig7(bench.Fig7Opts{Opts: common, ProcCounts: procCounts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Print(bench.CSVFig7(res))
+		return
+	}
+	fmt.Print(bench.FormatFig7(res))
+}
+
+func runLock(common bench.Opts, procCounts []int, iters int, csv bool) {
+	res, err := bench.Lock(bench.LockOpts{Opts: common, ProcCounts: procCounts, Iters: iters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Print(bench.CSVLock(res))
+		return
+	}
+	fmt.Print(bench.FormatLock(res))
+}
+
+func runCrossover(common bench.Opts, procCounts []int, csv bool) {
+	procs := 16
+	if len(procCounts) > 0 {
+		procs = procCounts[len(procCounts)-1]
+	}
+	res, err := bench.Crossover(bench.CrossoverOpts{Opts: common, Procs: procs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Print(bench.CSVCrossover(res))
+		return
+	}
+	fmt.Print(bench.FormatCrossover(res))
+}
+
+// writeTimeline captures one combined barrier under the cost model and
+// dumps every message as CSV: sequence, kind, source, destination,
+// payload bytes, arrival time in microseconds.
+func writeTimeline(path string, procs int, preset armci.CostPreset) error {
+	rep, err := armci.Run(armci.Options{
+		Procs:        procs,
+		Fabric:       armci.FabricSim,
+		Preset:       preset,
+		CaptureTrace: true,
+	}, func(p *armci.Proc) {
+		ptrs := p.Malloc(64)
+		payload := make([]byte, 64)
+		for q := 0; q < procs; q++ {
+			if q != p.Rank() {
+				p.Put(ptrs[q], payload)
+			}
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("seq,kind,src,dst,bytes,arrival_us\n")
+	for _, e := range rep.Stats.Events() {
+		fmt.Fprintf(&b, "%d,%s,%s,%s,%d,%.3f\n",
+			e.Seq, e.Kind, e.Src, e.Dst, e.Size, float64(e.Arrival)/1000)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func runCounts(procCounts []int) {
+	if procCounts == nil {
+		procCounts = []int{2, 4, 8, 16}
+	}
+	var all []*bench.MessageCounts
+	for _, n := range procCounts {
+		c, err := bench.CountSyncMessages(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "armci-bench: counts N=%d: %v (skipped)\n", n, err)
+			continue
+		}
+		all = append(all, c)
+	}
+	fmt.Print(bench.FormatMessageCounts(all))
+}
+
+func runStriping(common bench.Opts, csv bool) {
+	res, err := bench.Striping(bench.StripingOpts{Opts: common})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Print(bench.CSVStriping(res))
+		return
+	}
+	fmt.Print(bench.FormatStriping(res))
+}
+
+func runSensitivity(common bench.Opts) {
+	res, err := bench.Sensitivity(bench.SensitivityOpts{Opts: common})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSensitivity(res))
+}
+
+func runAblations(common bench.Opts) {
+	res, err := bench.Ablations(bench.AblationOpts{Opts: common})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatAblations(res))
+}

@@ -1,0 +1,155 @@
+// Samplesort: a classic distributed sample sort over the mp layer — the
+// message-passing side of the hybrid programming model ARMCI is designed
+// to coexist with. Each rank sorts its local keys, regular samples are
+// gathered at rank 0, splitters are broadcast back, every rank partitions
+// its keys and exchanges buckets point-to-point, and a final local merge
+// leaves the keys globally sorted across ranks.
+//
+// Run with:
+//
+//	go run ./examples/samplesort
+//	go run ./examples/samplesort -procs 6 -keys 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"armci"
+	"armci/mp"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "number of emulated processes")
+	keys := flag.Int("keys", 2000, "keys per process")
+	flag.Parse()
+
+	counts := make([]int, *procs)
+	var bounds []int64
+	sortedOK := true
+
+	_, err := armci.Run(armci.Options{
+		Procs:  *procs,
+		Fabric: armci.FabricChan,
+	}, func(p *armci.Proc) {
+		c := mp.Attach(p)
+		me, n := c.Rank(), c.Size()
+
+		// 1. Local keys, locally sorted.
+		rng := rand.New(rand.NewSource(int64(me)*7919 + 13))
+		local := make([]int64, *keys)
+		for i := range local {
+			local[i] = rng.Int63n(1 << 40)
+		}
+		sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+
+		// 2. Regular sampling: n samples per rank, gathered at rank 0.
+		samples := make([]int64, n)
+		for i := 0; i < n; i++ {
+			samples[i] = local[(i*len(local))/n]
+		}
+		sampleBytes := c.Gather(0, int64sToBytes(samples))
+
+		// 3. Rank 0 picks n−1 splitters from the pooled samples and
+		// broadcasts them.
+		var splitters []int64
+		if me == 0 {
+			var pool []int64
+			for _, b := range sampleBytes {
+				pool = append(pool, bytesToInt64s(b)...)
+			}
+			sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+			for i := 1; i < n; i++ {
+				splitters = append(splitters, pool[(i*len(pool))/n])
+			}
+		}
+		splitters = bytesToInt64s(c.Bcast(0, int64sToBytes(splitters)))
+
+		// 4. Partition and exchange: bucket i goes to rank i.
+		buckets := make([][]int64, n)
+		b := 0
+		for _, k := range local {
+			for b < n-1 && k >= splitters[b] {
+				b++
+			}
+			buckets[b] = append(buckets[b], k)
+		}
+		// Everyone sends every bucket (possibly empty) with tag = round.
+		for q := 0; q < n; q++ {
+			if q != me {
+				c.Send(q, 1, int64sToBytes(buckets[q]))
+			}
+		}
+		merged := append([]int64(nil), buckets[me]...)
+		for q := 0; q < n; q++ {
+			if q != me {
+				merged = append(merged, bytesToInt64s(c.Recv(q, 1))...)
+			}
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		counts[me] = len(merged)
+
+		// 5. Verify the global order: my max <= right neighbor's min.
+		my := [2]int64{1 << 62, -1} // min, max
+		if len(merged) > 0 {
+			my[0], my[1] = merged[0], merged[len(merged)-1]
+		}
+		if me > 0 {
+			c.SendInt64s(me-1, 2, []int64{my[0]})
+		}
+		if me < n-1 {
+			rightMin := c.RecvInt64s(me+1, 2)[0]
+			if len(merged) > 0 && merged[len(merged)-1] > rightMin {
+				sortedOK = false
+			}
+		}
+		// Total conservation.
+		total := []int64{int64(len(merged))}
+		c.AllReduceSumInt64(total)
+		if total[0] != int64(n**keys) {
+			panic(fmt.Sprintf("rank %d: %d keys total, want %d", me, total[0], n**keys))
+		}
+		if me == 0 {
+			bounds = splitters
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sample sort: %d ranks x %d keys\n", *procs, *keys)
+	fmt.Printf("  splitters: %v\n", bounds)
+	for r, cnt := range counts {
+		fmt.Printf("  rank %d ended with %5d keys\n", r, cnt)
+	}
+	fmt.Printf("  globally sorted: %v\n", sortedOK)
+	if !sortedOK {
+		log.Fatal("samplesort: global order violated")
+	}
+}
+
+func int64sToBytes(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		for b := 0; b < 8; b++ {
+			out[8*i+b] = byte(x >> (8 * b))
+		}
+	}
+	return out
+}
+
+func bytesToInt64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		var x uint64
+		for k := 0; k < 8; k++ {
+			x |= uint64(b[8*i+k]) << (8 * k)
+		}
+		out[i] = int64(x)
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package ga is a compact Global Arrays substrate built on the armci
+// package, sufficient to reproduce the paper's GA_Sync() evaluation and
+// to write realistic distributed-array applications. A two-dimensional
+// float64 array is block-distributed over a near-square process grid;
+// any process reads, writes or accumulates arbitrary global patches with
+// one-sided strided operations against the owners' memory, and GA_Sync
+// (Sync) fences all outstanding transfers and synchronizes — with either
+// the original AllFence+MPI_Barrier implementation or the paper's
+// combined ARMCI_Barrier.
+package ga
+
+import (
+	"fmt"
+	"math"
+
+	"armci"
+	"armci/mp"
+)
+
+// SyncMode selects the implementation behind Sync (GA_Sync).
+type SyncMode uint8
+
+const (
+	// SyncNew uses the paper's combined fence+barrier (ARMCI_Barrier).
+	SyncNew SyncMode = iota
+	// SyncOld uses the original serialized AllFence + MPI_Barrier.
+	SyncOld
+	// SyncOldPipelined is the ablation with overlapped fence round trips.
+	SyncOldPipelined
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncNew:
+		return "new"
+	case SyncOld:
+		return "old"
+	case SyncOldPipelined:
+		return "old-pipelined"
+	}
+	return fmt.Sprintf("SyncMode(%d)", uint8(m))
+}
+
+// Array is one rank's handle to a block-distributed 2-D float64 array.
+type Array struct {
+	p          *armci.Proc
+	name       string
+	rows, cols int
+	pr, pc     int   // process grid dimensions (pr*pc == Size)
+	rowSplit   []int // pr+1 block boundaries over rows
+	colSplit   []int // pc+1 block boundaries over cols
+	ptrs       []armci.Ptr
+	mode       SyncMode
+}
+
+// Create collectively builds a rows×cols array distributed uniformly over
+// all ranks on a near-square grid. Every rank must call it with identical
+// arguments; the call synchronizes.
+func Create(p *armci.Proc, name string, rows, cols int) (*Array, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("ga: array %q needs positive dims, got %dx%d", name, rows, cols)
+	}
+	n := p.Size()
+	pr := nearSquareRows(n)
+	pc := n / pr
+	a := &Array{
+		p: p, name: name, rows: rows, cols: cols, pr: pr, pc: pc,
+		rowSplit: split(rows, pr),
+		colSplit: split(cols, pc),
+	}
+	br, bc := a.blockDims(p.Rank())
+	bytes := 8 * br * bc
+	if bytes == 0 {
+		bytes = 8 // keep empty blocks addressable
+	}
+	// Collective exchange of the block base pointers (synchronizing).
+	a.ptrs = exchangeBlockPtrs(p, bytes)
+	return a, nil
+}
+
+// exchangeBlockPtrs allocates this rank's block and all-gathers the bases.
+func exchangeBlockPtrs(p *armci.Proc, bytes int) []armci.Ptr {
+	local := p.MallocLocal(bytes)
+	vec := make([]int64, 2*p.Size())
+	hi, lo := local.Pack()
+	vec[2*p.Rank()], vec[2*p.Rank()+1] = hi, lo
+	p.AllReduceSumInt64(vec)
+	out := make([]armci.Ptr, p.Size())
+	for r := range out {
+		out[r] = armci.UnpackPtr(vec[2*r], vec[2*r+1])
+	}
+	return out
+}
+
+// nearSquareRows returns the largest divisor of n not exceeding √n.
+func nearSquareRows(n int) int {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best
+}
+
+// split returns k+1 boundaries dividing n as evenly as possible.
+func split(n, k int) []int {
+	b := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		b[i] = i * n / k
+	}
+	return b
+}
+
+// Name returns the array's creation name.
+func (a *Array) Name() string { return a.name }
+
+// Dims returns the global dimensions.
+func (a *Array) Dims() (rows, cols int) { return a.rows, a.cols }
+
+// Grid returns the process-grid dimensions.
+func (a *Array) Grid() (pr, pc int) { return a.pr, a.pc }
+
+// SetSyncMode selects the GA_Sync implementation (default SyncNew). All
+// ranks must agree.
+func (a *Array) SetSyncMode(m SyncMode) { a.mode = m }
+
+// SyncMode returns the current GA_Sync implementation.
+func (a *Array) SyncMode() SyncMode { return a.mode }
+
+// gridPos returns rank's position on the process grid (row-major).
+func (a *Array) gridPos(rank int) (gr, gc int) { return rank / a.pc, rank % a.pc }
+
+// rankAt returns the rank at grid position (gr, gc).
+func (a *Array) rankAt(gr, gc int) int { return gr*a.pc + gc }
+
+// Distribution returns the half-open global index ranges of rank's block:
+// rows [rlo, rhi), cols [clo, chi).
+func (a *Array) Distribution(rank int) (rlo, rhi, clo, chi int) {
+	gr, gc := a.gridPos(rank)
+	return a.rowSplit[gr], a.rowSplit[gr+1], a.colSplit[gc], a.colSplit[gc+1]
+}
+
+// blockDims returns the local block shape of rank.
+func (a *Array) blockDims(rank int) (br, bc int) {
+	rlo, rhi, clo, chi := a.Distribution(rank)
+	return rhi - rlo, chi - clo
+}
+
+// Owner returns the rank owning global element (r, c).
+func (a *Array) Owner(r, c int) int {
+	gr := searchSplit(a.rowSplit, r)
+	gc := searchSplit(a.colSplit, c)
+	return a.rankAt(gr, gc)
+}
+
+// searchSplit returns the block index containing x.
+func searchSplit(b []int, x int) int {
+	for i := 0; i+1 < len(b); i++ {
+		if x < b[i+1] {
+			return i
+		}
+	}
+	return len(b) - 2
+}
+
+// checkPatch validates a half-open patch.
+func (a *Array) checkPatch(rlo, rhi, clo, chi int) {
+	if rlo < 0 || clo < 0 || rhi > a.rows || chi > a.cols || rlo >= rhi || clo >= chi {
+		panic(fmt.Sprintf("ga: %q patch [%d,%d)x[%d,%d) outside %dx%d",
+			a.name, rlo, rhi, clo, chi, a.rows, a.cols))
+	}
+}
+
+// eachBlock visits every owner block intersecting the patch, passing the
+// owning rank and the half-open global intersection.
+func (a *Array) eachBlock(rlo, rhi, clo, chi int, fn func(rank, irlo, irhi, iclo, ichi int)) {
+	for gr := 0; gr < a.pr; gr++ {
+		brlo, brhi := a.rowSplit[gr], a.rowSplit[gr+1]
+		if brhi <= rlo || brlo >= rhi || brlo == brhi {
+			continue
+		}
+		for gc := 0; gc < a.pc; gc++ {
+			bclo, bchi := a.colSplit[gc], a.colSplit[gc+1]
+			if bchi <= clo || bclo >= chi || bclo == bchi {
+				continue
+			}
+			fn(a.rankAt(gr, gc),
+				max(rlo, brlo), min(rhi, brhi),
+				max(clo, bclo), min(chi, bchi))
+		}
+	}
+}
+
+// blockRegion maps a global intersection to the owner-local strided
+// descriptor and base pointer.
+func (a *Array) blockRegion(rank, irlo, irhi, iclo, ichi int) (armci.Ptr, armci.Strided) {
+	orlo, _, oclo, _ := a.Distribution(rank)
+	_, bc := a.blockDims(rank)
+	base := a.ptrs[rank].Add(int64(8 * ((irlo-orlo)*bc + (iclo - oclo))))
+	rows := irhi - irlo
+	rowBytes := 8 * (ichi - iclo)
+	if rows == 1 {
+		return base, armci.Contig(rowBytes)
+	}
+	return base, armci.Strided{Count: []int{rowBytes, rows}, Stride: []int64{int64(8 * bc)}}
+}
+
+// patchSlice extracts the intersection rows from a row-major patch buffer.
+func patchSlice(buf []float64, rlo, clo, chi int, irlo, irhi, iclo, ichi int) []float64 {
+	cols := chi - clo
+	out := make([]float64, 0, (irhi-irlo)*(ichi-iclo))
+	for r := irlo; r < irhi; r++ {
+		row := (r-rlo)*cols + (iclo - clo)
+		out = append(out, buf[row:row+(ichi-iclo)]...)
+	}
+	return out
+}
+
+// Put writes the row-major buf into the global patch rows [rlo,rhi) ×
+// cols [clo,chi) (GA_Put / NGA_Put). Non-blocking completion semantics:
+// remote pieces are guaranteed visible only after Sync or a fence.
+func (a *Array) Put(rlo, rhi, clo, chi int, buf []float64) {
+	a.checkPatch(rlo, rhi, clo, chi)
+	if want := (rhi - rlo) * (chi - clo); len(buf) != want {
+		panic(fmt.Sprintf("ga: %q put buffer %d elements, patch needs %d", a.name, len(buf), want))
+	}
+	a.eachBlock(rlo, rhi, clo, chi, func(rank, irlo, irhi, iclo, ichi int) {
+		dst, desc := a.blockRegion(rank, irlo, irhi, iclo, ichi)
+		piece := patchSlice(buf, rlo, clo, chi, irlo, irhi, iclo, ichi)
+		a.p.PutStrided(dst, desc, mp.Float64sToBytes(piece))
+	})
+}
+
+// Get reads the global patch into a row-major buffer (GA_Get). Blocking.
+func (a *Array) Get(rlo, rhi, clo, chi int) []float64 {
+	a.checkPatch(rlo, rhi, clo, chi)
+	cols := chi - clo
+	out := make([]float64, (rhi-rlo)*cols)
+	a.eachBlock(rlo, rhi, clo, chi, func(rank, irlo, irhi, iclo, ichi int) {
+		src, desc := a.blockRegion(rank, irlo, irhi, iclo, ichi)
+		piece := mp.BytesToFloat64s(a.p.GetStrided(src, desc))
+		w := ichi - iclo
+		for r := irlo; r < irhi; r++ {
+			row := (r-rlo)*cols + (iclo - clo)
+			copy(out[row:row+w], piece[(r-irlo)*w:(r-irlo+1)*w])
+		}
+	})
+	return out
+}
+
+// Acc atomically adds alpha*buf into the global patch (GA_Acc).
+// Non-blocking like Put.
+func (a *Array) Acc(rlo, rhi, clo, chi int, buf []float64, alpha float64) {
+	a.checkPatch(rlo, rhi, clo, chi)
+	if want := (rhi - rlo) * (chi - clo); len(buf) != want {
+		panic(fmt.Sprintf("ga: %q acc buffer %d elements, patch needs %d", a.name, len(buf), want))
+	}
+	a.eachBlock(rlo, rhi, clo, chi, func(rank, irlo, irhi, iclo, ichi int) {
+		dst, desc := a.blockRegion(rank, irlo, irhi, iclo, ichi)
+		piece := patchSlice(buf, rlo, clo, chi, irlo, irhi, iclo, ichi)
+		a.p.Accumulate(armci.AccFloat64, dst, desc, mp.Float64sToBytes(piece), alpha)
+	})
+}
+
+// Fill collectively sets every element to v (each rank fills its own
+// block) and synchronizes.
+func (a *Array) Fill(v float64) {
+	rlo, rhi, clo, chi := a.Distribution(a.p.Rank())
+	if rhi > rlo && chi > clo {
+		n := (rhi - rlo) * (chi - clo)
+		buf := make([]float64, n)
+		if v != 0 {
+			for i := range buf {
+				buf[i] = v
+			}
+		}
+		a.Put(rlo, rhi, clo, chi, buf)
+	}
+	a.Sync()
+}
+
+// Duplicate collectively creates a new array with the same shape,
+// distribution and sync mode (GA_Duplicate). Contents start zeroed; use
+// Copy to transfer data.
+func (a *Array) Duplicate(name string) (*Array, error) {
+	d, err := Create(a.p, name, a.rows, a.cols)
+	if err != nil {
+		return nil, err
+	}
+	d.SetSyncMode(a.mode)
+	return d, nil
+}
+
+// Sync is GA_Sync: it completes all outstanding array communication
+// everywhere and synchronizes all ranks, using the configured
+// implementation (the paper's combined barrier by default).
+func (a *Array) Sync() {
+	switch a.mode {
+	case SyncNew:
+		a.p.Barrier()
+	case SyncOld:
+		a.p.SyncOld()
+	case SyncOldPipelined:
+		a.p.SyncOldPipelined()
+	default:
+		panic(fmt.Sprintf("ga: unknown sync mode %v", a.mode))
+	}
+}
+
+// Norm2 collectively computes the Frobenius norm: each rank reduces its
+// own block and the squares are summed with a float all-reduce. (Useful
+// for validating iterative solvers in examples and tests.)
+func (a *Array) Norm2() float64 {
+	rlo, rhi, clo, chi := a.Distribution(a.p.Rank())
+	var sum float64
+	if rhi > rlo && chi > clo {
+		for _, v := range a.Get(rlo, rhi, clo, chi) {
+			sum += v * v
+		}
+	}
+	vec := []float64{sum}
+	a.p.AllReduceSumFloat64(vec)
+	return math.Sqrt(vec[0])
+}

@@ -1,0 +1,319 @@
+package ga_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"armci"
+	"armci/ga"
+)
+
+// runGA executes body on every rank of a simulated cluster.
+func runGA(t *testing.T, procs int, body func(p *armci.Proc)) {
+	t.Helper()
+	if _, err := armci.Run(armci.Options{Procs: procs, Fabric: armci.FabricSim}, body); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributionPartitions is the property test on the block
+// decomposition: for random shapes and process counts, the per-rank
+// blocks exactly tile the global index space with no overlap.
+func TestDistributionPartitions(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		procs := 1 + r.Intn(12)
+		rows := 1 + r.Intn(40)
+		cols := 1 + r.Intn(40)
+		ok := true
+		runGA(t, procs, func(p *armci.Proc) {
+			a, err := ga.Create(p, "part", rows, cols)
+			if err != nil {
+				panic(err)
+			}
+			if p.Rank() != 0 {
+				return
+			}
+			covered := make([]int, rows*cols)
+			for q := 0; q < procs; q++ {
+				rlo, rhi, clo, chi := a.Distribution(q)
+				if rlo < 0 || rhi > rows || clo < 0 || chi > cols || rlo > rhi || clo > chi {
+					ok = false
+					return
+				}
+				for i := rlo; i < rhi; i++ {
+					for j := clo; j < chi; j++ {
+						covered[i*cols+j]++
+					}
+				}
+				// Owner agrees with Distribution on interior points.
+				if rhi > rlo && chi > clo {
+					if own := a.Owner(rlo, clo); own != q {
+						ok = false
+						return
+					}
+				}
+			}
+			for _, c := range covered {
+				if c != 1 {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPutGetRoundTripRandomPatches writes random patches from random
+// ranks and reads them back from other ranks after a sync.
+func TestPutGetRoundTripRandomPatches(t *testing.T) {
+	const procs, rows, cols = 4, 24, 18
+	rng := rand.New(rand.NewSource(99))
+	type patch struct{ rlo, rhi, clo, chi, writer int }
+	var patches []patch
+	for i := 0; i < 8; i++ {
+		rlo, clo := rng.Intn(rows-2), rng.Intn(cols-2)
+		patches = append(patches, patch{
+			rlo: rlo, rhi: rlo + 1 + rng.Intn(rows-rlo-1),
+			clo: clo, chi: clo + 1 + rng.Intn(cols-clo-1),
+			writer: rng.Intn(procs),
+		})
+	}
+	runGA(t, procs, func(p *armci.Proc) {
+		a, err := ga.Create(p, "rt", rows, cols)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(0)
+		// Patches are applied one at a time, synced between, so later
+		// patches legitimately overwrite earlier ones.
+		for pi, pt := range patches {
+			if p.Rank() == pt.writer {
+				buf := make([]float64, (pt.rhi-pt.rlo)*(pt.chi-pt.clo))
+				for i := range buf {
+					buf[i] = float64(pi*1000 + i)
+				}
+				a.Put(pt.rlo, pt.rhi, pt.clo, pt.chi, buf)
+			}
+			a.Sync()
+			// Reader: rank (writer+1) mod procs verifies.
+			if p.Rank() == (pt.writer+1)%procs {
+				got := a.Get(pt.rlo, pt.rhi, pt.clo, pt.chi)
+				for i, v := range got {
+					if v != float64(pi*1000+i) {
+						panic(fmt.Sprintf("patch %d element %d = %v", pi, i, v))
+					}
+				}
+			}
+			a.Sync()
+		}
+	})
+}
+
+// TestGetAssemblesAcrossBlocks reads a patch spanning all four blocks of
+// a 2x2 grid and checks element-exact assembly.
+func TestGetAssemblesAcrossBlocks(t *testing.T) {
+	const procs, n = 4, 16
+	runGA(t, procs, func(p *armci.Proc) {
+		a, err := ga.Create(p, "asm", n, n)
+		if err != nil {
+			panic(err)
+		}
+		// Each rank fills its own block with rank-tagged coordinates.
+		rlo, rhi, clo, chi := a.Distribution(p.Rank())
+		buf := make([]float64, (rhi-rlo)*(chi-clo))
+		k := 0
+		for i := rlo; i < rhi; i++ {
+			for j := clo; j < chi; j++ {
+				buf[k] = float64(i*n + j)
+				k++
+			}
+		}
+		a.Put(rlo, rhi, clo, chi, buf)
+		a.Sync()
+		// Everyone reads the center patch spanning the block corners.
+		got := a.Get(n/2-2, n/2+2, n/2-2, n/2+2)
+		k = 0
+		for i := n/2 - 2; i < n/2+2; i++ {
+			for j := n/2 - 2; j < n/2+2; j++ {
+				if got[k] != float64(i*n+j) {
+					panic(fmt.Sprintf("element (%d,%d) = %v, want %d", i, j, got[k], i*n+j))
+				}
+				k++
+			}
+		}
+		a.Sync()
+	})
+}
+
+// TestAccumulateSums: concurrent accumulates from every rank into the
+// same patch add up exactly.
+func TestAccumulateSums(t *testing.T) {
+	const procs, n = 4, 8
+	runGA(t, procs, func(p *armci.Proc) {
+		a, err := ga.Create(p, "acc", n, n)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(1)
+		ones := make([]float64, n*n)
+		for i := range ones {
+			ones[i] = float64(p.Rank() + 1)
+		}
+		a.Acc(0, n, 0, n, ones, 2)
+		a.Sync()
+		got := a.Get(0, n, 0, n)
+		want := 1.0 + 2*float64(procs*(procs+1)/2)
+		for i, v := range got {
+			if v != want {
+				panic(fmt.Sprintf("element %d = %v, want %v", i, v, want))
+			}
+		}
+		a.Sync()
+	})
+}
+
+// TestSyncModesAllWork: each GA_Sync implementation provides visibility.
+func TestSyncModesAllWork(t *testing.T) {
+	for _, mode := range []ga.SyncMode{ga.SyncNew, ga.SyncOld, ga.SyncOldPipelined} {
+		t.Run(mode.String(), func(t *testing.T) {
+			const procs, n = 4, 12
+			runGA(t, procs, func(p *armci.Proc) {
+				a, err := ga.Create(p, "mode", n, n)
+				if err != nil {
+					panic(err)
+				}
+				a.SetSyncMode(mode)
+				if a.SyncMode() != mode {
+					panic("mode not set")
+				}
+				me := p.Rank()
+				// Everyone writes one value into every remote block.
+				for q := 0; q < procs; q++ {
+					if q == me {
+						continue
+					}
+					rlo, _, clo, _ := a.Distribution(q)
+					a.Put(rlo, rlo+1, clo, clo+1, []float64{float64(me + 1)})
+				}
+				a.Sync()
+				rlo, _, clo, _ := a.Distribution(me)
+				got := a.Get(rlo, rlo+1, clo, clo+1)
+				// The last writer in put order wins; all writers put
+				// distinct positive values, so any positive value proves
+				// a write arrived; zero proves sync failed.
+				if got[0] == 0 {
+					panic(fmt.Sprintf("rank %d: block corner still zero after %v sync", me, mode))
+				}
+				a.Sync()
+			})
+		})
+	}
+}
+
+// TestNorm2MatchesLocalComputation.
+func TestNorm2MatchesLocalComputation(t *testing.T) {
+	const procs, n = 4, 10
+	runGA(t, procs, func(p *armci.Proc) {
+		a, err := ga.Create(p, "norm", n, n)
+		if err != nil {
+			panic(err)
+		}
+		a.Fill(2) // norm = sqrt(100 * 4) = 20
+		got := a.Norm2()
+		if math.Abs(got-20) > 1e-3 {
+			panic(fmt.Sprintf("Norm2 = %v, want 20", got))
+		}
+	})
+}
+
+// TestSingleProcess: the degenerate 1-rank array works end to end.
+func TestSingleProcess(t *testing.T) {
+	runGA(t, 1, func(p *armci.Proc) {
+		a, err := ga.Create(p, "solo", 5, 7)
+		if err != nil {
+			panic(err)
+		}
+		buf := make([]float64, 35)
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+		a.Put(0, 5, 0, 7, buf)
+		a.Sync()
+		got := a.Get(2, 4, 3, 6)
+		want := []float64{17, 18, 19, 24, 25, 26}
+		for i := range want {
+			if got[i] != want[i] {
+				panic(fmt.Sprintf("got %v", got))
+			}
+		}
+	})
+}
+
+// TestUnevenDimensions: dims not divisible by the grid still partition
+// and transfer correctly.
+func TestUnevenDimensions(t *testing.T) {
+	const procs = 6 // grid 2x3
+	runGA(t, procs, func(p *armci.Proc) {
+		a, err := ga.Create(p, "uneven", 7, 11)
+		if err != nil {
+			panic(err)
+		}
+		pr, pc := a.Grid()
+		if pr*pc != procs {
+			panic(fmt.Sprintf("grid %dx%d", pr, pc))
+		}
+		buf := make([]float64, 7*11)
+		for i := range buf {
+			buf[i] = float64(i + 1)
+		}
+		if p.Rank() == 0 {
+			a.Put(0, 7, 0, 11, buf)
+		}
+		a.Sync()
+		got := a.Get(0, 7, 0, 11)
+		for i := range buf {
+			if got[i] != buf[i] {
+				panic(fmt.Sprintf("element %d = %v", i, got[i]))
+			}
+		}
+		a.Sync()
+	})
+}
+
+// TestCreateValidation and patch validation.
+func TestValidation(t *testing.T) {
+	runGA(t, 2, func(p *armci.Proc) {
+		if _, err := ga.Create(p, "bad", 0, 5); err == nil {
+			panic("zero rows accepted")
+		}
+		a, err := ga.Create(p, "ok", 4, 4)
+		if err != nil {
+			panic(err)
+		}
+		for _, fn := range []func(){
+			func() { a.Get(0, 5, 0, 4) },                          // row overflow
+			func() { a.Get(-1, 2, 0, 4) },                         // negative
+			func() { a.Get(2, 2, 0, 4) },                          // empty
+			func() { a.Put(0, 2, 0, 2, make([]float64, 3)) },      // size mismatch
+			func() { a.Acc(0, 2, 0, 2, make([]float64, 5), 1.0) }, // size mismatch
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						panic("expected a panic")
+					}
+				}()
+				fn()
+			}()
+		}
+		a.Sync()
+	})
+}

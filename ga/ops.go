@@ -1,0 +1,128 @@
+package ga
+
+import (
+	"fmt"
+	"math"
+)
+
+// sameShape panics unless b matches a's global shape.
+func (a *Array) sameShape(b *Array, op string) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("ga: %s of %q (%dx%d) and %q (%dx%d): shape mismatch",
+			op, a.name, a.rows, a.cols, b.name, b.rows, b.cols))
+	}
+	if a.p.Size() != b.p.Size() {
+		panic(fmt.Sprintf("ga: %s across different clusters", op))
+	}
+}
+
+// localPatch returns the caller's own block contents and bounds; ok is
+// false for an empty block.
+func (a *Array) localPatch() (buf []float64, rlo, rhi, clo, chi int, ok bool) {
+	rlo, rhi, clo, chi = a.Distribution(a.p.Rank())
+	if rhi <= rlo || chi <= clo {
+		return nil, 0, 0, 0, 0, false
+	}
+	return a.Get(rlo, rhi, clo, chi), rlo, rhi, clo, chi, true
+}
+
+// Copy collectively copies a into dst (GA_Copy). Both arrays must have
+// the same global shape; distributions may differ, since the copy goes
+// through global puts.
+func (a *Array) Copy(dst *Array) {
+	a.sameShape(dst, "copy")
+	if buf, rlo, rhi, clo, chi, ok := a.localPatch(); ok {
+		dst.Put(rlo, rhi, clo, chi, buf)
+	}
+	dst.Sync()
+}
+
+// Scale collectively multiplies every element by alpha (GA_Scale).
+func (a *Array) Scale(alpha float64) {
+	if buf, rlo, rhi, clo, chi, ok := a.localPatch(); ok {
+		for i := range buf {
+			buf[i] *= alpha
+		}
+		a.Put(rlo, rhi, clo, chi, buf)
+	}
+	a.Sync()
+}
+
+// Add collectively computes dst = alpha*a + beta*b (GA_Add). All three
+// arrays must share the global shape; a and b must share a distribution
+// with each other (they are read block-locally).
+func Add(alpha float64, a *Array, beta float64, b *Array, dst *Array) {
+	a.sameShape(b, "add")
+	a.sameShape(dst, "add")
+	abuf, rlo, rhi, clo, chi, ok := a.localPatch()
+	if ok {
+		bbuf := b.Get(rlo, rhi, clo, chi)
+		for i := range abuf {
+			abuf[i] = alpha*abuf[i] + beta*bbuf[i]
+		}
+		dst.Put(rlo, rhi, clo, chi, abuf)
+	}
+	dst.Sync()
+}
+
+// Dot collectively computes the elementwise dot product ⟨a,b⟩ (GA_Ddot).
+// Every rank returns the identical value.
+func Dot(a, b *Array) float64 {
+	a.sameShape(b, "dot")
+	var sum float64
+	if abuf, rlo, rhi, clo, chi, ok := a.localPatch(); ok {
+		bbuf := b.Get(rlo, rhi, clo, chi)
+		for i := range abuf {
+			sum += abuf[i] * bbuf[i]
+		}
+	}
+	vec := []float64{sum}
+	a.p.AllReduceSumFloat64(vec)
+	return vec[0]
+}
+
+// Transpose collectively writes aᵀ into dst (GA_Transpose). dst must be
+// cols×rows.
+func (a *Array) Transpose(dst *Array) {
+	if a.rows != dst.cols || a.cols != dst.rows {
+		panic(fmt.Sprintf("ga: transpose of %dx%d into %dx%d", a.rows, a.cols, dst.rows, dst.cols))
+	}
+	if buf, rlo, rhi, clo, chi, ok := a.localPatch(); ok {
+		w := chi - clo
+		tr := make([]float64, len(buf))
+		for i := rlo; i < rhi; i++ {
+			for j := clo; j < chi; j++ {
+				tr[(j-clo)*(rhi-rlo)+(i-rlo)] = buf[(i-rlo)*w+(j-clo)]
+			}
+		}
+		dst.Put(clo, chi, rlo, rhi, tr)
+	}
+	dst.Sync()
+}
+
+// MaxAbs collectively returns the largest absolute element value. The
+// maximum is reduced through the integer all-reduce on the order-
+// preserving bit pattern of the non-negative floats.
+func (a *Array) MaxAbs() float64 {
+	var local float64
+	if buf, _, _, _, _, ok := a.localPatch(); ok {
+		for _, v := range buf {
+			if av := math.Abs(v); av > local {
+				local = av
+			}
+		}
+	}
+	// For non-negative IEEE doubles the bit pattern is monotone, so max
+	// of patterns == pattern of max. An all-reduce of per-rank (pattern,
+	// rank-indexed slots) keeps it collective with existing primitives.
+	vec := make([]int64, a.p.Size())
+	vec[a.p.Rank()] = int64(math.Float64bits(local))
+	a.p.AllReduceSumInt64(vec)
+	var best int64
+	for _, v := range vec {
+		if v > best {
+			best = v
+		}
+	}
+	return math.Float64frombits(uint64(best))
+}

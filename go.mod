@@ -1,0 +1,3 @@
+module armci
+
+go 1.24

@@ -1,0 +1,312 @@
+package armci_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"armci"
+	"armci/ga"
+	"armci/mp"
+)
+
+// Integration tests: the example applications' workloads, shrunk and
+// asserted, on every fabric — so the full stack (GA patches, strided
+// transfers, accumulate, counters, collectives, locks, syncs) is
+// exercised end to end by `go test` alone.
+
+// TestIntegrationStencil runs a small Jacobi heat iteration and checks
+// that heat diffuses and energy stays plausible on every fabric and both
+// GA_Sync implementations.
+func TestIntegrationStencil(t *testing.T) {
+	for _, fk := range fabrics {
+		for _, mode := range []ga.SyncMode{ga.SyncNew, ga.SyncOld} {
+			t.Run(fmt.Sprintf("%v/%v", fk, mode), func(t *testing.T) {
+				const procs, n, iters = 4, 16, 8
+				var center, corner float64
+				_, err := armci.Run(armci.Options{Procs: procs, Fabric: fk}, func(p *armci.Proc) {
+					grids := [2]*ga.Array{}
+					for i := range grids {
+						a, err := ga.Create(p, fmt.Sprintf("g%d", i), n, n)
+						if err != nil {
+							panic(err)
+						}
+						a.SetSyncMode(mode)
+						grids[i] = a
+						a.Fill(0)
+					}
+					if p.Rank() == 0 {
+						hot := []float64{100, 100, 100, 100}
+						for i := range grids {
+							grids[i].Put(n/2-1, n/2+1, n/2-1, n/2+1, hot)
+						}
+					}
+					grids[0].Sync()
+					grids[1].Sync()
+					rlo, rhi, clo, chi := grids[0].Distribution(p.Rank())
+					for it := 0; it < iters; it++ {
+						src, dst := grids[it%2], grids[(it+1)%2]
+						hrlo, hrhi := maxI(rlo-1, 0), minI(rhi+1, n)
+						hclo, hchi := maxI(clo-1, 0), minI(chi+1, n)
+						w := hchi - hclo
+						halo := src.Get(hrlo, hrhi, hclo, hchi)
+						at := func(r, c int) float64 {
+							if r < 0 || r >= n || c < 0 || c >= n {
+								return 0
+							}
+							return halo[(r-hrlo)*w+(c-hclo)]
+						}
+						out := make([]float64, (rhi-rlo)*(chi-clo))
+						for r := rlo; r < rhi; r++ {
+							for c := clo; c < chi; c++ {
+								out[(r-rlo)*(chi-clo)+(c-clo)] =
+									0.25 * (at(r-1, c) + at(r+1, c) + at(r, c-1) + at(r, c+1))
+							}
+						}
+						dst.Put(rlo, rhi, clo, chi, out)
+						dst.Sync()
+					}
+					if p.Rank() == 0 {
+						center = grids[iters%2].Get(n/2, n/2+1, n/2, n/2+1)[0]
+						corner = grids[iters%2].Get(0, 1, 0, 1)[0]
+					}
+					p.Barrier()
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if center <= 0 || center >= 100 {
+					t.Fatalf("center temperature %v not diffusing plausibly", center)
+				}
+				if corner >= center {
+					t.Fatalf("corner (%v) hotter than center (%v)", corner, center)
+				}
+			})
+		}
+	}
+}
+
+// TestIntegrationHistogram cross-checks the accumulate-based and
+// lock-striped histograms on every fabric.
+func TestIntegrationHistogram(t *testing.T) {
+	for _, fk := range fabrics {
+		t.Run(fk.String(), func(t *testing.T) {
+			const procs, samples, bins = 3, 300, 8
+			var accHist, lockHist []float64
+			_, err := armci.Run(armci.Options{
+				Procs: procs, Fabric: fk, NumMutexes: 2,
+			}, func(p *armci.Proc) {
+				me := p.Rank()
+				hist, err := ga.Create(p, "h", 1, bins)
+				if err != nil {
+					panic(err)
+				}
+				hist.Fill(0)
+				contrib := make([]float64, bins)
+				x := uint64(me + 1)
+				for i := 0; i < samples; i++ {
+					x ^= x << 13
+					x ^= x >> 7
+					x ^= x << 17
+					contrib[x%bins]++
+				}
+				hist.Acc(0, 1, 0, bins, contrib, 1.0)
+				hist.Sync()
+				counters := p.MallocWords(bins)
+				for s := 0; s < 2; s++ {
+					mu := p.Mutex(s, armci.LockQueue)
+					mu.Lock()
+					for b := s; b < bins; b += 2 {
+						cell := counters[0].Add(int64(b))
+						p.Store(cell, p.Load(cell)+int64(contrib[b]))
+					}
+					if p.NodeOf(0) != p.MyNode() {
+						p.Fence(p.NodeOf(0))
+					}
+					mu.Unlock()
+				}
+				p.Barrier()
+				if me == 0 {
+					accHist = hist.Get(0, 1, 0, bins)
+					lockHist = make([]float64, bins)
+					for b := 0; b < bins; b++ {
+						lockHist[b] = float64(p.Load(counters[0].Add(int64(b))))
+					}
+				}
+				p.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total float64
+			for b := range accHist {
+				if accHist[b] != lockHist[b] {
+					t.Fatalf("bin %d: acc %v vs lock %v", b, accHist[b], lockHist[b])
+				}
+				total += accHist[b]
+			}
+			if total != procs*samples {
+				t.Fatalf("total %v, want %d", total, procs*samples)
+			}
+		})
+	}
+}
+
+// TestIntegrationTaskfarm checks exactly-once task claiming on every
+// fabric.
+func TestIntegrationTaskfarm(t *testing.T) {
+	for _, fk := range fabrics {
+		t.Run(fk.String(), func(t *testing.T) {
+			const procs, tasks = 4, 30
+			claimed := make([][]int64, procs)
+			_, err := armci.Run(armci.Options{Procs: procs, Fabric: fk}, func(p *armci.Proc) {
+				ctr := ga.NewCounter(p, 0)
+				for p.Rank() != 0 {
+					idx := ctr.ReadInc(1)
+					if idx >= tasks {
+						break
+					}
+					claimed[p.Rank()] = append(claimed[p.Rank()], idx)
+				}
+				p.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make([]bool, tasks)
+			count := 0
+			for _, rows := range claimed {
+				for _, idx := range rows {
+					if seen[idx] {
+						t.Fatalf("task %d claimed twice", idx)
+					}
+					seen[idx] = true
+					count++
+				}
+			}
+			if count != tasks {
+				t.Fatalf("claimed %d tasks, want %d", count, tasks)
+			}
+		})
+	}
+}
+
+// TestIntegrationSampleSort runs the distributed sample sort on every
+// fabric and verifies global order and conservation.
+func TestIntegrationSampleSort(t *testing.T) {
+	for _, fk := range fabrics {
+		t.Run(fk.String(), func(t *testing.T) {
+			const procs, keys = 4, 200
+			violations := 0
+			_, err := armci.Run(armci.Options{Procs: procs, Fabric: fk}, func(p *armci.Proc) {
+				c := mp.Attach(p)
+				me, n := c.Rank(), c.Size()
+				rng := rand.New(rand.NewSource(int64(me) + 42))
+				local := make([]int64, keys)
+				for i := range local {
+					local[i] = rng.Int63n(1 << 30)
+				}
+				sort.Slice(local, func(i, j int) bool { return local[i] < local[j] })
+				samples := make([]int64, n)
+				for i := 0; i < n; i++ {
+					samples[i] = local[(i*len(local))/n]
+				}
+				gathered := c.Gather(0, i64b(samples))
+				var splitters []int64
+				if me == 0 {
+					var pool []int64
+					for _, b := range gathered {
+						pool = append(pool, b2i64(b)...)
+					}
+					sort.Slice(pool, func(i, j int) bool { return pool[i] < pool[j] })
+					for i := 1; i < n; i++ {
+						splitters = append(splitters, pool[(i*len(pool))/n])
+					}
+				}
+				splitters = b2i64(c.Bcast(0, i64b(splitters)))
+				buckets := make([][]int64, n)
+				b := 0
+				for _, k := range local {
+					for b < n-1 && k >= splitters[b] {
+						b++
+					}
+					buckets[b] = append(buckets[b], k)
+				}
+				for q := 0; q < n; q++ {
+					if q != me {
+						c.Send(q, 1, i64b(buckets[q]))
+					}
+				}
+				merged := append([]int64(nil), buckets[me]...)
+				for q := 0; q < n; q++ {
+					if q != me {
+						merged = append(merged, b2i64(c.Recv(q, 1))...)
+					}
+				}
+				sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+				myMin := int64(math.MaxInt64)
+				if len(merged) > 0 {
+					myMin = merged[0]
+				}
+				if me > 0 {
+					c.SendInt64s(me-1, 2, []int64{myMin})
+				}
+				if me < n-1 {
+					rightMin := c.RecvInt64s(me+1, 2)[0]
+					if len(merged) > 0 && merged[len(merged)-1] > rightMin {
+						violations++
+					}
+				}
+				total := []int64{int64(len(merged))}
+				c.AllReduceSumInt64(total)
+				if total[0] != int64(n*keys) {
+					panic(fmt.Sprintf("total %d keys", total[0]))
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if violations != 0 {
+				t.Fatalf("%d global-order violations", violations)
+			}
+		})
+	}
+}
+
+func i64b(v []int64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		for k := 0; k < 8; k++ {
+			out[8*i+k] = byte(x >> (8 * k))
+		}
+	}
+	return out
+}
+
+func b2i64(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		var x uint64
+		for k := 0; k < 8; k++ {
+			x |= uint64(b[8*i+k]) << (8 * k)
+		}
+		out[i] = int64(x)
+	}
+	return out
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,103 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§4):
+//
+//	Fig. 7(a,b) — GA_Sync() time and factor of improvement, original
+//	              (serialized AllFence + MPI_Barrier) vs the new combined
+//	              ARMCI_Barrier, as a function of the process count;
+//	Fig. 8(a,b) — average time to request AND release a lock, hybrid vs
+//	              software queuing lock, plus the factor of improvement;
+//	Fig. 9      — the request+acquire component alone;
+//	Fig. 10     — the release component alone;
+//	§3.1.2      — the sparse-writer crossover between the original
+//	              AllFence and the new barrier.
+//
+// Experiments run by default on the simulated fabric with the calibrated
+// Myrinet-2000 cost model, where results are deterministic virtual times;
+// they can also run on the concurrent fabrics for wall-clock sanity
+// checks of the same shape.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"armci"
+)
+
+// Opts are the common experiment knobs.
+type Opts struct {
+	// Fabric is the execution fabric (default FabricSim).
+	Fabric armci.FabricKind
+	// Preset is the cost model (default PresetMyrinet2000).
+	Preset armci.CostPreset
+	// Reps is the number of timed repetitions averaged per point
+	// (default 10; the paper uses 100 for Fig. 7 and 10 000 for the
+	// lock tests — the simulator is deterministic, so fewer suffice).
+	Reps int
+	// Warmup repetitions run before timing starts (default 2).
+	Warmup int
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.Preset == "" {
+		o.Preset = armci.PresetMyrinet2000
+	}
+	if o.Reps <= 0 {
+		o.Reps = 10
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	} else if o.Warmup == 0 {
+		o.Warmup = 2
+	}
+	return o
+}
+
+// us converts a duration to microseconds.
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+
+// mean averages a slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// perRank collects one value per (rank, rep) without cross-rank sharing
+// hazards: every rank writes only its own row.
+type perRank struct {
+	vals [][]float64 // [rank][rep]
+}
+
+func newPerRank(procs, reps int) *perRank {
+	v := make([][]float64, procs)
+	for i := range v {
+		v[i] = make([]float64, 0, reps)
+	}
+	return &perRank{vals: v}
+}
+
+func (p *perRank) add(rank int, v float64) { p.vals[rank] = append(p.vals[rank], v) }
+
+func (p *perRank) meanAll() float64 {
+	var all []float64
+	for _, row := range p.vals {
+		all = append(all, row...)
+	}
+	return mean(all)
+}
+
+// checkPow2 rejects process counts the paper's pairwise algorithms need
+// to be powers of two... dissemination handles any N, so this is only a
+// guard for experiments explicitly using the pairwise barrier.
+func checkPow2(n int) error {
+	if n&(n-1) != 0 {
+		return fmt.Errorf("bench: process count %d is not a power of two", n)
+	}
+	return nil
+}

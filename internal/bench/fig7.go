@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+
+	"armci"
+	"armci/ga"
+)
+
+// Fig7Opts configures the GA_Sync experiment.
+type Fig7Opts struct {
+	Opts
+	// ProcCounts are the cluster sizes to sweep (default 2,4,8,16).
+	ProcCounts []int
+	// BlockDim is the per-process block edge in elements (default 32).
+	BlockDim int
+	// PatchDim is the edge of the square patch each process writes into
+	// every remote block before syncing (default 8, i.e. 512-byte puts).
+	PatchDim int
+}
+
+// Fig7Row is one cluster size of the GA_Sync comparison.
+type Fig7Row struct {
+	Procs int
+	// OldUS and NewUS are the mean GA_Sync times in microseconds under
+	// the original and the combined implementation.
+	OldUS, NewUS float64
+	// Factor is OldUS / NewUS — Figure 7(b).
+	Factor float64
+}
+
+// Fig7Result is the full sweep.
+type Fig7Result struct {
+	Opts Fig7Opts
+	Rows []Fig7Row
+}
+
+// Fig7 reproduces Figure 7: a 2-D array distributed uniformly over the
+// processes; every process writes patches into the portions owned by
+// every other process; an MPI_Barrier absorbs skew; then GA_Sync() is
+// timed — once with the original AllFence+MPI_Barrier and once with the
+// new combined ARMCI_Barrier.
+func Fig7(opts Fig7Opts) (*Fig7Result, error) {
+	opts.Opts = opts.Opts.withDefaults()
+	if opts.ProcCounts == nil {
+		opts.ProcCounts = []int{2, 4, 8, 16}
+	}
+	if opts.BlockDim <= 0 {
+		opts.BlockDim = 32
+	}
+	if opts.PatchDim <= 0 {
+		opts.PatchDim = 8
+	}
+	if opts.PatchDim > opts.BlockDim {
+		return nil, fmt.Errorf("bench: patch dim %d exceeds block dim %d", opts.PatchDim, opts.BlockDim)
+	}
+	res := &Fig7Result{Opts: opts}
+	for _, n := range opts.ProcCounts {
+		oldUS, err := gaSyncTime(opts, n, ga.SyncOld)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig7 old N=%d: %w", n, err)
+		}
+		newUS, err := gaSyncTime(opts, n, ga.SyncNew)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig7 new N=%d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, Fig7Row{
+			Procs: n, OldUS: oldUS, NewUS: newUS, Factor: oldUS / newUS,
+		})
+	}
+	return res, nil
+}
+
+// gaSyncTime measures the mean GA_Sync time for one configuration.
+func gaSyncTime(opts Fig7Opts, procs int, mode ga.SyncMode) (float64, error) {
+	times := newPerRank(procs, opts.Reps)
+	// The array gives every process one BlockDim×BlockDim block, laid
+	// out on the near-square grid ga chooses.
+	_, err := armci.Run(armci.Options{
+		Procs:  procs,
+		Fabric: opts.Fabric,
+		Preset: opts.Preset,
+	}, func(p *armci.Proc) {
+		pr := gridRows(procs)
+		pc := procs / pr
+		a, err := ga.Create(p, "fig7", pr*opts.BlockDim, pc*opts.BlockDim)
+		if err != nil {
+			panic(err)
+		}
+		a.SetSyncMode(mode)
+		me := p.Rank()
+		patch := make([]float64, opts.PatchDim*opts.PatchDim)
+		for i := range patch {
+			patch[i] = float64(me + 1)
+		}
+		for rep := 0; rep < opts.Warmup+opts.Reps; rep++ {
+			// Write a patch into every remote process's block — the
+			// paper's workload guarantees the processes "perform fence
+			// operations with each other".
+			for q := 0; q < procs; q++ {
+				if q == me {
+					continue
+				}
+				rlo, _, clo, _ := a.Distribution(q)
+				a.Put(rlo, rlo+opts.PatchDim, clo, clo+opts.PatchDim, patch)
+			}
+			// Absorb process skew so the timing reflects GA_Sync alone.
+			p.MPIBarrier()
+			t0 := p.Now()
+			a.Sync()
+			dt := p.Now() - t0
+			if rep >= opts.Warmup {
+				times.add(me, us(dt))
+			}
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return times.meanAll(), nil
+}
+
+// gridRows mirrors ga's near-square grid choice.
+func gridRows(n int) int {
+	best := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"armci"
+)
+
+// FormatFig7 renders the Figure 7 tables (time and factor of improvement)
+// in the layout of the paper.
+func FormatFig7(r *Fig7Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7(a): GA_Sync() time (%s fabric, %s model, %d reps)\n",
+		fabricName(r.Opts.Fabric), presetName(r.Opts.Preset), r.Opts.Reps)
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "procs", "current (us)", "new (us)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f\n", row.Procs, row.OldUS, row.NewUS)
+	}
+	b.WriteString("\nFigure 7(b): factor of improvement\n")
+	fmt.Fprintf(&b, "%8s %14s\n", "procs", "factor")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.2f\n", row.Procs, row.Factor)
+	}
+	return b.String()
+}
+
+// FormatLock renders the Figure 8/9/10 tables.
+func FormatLock(r *LockResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8(a): time to request and release a lock (%s fabric, %s model, %d iters)\n",
+		fabricName(r.Opts.Fabric), presetName(r.Opts.Preset), r.Opts.Iters)
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "procs", "current (us)", "new (us)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f\n", row.Procs, row.Current.TotalUS, row.New.TotalUS)
+	}
+	b.WriteString("\nFigure 8(b): factor of improvement\n")
+	fmt.Fprintf(&b, "%8s %14s\n", "procs", "factor")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.2f\n", row.Procs, row.Factor)
+	}
+	b.WriteString("\nFigure 9: time to request and acquire a lock\n")
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "procs", "current (us)", "new (us)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f\n", row.Procs, row.Current.AcquireUS, row.New.AcquireUS)
+	}
+	b.WriteString("\nFigure 10: time to release a lock\n")
+	fmt.Fprintf(&b, "%8s %14s %14s\n", "procs", "current (us)", "new (us)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f\n", row.Procs, row.Current.ReleaseUS, row.New.ReleaseUS)
+	}
+	return b.String()
+}
+
+// FormatCrossover renders the §3.1.2 sparse-writer table.
+func FormatCrossover(r *CrossoverResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Crossover (§3.1.2): sync time vs writer fan-out, N=%d (%s fabric, %s model)\n",
+		r.Opts.Procs, fabricName(r.Opts.Fabric), presetName(r.Opts.Preset))
+	fmt.Fprintf(&b, "%8s %14s %14s %8s\n", "targets", "old (us)", "new (us)", "winner")
+	for _, row := range r.Rows {
+		winner := "new"
+		if row.OldUS < row.NewUS {
+			winner = "old"
+		}
+		fmt.Fprintf(&b, "%8d %14.1f %14.1f %8s\n", row.K, row.OldUS, row.NewUS, winner)
+	}
+	return b.String()
+}
+
+// FormatMessageCounts renders the analytical message-count check.
+func FormatMessageCounts(cs []*MessageCounts) string {
+	var b strings.Builder
+	b.WriteString("Message complexity of one all-process sync (all-to-all writers)\n")
+	fmt.Fprintf(&b, "%8s %16s %16s %14s %14s\n",
+		"procs", "old fence-reqs", "expected N(N-1)", "new coll", "exp 2N*log2N")
+	for _, c := range cs {
+		logN := 0
+		for 1<<logN < c.Procs {
+			logN++
+		}
+		fmt.Fprintf(&b, "%8d %16d %16d %14d %14d\n",
+			c.Procs, c.OldFenceReqs, c.Procs*(c.Procs-1), c.NewColl, 2*c.Procs*logN)
+	}
+	return b.String()
+}
+
+// CSVFig7 renders the Figure 7 sweep as CSV (plot-ready).
+func CSVFig7(r *Fig7Result) string {
+	var b strings.Builder
+	b.WriteString("procs,current_us,new_us,factor\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.4f\n", row.Procs, row.OldUS, row.NewUS, row.Factor)
+	}
+	return b.String()
+}
+
+// CSVLock renders the Figure 8/9/10 sweep as CSV.
+func CSVLock(r *LockResult) string {
+	var b strings.Builder
+	b.WriteString("procs,cur_total_us,new_total_us,factor,cur_acquire_us,new_acquire_us,cur_release_us,new_release_us\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f,%.4f,%.3f,%.3f,%.3f,%.3f\n",
+			row.Procs, row.Current.TotalUS, row.New.TotalUS, row.Factor,
+			row.Current.AcquireUS, row.New.AcquireUS,
+			row.Current.ReleaseUS, row.New.ReleaseUS)
+	}
+	return b.String()
+}
+
+// CSVCrossover renders the sparse-writer sweep as CSV.
+func CSVCrossover(r *CrossoverResult) string {
+	var b strings.Builder
+	b.WriteString("targets,old_us,new_us\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%.3f,%.3f\n", row.K, row.OldUS, row.NewUS)
+	}
+	return b.String()
+}
+
+func fabricName(k armci.FabricKind) string { return k.String() }
+
+func presetName(p armci.CostPreset) string {
+	if p == "" {
+		return string(armci.PresetZero)
+	}
+	return string(p)
+}

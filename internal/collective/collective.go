@@ -1,0 +1,309 @@
+// Package collective implements the process-to-process collective
+// algorithms the paper builds its combined barrier from:
+//
+//   - the binary-exchange (recursive-doubling) element-wise sum of the
+//     op_init[] arrays — Figure 2 of the paper — in log₂(N) phases whose
+//     messages overlap, so the communication time is log₂(N) one-way
+//     latencies;
+//   - the binary-exchange barrier used both by MPI_Barrier and by stage 3
+//     of the new ARMCI_Barrier;
+//   - a dissemination barrier for process counts that are not powers of
+//     two;
+//   - a linear central barrier kept as an ablation baseline.
+//
+// All algorithms communicate directly between user processes with
+// KindColl messages; data servers are not involved.
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"armci/internal/msg"
+	"armci/internal/transport"
+)
+
+// Comm sequences the collectives of one process. Every process of a
+// cluster must call the same collectives in the same order with the same
+// operation kinds (the usual MPI rule); the internal sequence number keeps
+// concurrent phases of consecutive collectives from matching each other's
+// messages.
+type Comm struct {
+	env transport.Env
+	seq int
+}
+
+// New builds a collective communicator over env.
+func New(env transport.Env) *Comm {
+	return &Comm{env: env}
+}
+
+// Env returns the underlying environment.
+func (c *Comm) Env() transport.Env { return c.env }
+
+// tag composes the matching tag of one phase of the current collective.
+func (c *Comm) tag(phase int) int { return c.seq<<16 | phase }
+
+// sendTo ships an optional payload phase message to rank.
+func (c *Comm) sendTo(rank, phase int, data []byte) {
+	c.env.Send(msg.User(rank), &msg.Message{
+		Kind: msg.KindColl,
+		Tag:  c.tag(phase),
+		Data: data,
+	})
+}
+
+// recvFrom blocks for the phase message from rank.
+func (c *Comm) recvFrom(rank, phase int) *msg.Message {
+	return c.env.Recv(msg.MatchSrcTag(msg.KindColl, msg.User(rank), c.tag(phase)))
+}
+
+// BarrierAlg selects a barrier implementation.
+type BarrierAlg uint8
+
+const (
+	// BarrierAuto picks pairwise exchange for power-of-two process
+	// counts and dissemination otherwise.
+	BarrierAuto BarrierAlg = iota
+	// BarrierPairwise is the binary-exchange pattern of the paper
+	// (partner = rank XOR 2^k); power-of-two process counts only.
+	BarrierPairwise
+	// BarrierDissemination is the generalized log-depth barrier
+	// (send to rank+2^k mod N, receive from rank-2^k mod N).
+	BarrierDissemination
+	// BarrierCentral is the linear gather-to-0/release baseline.
+	BarrierCentral
+)
+
+func (a BarrierAlg) String() string {
+	switch a {
+	case BarrierAuto:
+		return "auto"
+	case BarrierPairwise:
+		return "pairwise"
+	case BarrierDissemination:
+		return "dissemination"
+	case BarrierCentral:
+		return "central"
+	}
+	return fmt.Sprintf("BarrierAlg(%d)", uint8(a))
+}
+
+// Barrier synchronizes all processes: no process returns before every
+// process has entered.
+func (c *Comm) Barrier(alg BarrierAlg) {
+	n := c.env.Size()
+	if n == 1 {
+		c.seq++
+		return
+	}
+	if alg == BarrierAuto {
+		if bits.OnesCount(uint(n)) == 1 {
+			alg = BarrierPairwise
+		} else {
+			alg = BarrierDissemination
+		}
+	}
+	switch alg {
+	case BarrierPairwise:
+		c.barrierPairwise()
+	case BarrierDissemination:
+		c.barrierDissemination()
+	case BarrierCentral:
+		c.barrierCentral()
+	default:
+		panic(fmt.Sprintf("collective: unknown barrier algorithm %v", alg))
+	}
+	c.seq++
+}
+
+// barrierPairwise runs log₂(N) phases of partner exchange; the two
+// messages of a phase overlap, so each phase costs one one-way latency.
+func (c *Comm) barrierPairwise() {
+	n, me := c.env.Size(), c.env.Rank()
+	if bits.OnesCount(uint(n)) != 1 {
+		panic(fmt.Sprintf("collective: pairwise barrier requires a power-of-two process count, got %d", n))
+	}
+	for x, phase := 1, 0; x < n; x, phase = x<<1, phase+1 {
+		partner := me ^ x
+		c.sendTo(partner, phase, nil)
+		c.recvFrom(partner, phase)
+	}
+}
+
+// barrierDissemination runs ceil(log₂(N)) rounds; in round k the process
+// signals rank+2^k and waits for rank-2^k (mod N).
+func (c *Comm) barrierDissemination() {
+	n, me := c.env.Size(), c.env.Rank()
+	for x, phase := 1, 0; x < n; x, phase = x<<1, phase+1 {
+		to := (me + x) % n
+		from := (me - x%n + n) % n
+		c.sendTo(to, phase, nil)
+		c.recvFrom(from, phase)
+	}
+}
+
+// barrierCentral gathers at rank 0 and releases — 2(N−1) messages with a
+// serial bottleneck at the root; the ablation baseline.
+func (c *Comm) barrierCentral() {
+	n, me := c.env.Size(), c.env.Rank()
+	if me == 0 {
+		for r := 1; r < n; r++ {
+			c.env.Recv(msg.MatchSrcTag(msg.KindColl, msg.User(r), c.tag(0)))
+		}
+		for r := 1; r < n; r++ {
+			c.sendTo(r, 1, nil)
+		}
+		return
+	}
+	c.sendTo(0, 0, nil)
+	c.recvFrom(0, 1)
+}
+
+// AllReduceSumInt64 element-wise sums vec across all processes; on return
+// every process holds the identical summed vector. For power-of-two
+// process counts this is exactly the binary-exchange algorithm of the
+// paper's Figure 2, costing log₂(N) overlapped message latencies. Other
+// process counts fold the extra ranks onto the power-of-two core first
+// (two extra latencies), keeping log depth.
+func (c *Comm) AllReduceSumInt64(vec []int64) {
+	n, me := c.env.Size(), c.env.Rank()
+	if n == 1 {
+		c.seq++
+		return
+	}
+	pow2 := 1 << (bits.Len(uint(n)) - 1) // largest power of two <= n
+	rem := n - pow2
+	phase := 0
+
+	// Fold phase: ranks >= pow2 contribute their vector to rank-pow2 and
+	// wait for the result afterwards.
+	if rem > 0 {
+		if me >= pow2 {
+			c.sendTo(me-pow2, phase, encodeVec(vec))
+			m := c.recvFrom(me-pow2, 1<<16-1)
+			decodeVecInto(vec, m.Data)
+			c.seq++
+			return
+		}
+		if me < rem {
+			m := c.recvFrom(me+pow2, phase)
+			addVec(vec, m.Data)
+		}
+		phase++
+	}
+
+	// Binary exchange over the power-of-two core (Figure 2).
+	for x := pow2 / 2; x > 0; x /= 2 {
+		partner := me ^ x
+		c.sendTo(partner, phase, encodeVec(vec))
+		m := c.recvFrom(partner, phase)
+		addVec(vec, m.Data)
+		phase++
+	}
+
+	// Unfold phase: return the result to the folded ranks.
+	if rem > 0 && me < rem {
+		c.sendTo(me+pow2, 1<<16-1, encodeVec(vec))
+	}
+	c.seq++
+}
+
+// AllReduceSumFloat64 element-wise sums a float64 vector across all
+// processes with the same binary-exchange pattern as AllReduceSumInt64.
+// Because float addition is not associative, every process applies the
+// partial sums in the identical exchange order, so all processes return
+// bit-identical results (though a different process count may round
+// differently).
+func (c *Comm) AllReduceSumFloat64(vec []float64) {
+	n, me := c.env.Size(), c.env.Rank()
+	if n == 1 {
+		c.seq++
+		return
+	}
+	pow2 := 1 << (bits.Len(uint(n)) - 1)
+	rem := n - pow2
+	phase := 0
+
+	if rem > 0 {
+		if me >= pow2 {
+			c.sendTo(me-pow2, phase, encodeFloatVec(vec))
+			m := c.recvFrom(me-pow2, 1<<16-1)
+			decodeFloatVecInto(vec, m.Data)
+			c.seq++
+			return
+		}
+		if me < rem {
+			m := c.recvFrom(me+pow2, phase)
+			addFloatVec(vec, m.Data)
+		}
+		phase++
+	}
+
+	for x := pow2 / 2; x > 0; x /= 2 {
+		partner := me ^ x
+		c.sendTo(partner, phase, encodeFloatVec(vec))
+		m := c.recvFrom(partner, phase)
+		addFloatVec(vec, m.Data)
+		phase++
+	}
+
+	if rem > 0 && me < rem {
+		c.sendTo(me+pow2, 1<<16-1, encodeFloatVec(vec))
+	}
+	c.seq++
+}
+
+func encodeFloatVec(vec []float64) []byte {
+	out := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeFloatVecInto(vec []float64, data []byte) {
+	if len(data) != 8*len(vec) {
+		panic(fmt.Sprintf("collective: vector payload of %d bytes for %d elements", len(data), len(vec)))
+	}
+	for i := range vec {
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}
+
+func addFloatVec(vec []float64, data []byte) {
+	if len(data) != 8*len(vec) {
+		panic(fmt.Sprintf("collective: vector payload of %d bytes for %d elements", len(data), len(vec)))
+	}
+	for i := range vec {
+		vec[i] += math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}
+
+func encodeVec(vec []int64) []byte {
+	out := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(v))
+	}
+	return out
+}
+
+func decodeVecInto(vec []int64, data []byte) {
+	if len(data) != 8*len(vec) {
+		panic(fmt.Sprintf("collective: vector payload of %d bytes for %d elements", len(data), len(vec)))
+	}
+	for i := range vec {
+		vec[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}
+
+func addVec(vec []int64, data []byte) {
+	if len(data) != 8*len(vec) {
+		panic(fmt.Sprintf("collective: vector payload of %d bytes for %d elements", len(data), len(vec)))
+	}
+	for i := range vec {
+		vec[i] += int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+}

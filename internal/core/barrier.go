@@ -1,0 +1,92 @@
+// Package core implements the paper's primary contribution — the combined
+// global-fence-plus-barrier operation ARMCI_Barrier() and the software
+// queuing lock — together with the original implementations they are
+// evaluated against (serialized AllFence + MPI_Barrier; the hybrid
+// ticket/server lock).
+package core
+
+import (
+	"fmt"
+
+	"armci/internal/collective"
+	"armci/internal/proc"
+)
+
+// Sync exposes the global synchronization operations of one process. It
+// combines the process's ARMCI engine (for fence state) with a collective
+// communicator (for the exchange stages).
+type Sync struct {
+	eng  *proc.Engine
+	comm *collective.Comm
+
+	// BarrierAlg is the stage-3 / MPI_Barrier algorithm; BarrierAuto by
+	// default.
+	BarrierAlg collective.BarrierAlg
+}
+
+// NewSync builds the synchronization driver for the calling process.
+func NewSync(eng *proc.Engine, comm *collective.Comm) *Sync {
+	return &Sync{eng: eng, comm: comm}
+}
+
+// Engine returns the underlying ARMCI engine.
+func (s *Sync) Engine() *proc.Engine { return s.eng }
+
+// Comm returns the underlying collective communicator.
+func (s *Sync) Comm() *collective.Comm { return s.comm }
+
+// MPIBarrier performs a plain barrier synchronization (the message-passing
+// library's MPI_Barrier): log₂(N) overlapped message latencies.
+func (s *Sync) MPIBarrier() {
+	s.comm.Barrier(s.BarrierAlg)
+}
+
+// SyncOld is the original GA_Sync: every process performs the serialized
+// ARMCI_AllFence — up to 2(N−1) one-way latencies of confirmation round
+// trips — followed by MPI_Barrier.
+func (s *Sync) SyncOld() {
+	s.eng.AllFence()
+	s.MPIBarrier()
+}
+
+// SyncOldPipelined is the ablation variant of SyncOld with the fence round
+// trips overlapped instead of serialized.
+func (s *Sync) SyncOldPipelined() {
+	s.eng.AllFencePipelined()
+	s.MPIBarrier()
+}
+
+// Barrier is the new combined operation, ARMCI_Barrier(): semantically
+// equivalent to AllFence followed by MPI_Barrier when called by all
+// processes concurrently, but costing only 2·log₂(N) message latencies.
+// It proceeds in the paper's three stages (§3.1.2):
+//
+//  1. the per-node op_init[] arrays are element-wise summed across all
+//     processes with the binary-exchange algorithm of Figure 2, so each
+//     process learns how many fence-counted operations were issued,
+//     cluster-wide, to its own node's server;
+//  2. the process waits until its node's op_done counter — incremented by
+//     the server as it completes operations — reaches that total;
+//  3. the processes perform a barrier synchronization, after which no
+//     process can have escaped with operations still pending anywhere.
+func (s *Sync) Barrier() {
+	env := s.eng.Env()
+
+	// Stage 1: distribute op_init[]. The engine's counters are
+	// cumulative for the life of the run (as are the servers' op_done
+	// counters), so the summed vector is directly comparable.
+	sum := make([]int64, env.NumNodes())
+	copy(sum, s.eng.OpInit())
+	s.comm.AllReduceSumInt64(sum)
+
+	// Stage 2: wait for the local server to catch up.
+	myNode := env.Node(env.Rank())
+	opDone := s.eng.Layout().OpDone[myNode]
+	want := sum[myNode]
+	env.WaitUntil(fmt.Sprintf("op_done>=%d", want), func() bool {
+		return env.Space().Load(opDone) >= want
+	})
+
+	// Stage 3: barrier synchronization.
+	s.MPIBarrier()
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"armci/internal/msg"
+	"armci/internal/proc"
+)
+
+// Mutex is a distributed lock handle. Lock blocks until the calling
+// process holds the lock; Unlock releases it. A process must not call
+// Lock twice without an intervening Unlock.
+type Mutex interface {
+	Lock()
+	Unlock()
+}
+
+// Hybrid is the *original* ARMCI lock (§3.2.1): a hybrid of ticket-based
+// locking for local locks and server-based queue locking for remote locks.
+//
+//   - Requesting a local lock: the process takes a ticket with a direct
+//     atomic fetch-and-increment and polls the counter (Figure 3 a-b).
+//   - Requesting a remote lock: the process sends a lock request to the
+//     server at the lock's node and waits for the grant; the server takes
+//     the ticket on its behalf and queues the request (Figure 3 c-d).
+//   - Releasing — local or remote alike — always contacts the server
+//     (Figure 4), which increments the counter and grants the next queued
+//     waiter. Passing the lock to a remote waiter therefore costs two
+//     message latencies (release → server, server → next waiter), the
+//     inefficiency the queuing lock removes.
+type Hybrid struct {
+	eng *proc.Engine
+	t   *proc.LockTable
+	idx int
+
+	ticket int64 // ticket held while a local acquisition is in flight
+}
+
+// NewHybrid returns rank-local state for lock idx of the table.
+func NewHybrid(eng *proc.Engine, t *proc.LockTable, idx int) *Hybrid {
+	return &Hybrid{eng: eng, t: t, idx: idx}
+}
+
+var _ Mutex = (*Hybrid)(nil)
+
+// homeNode returns the node hosting the lock's variables.
+func (h *Hybrid) homeNode() int {
+	return h.eng.Env().Node(h.t.Home[h.idx])
+}
+
+// isLocal reports whether the lock's variables are directly accessible.
+func (h *Hybrid) isLocal() bool {
+	env := h.eng.Env()
+	return env.Node(env.Rank()) == h.homeNode()
+}
+
+// Lock acquires the lock.
+func (h *Hybrid) Lock() {
+	env := h.eng.Env()
+	base := h.t.TicketCounter[h.idx]
+	if h.isLocal() {
+		// Ticket-based path: direct atomics, no server involvement.
+		h.ticket = h.eng.FetchAdd(base.Add(proc.TicketWord), 1)
+		counter := base.Add(proc.CounterWord)
+		env.WaitUntil("hybrid-local-lock", func() bool {
+			return env.Space().Load(counter) == h.ticket
+		})
+		return
+	}
+	// Server-based path: one request, one grant (possibly queued).
+	tok := h.eng.NextToken()
+	env.Send(msg.ServerOf(h.homeNode()), &msg.Message{
+		Kind:   msg.KindLockReq,
+		Origin: env.Rank(),
+		Token:  tok,
+		Tag:    h.idx,
+	})
+	env.Recv(msg.MatchToken(msg.KindLockGrant, tok))
+}
+
+// Unlock releases the lock. Whether the lock is local or remote, the
+// server is contacted (one message, no reply): it increments the counter
+// and wakes the next waiter, queued remotely or polling locally.
+func (h *Hybrid) Unlock() {
+	env := h.eng.Env()
+	env.Send(msg.ServerOf(h.homeNode()), &msg.Message{
+		Kind:   msg.KindUnlock,
+		Origin: env.Rank(),
+		Tag:    h.idx,
+	})
+}

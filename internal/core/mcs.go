@@ -1,0 +1,101 @@
+package core
+
+import (
+	"armci/internal/proc"
+	"armci/internal/shmem"
+)
+
+// QueueLock is the paper's software queuing lock (§3.2.2): an MCS lock
+// built from ARMCI atomic memory operations on pairs of longs. Requesting
+// processes link themselves into a distributed list; each waiter spins on
+// a flag in its *own* memory; the releaser writes that flag directly —
+// one message when the next waiter is remote, zero when it is local —
+// instead of the hybrid lock's two-message server relay.
+//
+// The memory layout matches the paper's Figure 5: a Lock variable (a
+// global pointer, two words) at the lock's home, and per process a single
+// queue-node structure of a next pointer (two words) and a locked flag.
+// Lines 9, 12, 18 and 22 of the pseudocode — the statements touching
+// another process's memory — map to SwapPair, StorePair, CompareAndSwapPair
+// and Store on the engine, which execute directly when the target is
+// local and as (one-way, where possible) server operations when remote.
+type QueueLock struct {
+	eng *proc.Engine
+	t   *proc.LockTable
+	idx int
+}
+
+// NewQueueLock returns rank-local state for lock idx of the table.
+func NewQueueLock(eng *proc.Engine, t *proc.LockTable, idx int) *QueueLock {
+	return &QueueLock{eng: eng, t: t, idx: idx}
+}
+
+var _ Mutex = (*QueueLock)(nil)
+
+// qnode returns the calling process's queue-node base pointer for this
+// lock.
+func (q *QueueLock) qnode() shmem.Ptr {
+	return q.t.QNode[q.idx][q.eng.Rank()]
+}
+
+// Lock acquires the lock (Figure 5, request).
+func (q *QueueLock) Lock() {
+	env := q.eng.Env()
+	space := env.Space()
+	mine := q.qnode()
+	minePacked := shmem.PackPtr(mine)
+
+	// mynode->next = NULL — our own memory, always a direct store.
+	space.StorePair(mine.Add(proc.QNodeNextHi), shmem.Pair{})
+
+	// prev_node = swap(Lock, mynode) — atomic on the lock's home.
+	prev := q.eng.SwapPair(q.t.MCS[q.idx], minePacked).UnpackPtr()
+	if prev.IsNil() {
+		return // lock was free; we hold it
+	}
+
+	// mynode->locked = TRUE before linking, so the releaser can never
+	// observe the link without the armed flag.
+	space.Store(mine.Add(proc.QNodeLocked), 1)
+
+	// prev_node->next = mynode — a store into the predecessor's memory:
+	// direct if co-located, one fire-and-forget message otherwise.
+	q.eng.StorePair(prev.Add(proc.QNodeNextHi), minePacked)
+
+	// while (mynode->locked) {} — spin on our own memory.
+	locked := mine.Add(proc.QNodeLocked)
+	env.WaitUntil("mcs-acquire", func() bool {
+		return space.Load(locked) == 0
+	})
+}
+
+// Unlock releases the lock (Figure 5, release).
+func (q *QueueLock) Unlock() {
+	env := q.eng.Env()
+	space := env.Space()
+	mine := q.qnode()
+	minePacked := shmem.PackPtr(mine)
+	nextField := mine.Add(proc.QNodeNextHi)
+
+	next := space.LoadPair(nextField).UnpackPtr()
+	if next.IsNil() {
+		// Nobody visibly queued. compare&swap(Lock, mynode, NULL): when
+		// the lock still points at us, no one is requesting and we are
+		// done. Remote locks pay a full round trip here — the one case
+		// where the queuing lock is slower than the hybrid (Figure 10).
+		observed := q.eng.CompareAndSwapPair(q.t.MCS[q.idx], minePacked, shmem.Pair{})
+		if observed == minePacked {
+			return
+		}
+		// A requester swapped itself in but has not linked yet; wait for
+		// it to set our next pointer.
+		env.WaitUntil("mcs-release-link", func() bool {
+			return !space.LoadPair(nextField).UnpackPtr().IsNil()
+		})
+		next = space.LoadPair(nextField).UnpackPtr()
+	}
+
+	// mynode->next->locked = FALSE — hand the lock to the next waiter
+	// directly: zero messages if local, one if remote.
+	q.eng.Store(next.Add(proc.QNodeLocked), 0)
+}

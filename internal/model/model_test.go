@@ -1,0 +1,70 @@
+package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWireTime(t *testing.T) {
+	p := Params{Latency: 10 * time.Microsecond, LocalLatency: time.Microsecond, ByteTime: 10 * time.Nanosecond}
+	if got := p.WireTime(0, false); got != 10*time.Microsecond {
+		t.Fatalf("zero-byte remote = %v", got)
+	}
+	if got := p.WireTime(100, false); got != 11*time.Microsecond {
+		t.Fatalf("100-byte remote = %v", got)
+	}
+	if got := p.WireTime(0, true); got != time.Microsecond {
+		t.Fatalf("zero-byte local = %v", got)
+	}
+}
+
+func TestServiceTime(t *testing.T) {
+	p := Params{ServiceSmall: 2 * time.Microsecond, ServiceByteTime: 4 * time.Nanosecond}
+	if got := p.ServiceTime(0); got != 2*time.Microsecond {
+		t.Fatalf("control service = %v", got)
+	}
+	if got := p.ServiceTime(1000); got != 6*time.Microsecond {
+		t.Fatalf("1000-byte service = %v", got)
+	}
+}
+
+func TestPresetsAreSane(t *testing.T) {
+	for _, p := range []Params{Myrinet2000(), FastEthernet()} {
+		if p.Name == "" {
+			t.Fatal("preset has no name")
+		}
+		if p.Latency <= 0 || p.SendOverhead <= 0 || p.RecvOverhead <= 0 {
+			t.Fatalf("%s: non-positive base costs", p.Name)
+		}
+		if p.LocalLatency >= p.Latency {
+			t.Fatalf("%s: intra-node latency not cheaper than the wire", p.Name)
+		}
+		if p.ServerIdleAfter <= 0 || p.ServerWake <= 0 {
+			t.Fatalf("%s: wake model unset", p.Name)
+		}
+	}
+}
+
+func TestZeroPresetDisablesEverything(t *testing.T) {
+	z := Zero()
+	if z.WireTime(1<<20, false) != 0 || z.ServiceTime(1<<20) != 0 {
+		t.Fatal("zero preset has costs")
+	}
+}
+
+// TestCalibrationOrdering pins the relations the reproduction depends on:
+// the fence confirmation is the expensive server operation, and the wake
+// penalty is smaller than the wire latency (GM's receive spins before
+// sleeping, so in the hot lock loops servers rarely sleep).
+func TestCalibrationOrdering(t *testing.T) {
+	p := Myrinet2000()
+	if p.ServiceFence <= p.ServiceSmall {
+		t.Fatal("fence confirmation should cost more than a generic control op")
+	}
+	if p.ServerWake >= p.Latency {
+		t.Fatal("wake penalty should be below one wire latency in this calibration")
+	}
+	if p.PollGap <= 0 {
+		t.Fatal("poll detection gap must be positive")
+	}
+}

@@ -1,0 +1,261 @@
+// Package msg defines the protocol messages exchanged by ARMCI user
+// processes and data servers, and the matching queues the fabrics deliver
+// them into.
+package msg
+
+import (
+	"fmt"
+	"time"
+
+	"armci/internal/shmem"
+)
+
+// Addr names an endpoint of the emulated cluster: either the user process
+// of a rank or the data server of a node. ARMCI runs one server thread per
+// SMP node; it handles remote-memory requests for every process of the
+// node.
+type Addr struct {
+	Server bool
+	ID     int // rank for user endpoints, node index for servers
+}
+
+// User returns the endpoint address of rank's user process.
+func User(rank int) Addr { return Addr{ID: rank} }
+
+// ServerOf returns the endpoint address of node's data server.
+func ServerOf(node int) Addr { return Addr{Server: true, ID: node} }
+
+// NICOf returns the endpoint address of node's NIC agent — the paper's
+// §5 future-work offload target. Agents share the server lifecycle and
+// occupy server IDs at numNodes+node.
+func NICOf(node, numNodes int) Addr { return Addr{Server: true, ID: numNodes + node} }
+
+func (a Addr) String() string {
+	if a.Server {
+		return fmt.Sprintf("srv%d", a.ID)
+	}
+	return fmt.Sprintf("p%d", a.ID)
+}
+
+// IsNIC reports whether a is a NIC agent address, given the node count.
+func (a Addr) IsNIC(numNodes int) bool { return a.Server && a.ID >= numNodes }
+
+// Kind is the protocol message type.
+type Kind uint8
+
+const (
+	// KindPut is a non-blocking put request carried to a data server.
+	KindPut Kind = iota + 1
+	// KindPutAck acknowledges one put (FenceModeAck fabrics only).
+	KindPutAck
+	// KindGet requests a (possibly strided) read; answered by KindGetResp.
+	KindGet
+	// KindGetResp carries the data of a get.
+	KindGetResp
+	// KindAcc is an atomic accumulate request (dst += scale*src).
+	KindAcc
+	// KindRmw is an atomic read-modify-write request; answered by
+	// KindRmwResp.
+	KindRmw
+	// KindRmwResp carries the previous value(s) of an RMW.
+	KindRmwResp
+	// KindFenceReq asks a server to confirm completion of all puts the
+	// origin has issued to it; answered by KindFenceAck.
+	KindFenceReq
+	// KindFenceAck confirms a fence request.
+	KindFenceAck
+	// KindLockReq asks a server to acquire a server-managed lock on
+	// behalf of the origin; answered by KindLockGrant, possibly after
+	// queueing.
+	KindLockReq
+	// KindLockGrant notifies a process that it holds a server-managed
+	// lock.
+	KindLockGrant
+	// KindUnlock asks a server to release a server-managed lock. It is
+	// not acknowledged ("the process simply has to initiate sending a
+	// message to the server and need not wait for a reply").
+	KindUnlock
+	// KindPutV is a vector put: one message carrying writes to many
+	// disjoint locations of one node (ARMCI_PutV).
+	KindPutV
+	// KindGetV is a vector get (ARMCI_GetV); answered by KindGetResp
+	// with the concatenated segments.
+	KindGetV
+	// KindColl is a collective-phase message of the message-passing
+	// layer (barrier and all-reduce exchanges); matched by Tag and Src.
+	KindColl
+	// KindSend is a user-level point-to-point payload of the
+	// message-passing layer; matched by Tag and Src.
+	KindSend
+)
+
+var kindNames = map[Kind]string{
+	KindPut: "put", KindPutAck: "put-ack", KindGet: "get", KindGetResp: "get-resp",
+	KindAcc: "acc", KindRmw: "rmw", KindRmwResp: "rmw-resp",
+	KindFenceReq: "fence-req", KindFenceAck: "fence-ack",
+	KindLockReq: "lock-req", KindLockGrant: "lock-grant", KindUnlock: "unlock",
+	KindPutV: "putv", KindGetV: "getv",
+	KindColl: "coll", KindSend: "send",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// RmwOp selects the atomic operation of a KindRmw request.
+type RmwOp uint8
+
+const (
+	// RmwFetchAdd adds Operands[0] and returns the old value.
+	RmwFetchAdd RmwOp = iota + 1
+	// RmwSwap stores Operands[0] and returns the old value.
+	RmwSwap
+	// RmwCAS stores Operands[1] if the cell holds Operands[0]; returns
+	// the observed value.
+	RmwCAS
+	// RmwSwapPair stores Operands[0:2] in a pair of cells and returns
+	// the old pair — one of the operations the paper adds to ARMCI.
+	RmwSwapPair
+	// RmwCASPair stores Operands[2:4] if the pair holds Operands[0:2];
+	// returns the observed pair — the compare&swap the paper adds.
+	RmwCASPair
+	// RmwLoadPair atomically reads a pair of cells.
+	RmwLoadPair
+	// RmwStore stores Operands[0] fire-and-forget: the server sends no
+	// response, and the store is counted as a put for fence purposes.
+	// It is the one-message lock hand-off path of the queuing lock.
+	RmwStore
+	// RmwStorePair stores Operands[0:2] fire-and-forget, like RmwStore.
+	RmwStorePair
+)
+
+var rmwNames = map[RmwOp]string{
+	RmwFetchAdd: "fetch-add", RmwSwap: "swap", RmwCAS: "cas",
+	RmwSwapPair: "swap-pair", RmwCASPair: "cas-pair", RmwLoadPair: "load-pair",
+	RmwStore: "store", RmwStorePair: "store-pair",
+}
+
+func (o RmwOp) String() string {
+	if s, ok := rmwNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("RmwOp(%d)", uint8(o))
+}
+
+// Message is one protocol message. A single struct covers every kind; the
+// populated fields depend on Kind.
+type Message struct {
+	Kind Kind
+	Src  Addr
+	Dst  Addr
+
+	// Origin is the rank on whose behalf a server request is made (for
+	// requests relayed through servers it can differ from Src.ID).
+	Origin int
+
+	// Token correlates a response with its request.
+	Token uint64
+
+	// Tag carries the collective phase / user tag of mp-layer messages,
+	// or the lock index of lock requests.
+	Tag int
+
+	// Ptr is the target memory location of data and RMW requests.
+	Ptr shmem.Ptr
+
+	// Stride describes non-contiguous put/get/acc layouts. Zero value
+	// means contiguous (length given by Data or N).
+	Stride shmem.Strided
+
+	// N is the byte count of a get request.
+	N int
+
+	// Vec lists the segments of a vector put/get. For KindPutV, Data
+	// holds the segments' payloads concatenated in order; for KindGetV
+	// the response data is concatenated the same way.
+	Vec []VecSeg
+
+	// Op is the RMW sub-operation (KindRmw) or accumulate element type
+	// (KindAcc, as shmem.AccOp).
+	Op uint8
+
+	// Scale is the accumulate scale factor.
+	Scale float64
+
+	// Operands carries RMW operands and results.
+	Operands [4]int64
+
+	// Data is the payload of puts, accumulates, get responses and
+	// mp-layer messages.
+	Data []byte
+
+	// Arrival is stamped by the fabric: the (virtual or wall) time at
+	// which the message is available at the destination.
+	Arrival time.Duration
+}
+
+// PayloadBytes returns the modeled wire payload size of the message, used
+// by the cost model. Control fields are charged as a small fixed header.
+func (m *Message) PayloadBytes() int {
+	const header = 32
+	return header + len(m.Data)
+}
+
+func (m *Message) String() string {
+	return fmt.Sprintf("%s %s->%s tok=%d tag=%d ptr=%v n=%d data=%d",
+		m.Kind, m.Src, m.Dst, m.Token, m.Tag, m.Ptr, m.N, len(m.Data))
+}
+
+// VecSeg is one segment of a vector operation: a location and a length.
+type VecSeg struct {
+	Ptr shmem.Ptr
+	N   int
+}
+
+// Match is a predicate selecting messages from a mailbox.
+type Match func(*Message) bool
+
+// MatchKind selects messages of one kind.
+func MatchKind(k Kind) Match {
+	return func(m *Message) bool { return m.Kind == k }
+}
+
+// MatchToken selects the response carrying a given token.
+func MatchToken(k Kind, token uint64) Match {
+	return func(m *Message) bool { return m.Kind == k && m.Token == token }
+}
+
+// MatchSrcTag selects mp-layer messages by kind, source endpoint and tag.
+func MatchSrcTag(k Kind, src Addr, tag int) Match {
+	return func(m *Message) bool { return m.Kind == k && m.Src == src && m.Tag == tag }
+}
+
+// MatchAny selects every message.
+func MatchAny(*Message) bool { return true }
+
+// Queue is an unbounded in-order message queue with matched removal. It is
+// not self-synchronizing; each fabric wraps it with its own blocking
+// discipline.
+type Queue struct {
+	items []*Message
+}
+
+// Put appends m.
+func (q *Queue) Put(m *Message) { q.items = append(q.items, m) }
+
+// TryPop removes and returns the first message satisfying match, or nil.
+func (q *Queue) TryPop(match Match) *Message {
+	for i, m := range q.items {
+		if match(m) {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return m
+		}
+	}
+	return nil
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int { return len(q.items) }

@@ -1,0 +1,67 @@
+package proc
+
+import (
+	"fmt"
+
+	"armci/internal/msg"
+	"armci/internal/shmem"
+)
+
+// Handle tracks one in-flight non-blocking get (the ARMCI_NbGetS /
+// armci_hdl_t pattern). A handle is single-use: Wait returns the data and
+// marks it complete; waiting twice panics.
+//
+// Puts and accumulates need no handle in this implementation — they are
+// always non-blocking and complete through fences — so only gets benefit
+// from explicit overlap.
+type Handle struct {
+	g     *Engine
+	token uint64
+	done  bool
+	data  []byte
+}
+
+// NbGet starts a non-blocking contiguous get of n bytes at src.
+func (g *Engine) NbGet(src shmem.Ptr, n int) *Handle {
+	return g.NbGetStrided(src, shmem.Contig(n))
+}
+
+// NbGetStrided starts a non-blocking strided get. The caller may issue
+// other operations, then call Wait to collect the flat buffer.
+func (g *Engine) NbGetStrided(src shmem.Ptr, d shmem.Strided) *Handle {
+	if g.local(src.Rank) {
+		// Local gets complete immediately; the handle is already done.
+		g.chargeCopy(d.TotalBytes())
+		return &Handle{g: g, done: true, data: g.env.Space().PackFrom(src, d)}
+	}
+	node := g.env.Node(int(src.Rank))
+	tok := g.nextToken()
+	g.env.Send(msg.ServerOf(node), &msg.Message{
+		Kind:   msg.KindGet,
+		Origin: g.env.Rank(),
+		Token:  tok,
+		Ptr:    src,
+		Stride: d,
+		N:      d.TotalBytes(),
+	})
+	return &Handle{g: g, token: tok}
+}
+
+// Done reports whether the data has already been collected. It does not
+// poll the network; a pending remote get stays "not done" until Wait.
+func (h *Handle) Done() bool { return h.done }
+
+// Wait blocks until the get completes and returns its data.
+func (h *Handle) Wait() []byte {
+	if h.done {
+		if h.data == nil {
+			panic(fmt.Sprintf("proc: handle %d waited twice", h.token))
+		}
+		data := h.data
+		h.data = nil
+		return data
+	}
+	resp := h.g.env.Recv(msg.MatchToken(msg.KindGetResp, h.token))
+	h.done = true
+	return resp.Data
+}

@@ -1,0 +1,327 @@
+// Package server implements the ARMCI data server: the thread that runs
+// on every SMP node and executes remote-memory operations on behalf of
+// processes on other nodes (§2 of the paper). One server goroutine serves
+// all user processes of its node. The server:
+//
+//   - applies put / accumulate / fire-and-forget word stores and counts
+//     each in the node's op_done cell (the counter the new combined
+//     barrier compares against the summed op_init[]);
+//   - answers get and read-modify-write requests;
+//   - answers fence confirmation requests (FIFO delivery per pair makes
+//     the reply a proof that every earlier operation from that origin has
+//     completed);
+//   - manages the server side of the baseline hybrid lock: it takes
+//     tickets on behalf of remote requesters, queues them until their
+//     ticket comes up, and processes every unlock (the paper's Figures 3
+//     and 4);
+//   - models the wake-up penalty of a server thread that sleeps in a
+//     blocking receive while idle.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"armci/internal/msg"
+	"armci/internal/proc"
+	"armci/internal/shmem"
+	"armci/internal/transport"
+)
+
+// Options configures a server instance.
+type Options struct {
+	// FenceMode selects whether puts are individually acknowledged.
+	FenceMode proc.FenceMode
+	// Locks is the cluster lock table; nil if the run creates no locks.
+	Locks *proc.LockTable
+}
+
+// waiter is a queued remote lock request.
+type waiter struct {
+	origin int
+	ticket int64
+	token  uint64
+}
+
+// Server is the per-node data server state. Create one with New (host
+// data server) or NewAgent (NIC agent, the paper's §5 future-work
+// offload) and drive it with Serve; tests may instead call HandleOne
+// directly.
+type Server struct {
+	env  transport.Env
+	opt  Options
+	lay  *proc.Layout
+	node int
+	nic  bool
+
+	// lockQueues[i] holds the remote requests waiting on lock i, in
+	// ticket order (appended in arrival order; tickets are issued in
+	// arrival order so the slice is sorted by construction).
+	lockQueues map[int][]waiter
+
+	// lastFinish is when the server last completed a request, for the
+	// idle/wake model.
+	lastFinish time.Duration
+	everBusy   bool
+}
+
+// New builds a server for the node identified by env (a server endpoint).
+func New(env transport.Env, lay *proc.Layout, opt Options) *Server {
+	if !env.Self().Server {
+		panic(fmt.Sprintf("server: endpoint %v is not a server address", env.Self()))
+	}
+	return &Server{
+		env:        env,
+		opt:        opt,
+		lay:        lay,
+		node:       env.Self().ID,
+		lockQueues: make(map[int][]waiter),
+	}
+}
+
+// NewAgent builds a NIC agent for the node identified by env (a NIC
+// endpoint, see msg.NICOf). The agent handles atomic operations and
+// fence confirmations with NIC-level costs: its processor polls the
+// request queue, so there is no wake-up penalty, and the per-request
+// service time is model.Params.NICService. Fence confirmations check the
+// node's per-origin completion counters instead of relying on message
+// FIFO, because put traffic still flows through the host server on a
+// different channel.
+func NewAgent(env transport.Env, lay *proc.Layout, opt Options) *Server {
+	if !env.Self().IsNIC(env.NumNodes()) {
+		panic(fmt.Sprintf("server: endpoint %v is not a NIC agent address", env.Self()))
+	}
+	return &Server{
+		env:        env,
+		opt:        opt,
+		lay:        lay,
+		node:       env.Self().ID - env.NumNodes(),
+		nic:        true,
+		lockQueues: make(map[int][]waiter),
+	}
+}
+
+// Serve processes requests until the fabric shuts the cluster down (Recv
+// returns nil).
+func (s *Server) Serve() {
+	for {
+		m := s.env.Recv(msg.MatchAny)
+		if m == nil {
+			return
+		}
+		s.HandleOne(m)
+	}
+}
+
+// HandleOne executes a single request, including the idle-wake and
+// service-time accounting.
+func (s *Server) HandleOne(m *msg.Message) {
+	p := s.env.Params()
+	if s.nic {
+		s.handleOneNIC(m)
+		return
+	}
+	now := s.env.Clock().Now()
+	if p.ServerWake > 0 && (!s.everBusy || now-s.lastFinish > p.ServerIdleAfter) {
+		// The server thread was asleep in its blocking receive; the
+		// request pays the wake-up penalty.
+		s.env.Charge(p.ServerWake)
+	}
+	s.everBusy = true
+
+	switch m.Kind {
+	case msg.KindPut:
+		s.env.Charge(p.ServiceTime(len(m.Data)))
+		s.env.Space().UnpackTo(m.Ptr, m.Stride, m.Data)
+		s.completeStore(m)
+	case msg.KindAcc:
+		s.env.Charge(p.ServiceTime(len(m.Data)))
+		s.env.Space().AccumulateStrided(shmem.AccOp(m.Op), m.Ptr, m.Stride, m.Data, m.Scale)
+		s.completeStore(m)
+	case msg.KindPutV:
+		s.env.Charge(p.ServiceTime(len(m.Data)))
+		pos := 0
+		space := s.env.Space()
+		for _, seg := range m.Vec {
+			space.Put(seg.Ptr, m.Data[pos:pos+seg.N])
+			pos += seg.N
+		}
+		s.completeStore(m)
+	case msg.KindGetV:
+		s.env.Charge(p.ServiceTime(m.N))
+		space := s.env.Space()
+		data := make([]byte, 0, m.N)
+		for _, seg := range m.Vec {
+			data = append(data, space.Get(seg.Ptr, seg.N)...)
+		}
+		s.env.Send(msg.User(m.Origin), &msg.Message{
+			Kind:  msg.KindGetResp,
+			Token: m.Token,
+			Data:  data,
+		})
+	case msg.KindGet:
+		s.env.Charge(p.ServiceTime(m.N))
+		data := s.env.Space().PackFrom(m.Ptr, m.Stride)
+		s.env.Send(msg.User(m.Origin), &msg.Message{
+			Kind:  msg.KindGetResp,
+			Token: m.Token,
+			Data:  data,
+		})
+	case msg.KindRmw:
+		s.handleRmw(m)
+	case msg.KindFenceReq:
+		// FIFO per-pair delivery: every store this origin issued to this
+		// server has already been handled, so the server only needs to
+		// drain the NIC DMA engine (ServiceFence) to confirm.
+		s.env.Charge(p.ServiceSmall + p.ServiceFence)
+		s.env.Send(msg.User(m.Origin), &msg.Message{
+			Kind:  msg.KindFenceAck,
+			Token: m.Token,
+		})
+	case msg.KindLockReq:
+		s.handleLockReq(m)
+	case msg.KindUnlock:
+		s.handleUnlock(m)
+	default:
+		panic(fmt.Sprintf("server: node %d received unexpected %v", s.node, m))
+	}
+	s.lastFinish = s.env.Clock().Now()
+}
+
+// completeStore counts a fence-counted store in op_done (aggregate and
+// per-origin) and acknowledges it when the fabric runs in per-put-ack
+// mode.
+func (s *Server) completeStore(m *msg.Message) {
+	s.env.Space().FetchAdd(s.lay.OpDone[s.node], 1)
+	s.env.Space().FetchAdd(s.lay.PerOrigin[s.node].Add(int64(m.Origin)), 1)
+	if s.opt.FenceMode == proc.FenceAck {
+		s.env.Send(msg.User(m.Origin), &msg.Message{Kind: msg.KindPutAck})
+	}
+}
+
+// handleOneNIC executes one request at NIC cost. The agent serves only
+// control traffic: atomics (including the fire-and-forget store hand-off
+// path) and fence confirmations.
+func (s *Server) handleOneNIC(m *msg.Message) {
+	p := s.env.Params()
+	s.env.Charge(p.NICService)
+	switch m.Kind {
+	case msg.KindRmw:
+		s.handleRmw(m)
+	case msg.KindFenceReq:
+		// The NIC tracks DMA completion: wait until every operation the
+		// origin had issued when it fenced has completed at this node.
+		want := m.Operands[0]
+		cell := s.lay.PerOrigin[s.node].Add(int64(m.Origin))
+		s.env.WaitUntil("nic-fence", func() bool {
+			return s.env.Space().Load(cell) >= want
+		})
+		s.env.Send(msg.User(m.Origin), &msg.Message{
+			Kind:  msg.KindFenceAck,
+			Token: m.Token,
+		})
+	default:
+		panic(fmt.Sprintf("server: NIC agent %d received unexpected %v", s.node, m))
+	}
+	s.lastFinish = s.env.Clock().Now()
+}
+
+// handleRmw executes an atomic word operation on node memory.
+func (s *Server) handleRmw(m *msg.Message) {
+	p := s.env.Params()
+	if s.nic {
+		s.env.Charge(p.AtomicOp)
+	} else {
+		s.env.Charge(p.ServiceSmall + p.AtomicOp)
+	}
+	space := s.env.Space()
+	var out [4]int64
+	reply := true
+	switch msg.RmwOp(m.Op) {
+	case msg.RmwFetchAdd:
+		out[0] = space.FetchAdd(m.Ptr, m.Operands[0])
+	case msg.RmwSwap:
+		out[0] = space.Swap(m.Ptr, m.Operands[0])
+	case msg.RmwCAS:
+		out[0] = space.CompareAndSwap(m.Ptr, m.Operands[0], m.Operands[1])
+	case msg.RmwSwapPair:
+		r := space.SwapPair(m.Ptr, shmem.Pair{Hi: m.Operands[0], Lo: m.Operands[1]})
+		out[0], out[1] = r.Hi, r.Lo
+	case msg.RmwCASPair:
+		r := space.CompareAndSwapPair(m.Ptr,
+			shmem.Pair{Hi: m.Operands[0], Lo: m.Operands[1]},
+			shmem.Pair{Hi: m.Operands[2], Lo: m.Operands[3]})
+		out[0], out[1] = r.Hi, r.Lo
+	case msg.RmwLoadPair:
+		r := space.LoadPair(m.Ptr)
+		out[0], out[1] = r.Hi, r.Lo
+	case msg.RmwStore:
+		space.Store(m.Ptr, m.Operands[0])
+		s.completeStore(m)
+		reply = false
+	case msg.RmwStorePair:
+		space.StorePair(m.Ptr, shmem.Pair{Hi: m.Operands[0], Lo: m.Operands[1]})
+		s.completeStore(m)
+		reply = false
+	default:
+		panic(fmt.Sprintf("server: node %d: unknown rmw op %d", s.node, m.Op))
+	}
+	if reply {
+		s.env.Send(msg.User(m.Origin), &msg.Message{
+			Kind:     msg.KindRmwResp,
+			Token:    m.Token,
+			Operands: out,
+		})
+	}
+}
+
+// handleLockReq serves a remote request for the hybrid lock: the server
+// performs the fetch-and-increment on the ticket on the requester's
+// behalf, grants immediately if its number is up, and queues it otherwise
+// (paper Figure 3, steps c-d).
+func (s *Server) handleLockReq(m *msg.Message) {
+	if s.opt.Locks == nil {
+		panic(fmt.Sprintf("server: node %d: lock request %v without a lock table", s.node, m))
+	}
+	s.env.Charge(s.env.Params().ServiceSmall + s.env.Params().AtomicOp)
+	idx := m.Tag
+	space := s.env.Space()
+	base := s.opt.Locks.TicketCounter[idx]
+	ticket := space.FetchAdd(base.Add(proc.TicketWord), 1)
+	counter := space.Load(base.Add(proc.CounterWord))
+	if ticket == counter {
+		s.grant(idx, m.Origin, m.Token)
+		return
+	}
+	s.lockQueues[idx] = append(s.lockQueues[idx], waiter{origin: m.Origin, ticket: ticket, token: m.Token})
+}
+
+// handleUnlock serves a release of the hybrid lock. Local and remote
+// holders alike send this message (paper Figure 4): the server increments
+// the counter and grants the head of the queue if its ticket came up.
+// Local pollers observe the counter directly through shared memory.
+func (s *Server) handleUnlock(m *msg.Message) {
+	if s.opt.Locks == nil {
+		panic(fmt.Sprintf("server: node %d: unlock %v without a lock table", s.node, m))
+	}
+	s.env.Charge(s.env.Params().ServiceSmall + s.env.Params().AtomicOp)
+	idx := m.Tag
+	space := s.env.Space()
+	base := s.opt.Locks.TicketCounter[idx]
+	counter := space.FetchAdd(base.Add(proc.CounterWord), 1) + 1
+	q := s.lockQueues[idx]
+	if len(q) > 0 && q[0].ticket == counter {
+		head := q[0]
+		s.lockQueues[idx] = q[1:]
+		s.grant(idx, head.origin, head.token)
+	}
+}
+
+// grant notifies origin that it now holds lock idx.
+func (s *Server) grant(idx, origin int, token uint64) {
+	s.env.Send(msg.User(origin), &msg.Message{
+		Kind:  msg.KindLockGrant,
+		Token: token,
+		Tag:   idx,
+	})
+}

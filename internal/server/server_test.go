@@ -1,0 +1,392 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/proc"
+	"armci/internal/server"
+	"armci/internal/shmem"
+	"armci/internal/transport"
+)
+
+// harness runs one server on a simulated fabric with a single scripted
+// user process that speaks the raw protocol.
+func harness(t *testing.T, params model.Params, nLocks int,
+	script func(env transport.Env, lay *proc.Layout, locks *proc.LockTable)) {
+	t.Helper()
+	f, err := transport.NewSim(transport.Config{Procs: 1, Model: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	var locks *proc.LockTable
+	if nLocks > 0 {
+		locks = proc.NewLockTable(f.Space(), make([]int, nLocks))
+	}
+	f.SpawnServer(0, func(env transport.Env) {
+		server.New(env, lay, server.Options{Locks: locks}).Serve()
+	})
+	f.SpawnUser(0, func(env transport.Env) {
+		script(env, lay, locks)
+	})
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerPutIncrementsOpDone(t *testing.T) {
+	var f *transport.SimFabric
+	{
+		var err error
+		f, err = transport.NewSim(transport.Config{Procs: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	buf := f.Space().AllocBytes(0, 16)
+	f.SpawnServer(0, func(env transport.Env) {
+		server.New(env, lay, server.Options{}).Serve()
+	})
+	f.SpawnUser(0, func(env transport.Env) {
+		for i := 0; i < 3; i++ {
+			env.Send(msg.ServerOf(0), &msg.Message{
+				Kind: msg.KindPut, Origin: 0, Ptr: buf.Add(int64(i)),
+				Stride: shmem.Contig(1), Data: []byte{byte(i + 1)},
+			})
+		}
+		env.WaitUntil("done", func() bool { return env.Space().Load(lay.OpDone[0]) == 3 })
+	})
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Space().Get(buf, 3); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("put data %v", got)
+	}
+}
+
+func TestServerGetAndRmw(t *testing.T) {
+	harness(t, model.Zero(), 0, func(env transport.Env, lay *proc.Layout, _ *proc.LockTable) {
+		w := env.Space().AllocWords(0, 2)
+		env.Space().Store(w, 40)
+		env.Send(msg.ServerOf(0), &msg.Message{
+			Kind: msg.KindRmw, Origin: 0, Token: 1, Ptr: w,
+			Op: uint8(msg.RmwFetchAdd), Operands: [4]int64{2},
+		})
+		resp := env.Recv(msg.MatchToken(msg.KindRmwResp, 1))
+		if resp.Operands[0] != 40 {
+			panic(fmt.Sprintf("rmw returned %d", resp.Operands[0]))
+		}
+		b := env.Space().AllocBytes(0, 8)
+		env.Space().Put(b, []byte{9, 8, 7, 6, 5, 4, 3, 2})
+		env.Send(msg.ServerOf(0), &msg.Message{
+			Kind: msg.KindGet, Origin: 0, Token: 2, Ptr: b.Add(2),
+			Stride: shmem.Contig(4), N: 4,
+		})
+		g := env.Recv(msg.MatchToken(msg.KindGetResp, 2))
+		if len(g.Data) != 4 || g.Data[0] != 7 {
+			panic(fmt.Sprintf("get returned %v", g.Data))
+		}
+	})
+}
+
+// TestServerFenceAfterPuts: a fence confirmation must arrive after the
+// earlier puts' effects, by FIFO.
+func TestServerFenceAfterPuts(t *testing.T) {
+	harness(t, model.Myrinet2000(), 0, func(env transport.Env, lay *proc.Layout, _ *proc.LockTable) {
+		b := env.Space().AllocBytes(0, 64)
+		for i := 0; i < 8; i++ {
+			env.Send(msg.ServerOf(0), &msg.Message{
+				Kind: msg.KindPut, Origin: 0, Ptr: b.Add(int64(i)),
+				Stride: shmem.Contig(1), Data: []byte{0xFF},
+			})
+		}
+		env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindFenceReq, Origin: 0, Token: 9})
+		env.Recv(msg.MatchToken(msg.KindFenceAck, 9))
+		if env.Space().Load(lay.OpDone[0]) != 8 {
+			panic("fence ack before puts completed")
+		}
+		for _, v := range env.Space().Get(b, 8) {
+			if v != 0xFF {
+				panic("fence ack before put data landed")
+			}
+		}
+	})
+}
+
+// TestServerLockGrantOrder: queued remote lock requests are granted in
+// ticket order interleaved with unlocks.
+func TestServerLockGrantOrder(t *testing.T) {
+	harness(t, model.Zero(), 1, func(env transport.Env, lay *proc.Layout, locks *proc.LockTable) {
+		// Request the lock three times on behalf of pseudo-origins; the
+		// single scripted user plays all roles (origin is always 0 so
+		// the grants come back to us; tokens distinguish them).
+		for tok := uint64(1); tok <= 3; tok++ {
+			env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindLockReq, Origin: 0, Token: tok, Tag: 0})
+		}
+		// Only the first is granted immediately.
+		env.Recv(msg.MatchToken(msg.KindLockGrant, 1))
+		// Release twice; grants 2 and 3 must arrive in order.
+		env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindUnlock, Origin: 0, Tag: 0})
+		env.Recv(msg.MatchToken(msg.KindLockGrant, 2))
+		env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindUnlock, Origin: 0, Tag: 0})
+		env.Recv(msg.MatchToken(msg.KindLockGrant, 3))
+		env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindUnlock, Origin: 0, Tag: 0})
+		// The final unlock is fire-and-forget; wait for the counter to
+		// catch the ticket, proving full release.
+		base := locks.TicketCounter[0]
+		env.WaitUntil("released", func() bool {
+			return env.Space().Load(base.Add(proc.TicketWord)) ==
+				env.Space().Load(base.Add(proc.CounterWord))
+		})
+	})
+}
+
+// TestServerWakeCharging: after a long idle gap the first request pays
+// the wake penalty, observable as added virtual latency.
+func TestServerWakeCharging(t *testing.T) {
+	params := model.Myrinet2000()
+	var hot, cold time.Duration
+	harness(t, params, 0, func(env transport.Env, lay *proc.Layout, _ *proc.LockTable) {
+		w := env.Space().AllocWords(0, 1)
+		rtt := func() time.Duration {
+			t0 := env.Clock().Now()
+			env.Send(msg.ServerOf(0), &msg.Message{
+				Kind: msg.KindRmw, Origin: 0, Token: uint64(t0), Ptr: w,
+				Op: uint8(msg.RmwFetchAdd), Operands: [4]int64{1},
+			})
+			env.Recv(msg.MatchToken(msg.KindRmwResp, uint64(t0)))
+			return env.Clock().Now() - t0
+		}
+		rtt() // wake it once
+		hot = rtt()
+		env.Clock().Sleep(params.ServerIdleAfter * 3)
+		cold = rtt()
+	})
+	if cold <= hot {
+		t.Fatalf("cold RTT %v not above hot RTT %v", cold, hot)
+	}
+	if diff := cold - hot; diff != params.ServerWake {
+		t.Fatalf("wake penalty observed %v, want %v", diff, params.ServerWake)
+	}
+}
+
+// TestServerRejectsUnknownKind: garbage reaching a server is a loud
+// protocol error.
+func TestServerRejectsUnknownKind(t *testing.T) {
+	f, err := transport.NewSim(transport.Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	f.SpawnServer(0, func(env transport.Env) {
+		server.New(env, lay, server.Options{}).Serve()
+	})
+	f.SpawnUser(0, func(env transport.Env) {
+		env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindGetResp})
+		env.Clock().Sleep(time.Second)
+	})
+	if err := f.Run(); err == nil {
+		t.Fatal("server accepted an unexpected message kind")
+	}
+}
+
+// TestServerLockWithoutTablePanics documents the configuration error.
+func TestServerLockWithoutTablePanics(t *testing.T) {
+	f, err := transport.NewSim(transport.Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	f.SpawnServer(0, func(env transport.Env) {
+		server.New(env, lay, server.Options{}).Serve()
+	})
+	f.SpawnUser(0, func(env transport.Env) {
+		env.Send(msg.ServerOf(0), &msg.Message{Kind: msg.KindLockReq, Tag: 0})
+		env.Clock().Sleep(time.Second)
+	})
+	if err := f.Run(); err == nil {
+		t.Fatal("lock request without a table should fail the run")
+	}
+}
+
+// TestNewRejectsUserEndpoint: a server must be constructed on a server
+// address.
+func TestNewRejectsUserEndpoint(t *testing.T) {
+	f, err := transport.NewSim(transport.Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	f.SpawnUser(0, func(env transport.Env) {
+		defer func() {
+			if recover() == nil {
+				panic("server.New accepted a user endpoint")
+			}
+		}()
+		server.New(env, lay, server.Options{})
+	})
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerVectorOps(t *testing.T) {
+	harness(t, model.Zero(), 0, func(env transport.Env, lay *proc.Layout, _ *proc.LockTable) {
+		b := env.Space().AllocBytes(0, 128)
+		env.Send(msg.ServerOf(0), &msg.Message{
+			Kind: msg.KindPutV, Origin: 0,
+			Vec:  []msg.VecSeg{{Ptr: b.Add(3), N: 2}, {Ptr: b.Add(90), N: 1}},
+			Data: []byte{11, 22, 33},
+		})
+		env.WaitUntil("applied", func() bool { return env.Space().Load(lay.OpDone[0]) == 1 })
+		env.Send(msg.ServerOf(0), &msg.Message{
+			Kind: msg.KindGetV, Origin: 0, Token: 5,
+			Vec: []msg.VecSeg{{Ptr: b.Add(90), N: 1}, {Ptr: b.Add(3), N: 2}},
+			N:   3,
+		})
+		resp := env.Recv(msg.MatchToken(msg.KindGetResp, 5))
+		if len(resp.Data) != 3 || resp.Data[0] != 33 || resp.Data[1] != 11 || resp.Data[2] != 22 {
+			panic(fmt.Sprintf("vector get returned %v", resp.Data))
+		}
+		// Per-origin counter advanced alongside the aggregate.
+		if env.Space().Load(lay.PerOrigin[0]) != 1 {
+			panic("per-origin count wrong")
+		}
+	})
+}
+
+func TestServerAccumulateStrided(t *testing.T) {
+	harness(t, model.Zero(), 0, func(env transport.Env, lay *proc.Layout, _ *proc.LockTable) {
+		b := env.Space().AllocBytes(0, 64)
+		one := make([]byte, 16)
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 8; j++ {
+				one[8*i+j] = 0
+			}
+		}
+		// 1.0 little-endian float64 twice
+		copy(one[0:], []byte{0, 0, 0, 0, 0, 0, 0xF0, 0x3F})
+		copy(one[8:], []byte{0, 0, 0, 0, 0, 0, 0xF0, 0x3F})
+		for k := 0; k < 3; k++ {
+			env.Send(msg.ServerOf(0), &msg.Message{
+				Kind: msg.KindAcc, Origin: 0, Ptr: b,
+				Stride: shmem.Strided{Count: []int{8, 2}, Stride: []int64{32}},
+				Op:     uint8(shmem.AccFloat64), Scale: 2, Data: one,
+			})
+		}
+		env.WaitUntil("acc", func() bool { return env.Space().Load(lay.OpDone[0]) == 3 })
+		got := env.Space().Get(b, 8)
+		// 3 accumulations of 2*1.0 = 6.0
+		if got[6] != 0x18 || got[7] != 0x40 {
+			panic(fmt.Sprintf("accumulated bytes %v", got))
+		}
+	})
+}
+
+// TestServerIdleCycleSleepsAgain: after a busy period and a long gap, the
+// wake penalty applies again (not only the first time).
+func TestServerIdleCycleSleepsAgain(t *testing.T) {
+	params := model.Myrinet2000()
+	var rtts []time.Duration
+	harness(t, params, 0, func(env transport.Env, lay *proc.Layout, _ *proc.LockTable) {
+		w := env.Space().AllocWords(0, 1)
+		rtt := func() time.Duration {
+			t0 := env.Clock().Now()
+			env.Send(msg.ServerOf(0), &msg.Message{
+				Kind: msg.KindRmw, Origin: 0, Token: uint64(t0), Ptr: w,
+				Op: uint8(msg.RmwFetchAdd), Operands: [4]int64{1},
+			})
+			env.Recv(msg.MatchToken(msg.KindRmwResp, uint64(t0)))
+			return env.Clock().Now() - t0
+		}
+		for cycle := 0; cycle < 3; cycle++ {
+			cold := rtt()
+			hot := rtt()
+			rtts = append(rtts, cold, hot)
+			env.Clock().Sleep(params.ServerIdleAfter * 2)
+		}
+	})
+	for c := 0; c < 3; c++ {
+		cold, hot := rtts[2*c], rtts[2*c+1]
+		if cold-hot != params.ServerWake {
+			t.Fatalf("cycle %d: cold-hot = %v, want wake %v", c, cold-hot, params.ServerWake)
+		}
+	}
+}
+
+// TestAgentServesRmwAndFence: the NIC agent executes atomics and
+// per-origin fences at NIC cost and rejects bulk traffic.
+func TestAgentServesRmwAndFence(t *testing.T) {
+	f, err := transport.NewSim(transport.Config{Procs: 1, Model: model.Myrinet2000()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	f.SpawnServer(1, func(env transport.Env) { // agent id = numNodes(1) + node(0)
+		server.NewAgent(env, lay, server.Options{}).Serve()
+	})
+	f.SpawnUser(0, func(env transport.Env) {
+		w := env.Space().AllocWords(0, 1)
+		agent := msg.NICOf(0, 1)
+		env.Send(agent, &msg.Message{
+			Kind: msg.KindRmw, Origin: 0, Token: 1, Ptr: w,
+			Op: uint8(msg.RmwSwap), Operands: [4]int64{42},
+		})
+		resp := env.Recv(msg.MatchToken(msg.KindRmwResp, 1))
+		if resp.Operands[0] != 0 || env.Space().Load(w) != 42 {
+			panic("agent rmw wrong")
+		}
+		// A fence for zero issued ops acks immediately.
+		env.Send(agent, &msg.Message{Kind: msg.KindFenceReq, Origin: 0, Token: 2})
+		env.Recv(msg.MatchToken(msg.KindFenceAck, 2))
+	})
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgentRejectsBulkTraffic(t *testing.T) {
+	f, err := transport.NewSim(transport.Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	f.SpawnServer(1, func(env transport.Env) {
+		server.NewAgent(env, lay, server.Options{}).Serve()
+	})
+	f.SpawnUser(0, func(env transport.Env) {
+		b := env.Space().AllocBytes(0, 8)
+		env.Send(msg.NICOf(0, 1), &msg.Message{
+			Kind: msg.KindPut, Origin: 0, Ptr: b, Stride: shmem.Contig(1), Data: []byte{1},
+		})
+		env.Clock().Sleep(time.Second)
+	})
+	if err := f.Run(); err == nil {
+		t.Fatal("agent accepted a put")
+	}
+}
+
+func TestNewAgentRejectsHostAddress(t *testing.T) {
+	f, err := transport.NewSim(transport.Config{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay := proc.NewLayout(f.Space(), 1, 1)
+	f.SpawnServer(0, func(env transport.Env) { // host id, not agent id
+		defer func() {
+			if recover() == nil {
+				panic("NewAgent accepted a host server endpoint")
+			}
+		}()
+		server.NewAgent(env, lay, server.Options{})
+	})
+	f.SpawnUser(0, func(env transport.Env) {})
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package shmem
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// validPtr generates a structurally valid non-nil pointer.
+func validPtr(r *rand.Rand) Ptr {
+	kind := KindWord
+	if r.Intn(2) == 0 {
+		kind = KindByte
+	}
+	return Ptr{
+		Rank: int32(r.Intn(1 << 20)),
+		Kind: kind,
+		Seg:  int32(1 + r.Intn(1<<20)),
+		Off:  r.Int63n(1 << 40),
+	}
+}
+
+// TestPackUnpackRoundTrip is the property test guarding the paper's
+// pair-of-longs pointer representation: every valid pointer survives the
+// two-word encoding.
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := validPtr(r)
+		hi, lo := p.Pack()
+		return Unpack(hi, lo) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilPtrPacksToZero(t *testing.T) {
+	hi, lo := (Ptr{}).Pack()
+	if hi != 0 || lo != 0 {
+		t.Fatalf("nil packs to (%d,%d), want (0,0)", hi, lo)
+	}
+	if !Unpack(0, 0).IsNil() {
+		t.Fatal("(0,0) should unpack to nil")
+	}
+}
+
+// TestNonNilNeverPacksToZero: no valid pointer may collide with the nil
+// encoding — the queuing lock depends on it (a NULL Lock variable means
+// the lock is free).
+func TestNonNilNeverPacksToZero(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := validPtr(r)
+		hi, lo := p.Pack()
+		return hi != 0 || lo != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	// The rank-0, first-segment, offset-0 word cell is the sharpest case.
+	p := Ptr{Rank: 0, Kind: KindWord, Seg: 1, Off: 0}
+	if hi, lo := p.Pack(); hi == 0 && lo == 0 {
+		t.Fatal("rank-0 seg-1 pointer collides with nil encoding")
+	}
+}
+
+func TestPtrAdd(t *testing.T) {
+	p := Ptr{Rank: 3, Kind: KindByte, Seg: 2, Off: 10}
+	q := p.Add(32)
+	if q.Off != 42 || q.Rank != 3 || q.Seg != 2 || q.Kind != KindByte {
+		t.Fatalf("Add produced %+v", q)
+	}
+	if p.Off != 10 {
+		t.Fatal("Add mutated the receiver")
+	}
+}
+
+func TestPtrString(t *testing.T) {
+	if s := (Ptr{}).String(); s != "<nil>" {
+		t.Fatalf("nil String = %q", s)
+	}
+	p := Ptr{Rank: 7, Kind: KindWord, Seg: 2, Off: 5}
+	if s := p.String(); s != "7:word2+5" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindWord.String() != "word" || KindByte.String() != "byte" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind should still format")
+	}
+}
+
+func TestPairPtrHelpers(t *testing.T) {
+	p := Ptr{Rank: 1, Kind: KindWord, Seg: 3, Off: 8}
+	if got := PackPtr(p).UnpackPtr(); got != p {
+		t.Fatalf("PackPtr/UnpackPtr round trip: %v != %v", got, p)
+	}
+	var nilPair Pair
+	if !nilPair.UnpackPtr().IsNil() {
+		t.Fatal("zero Pair should unpack to nil pointer")
+	}
+}
+
+// TestQuickPtrViaReflection exercises Pack/Unpack with quick's own value
+// generation over the offset space.
+func TestQuickPtrViaReflection(t *testing.T) {
+	f := func(rank uint16, seg uint16, off uint32, word bool) bool {
+		kind := KindByte
+		if word {
+			kind = KindWord
+		}
+		p := Ptr{Rank: int32(rank), Kind: kind, Seg: int32(seg) + 1, Off: int64(off)}
+		hi, lo := p.Pack()
+		return Unpack(hi, lo) == p
+	}
+	cfg := &quick.Config{MaxCount: 3000, Values: func(vals []reflect.Value, r *rand.Rand) {
+		vals[0] = reflect.ValueOf(uint16(r.Intn(1 << 16)))
+		vals[1] = reflect.ValueOf(uint16(r.Intn(1 << 16)))
+		vals[2] = reflect.ValueOf(uint32(r.Int63n(1 << 32)))
+		vals[3] = reflect.ValueOf(r.Intn(2) == 0)
+	}}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

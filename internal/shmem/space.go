@@ -1,0 +1,307 @@
+package shmem
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Space is the cluster-wide collection of remotely accessible segments.
+// One Space backs one emulated cluster. All mutating operations are
+// serialized by an internal mutex so that the concurrent fabrics (channel
+// and TCP) are data-race free; the simulated fabric runs one actor at a
+// time and never contends.
+type Space struct {
+	mu       sync.Mutex
+	nodeOf   []int // rank -> node index
+	numNodes int
+	ranks    []rankMem
+
+	// onWrite, when non-nil, is invoked (outside the space lock) after
+	// every mutation. The concurrent fabrics use it to wake processes
+	// blocked in WaitUntil on local memory (MCS locked flags, op_done
+	// counters); the simulated fabric re-evaluates predicates on its own.
+	onWrite func()
+}
+
+type rankMem struct {
+	words [][]int64
+	bytes [][]byte
+}
+
+// NewSpace creates a Space for len(nodeOf) processes, where nodeOf maps
+// each rank to its node index (processes on the same node share an SMP and
+// may access each other's segments directly).
+func NewSpace(nodeOf []int) *Space {
+	s := &Space{nodeOf: append([]int(nil), nodeOf...)}
+	for _, n := range nodeOf {
+		if n+1 > s.numNodes {
+			s.numNodes = n + 1
+		}
+	}
+	s.ranks = make([]rankMem, len(nodeOf))
+	return s
+}
+
+// NumNodes returns the number of SMP nodes in the space.
+func (s *Space) NumNodes() int { return s.numNodes }
+
+// SetOnWrite installs the post-mutation notification hook.
+func (s *Space) SetOnWrite(fn func()) { s.onWrite = fn }
+
+// NumRanks returns the number of processes in the space.
+func (s *Space) NumRanks() int { return len(s.ranks) }
+
+// Node returns the node index of rank.
+func (s *Space) Node(rank int) int { return s.nodeOf[rank] }
+
+// SameNode reports whether the two ranks are co-located on one SMP node.
+func (s *Space) SameNode(a, b int) bool { return s.nodeOf[a] == s.nodeOf[b] }
+
+// notify runs the onWrite hook, if any.
+func (s *Space) notify() {
+	if s.onWrite != nil {
+		s.onWrite()
+	}
+}
+
+// AllocWords allocates a zeroed word segment of n cells owned by rank and
+// returns a pointer to its first cell.
+func (s *Space) AllocWords(rank, n int) Ptr {
+	if n <= 0 {
+		panic(fmt.Sprintf("shmem: AllocWords(%d, %d): non-positive size", rank, n))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &s.ranks[rank]
+	r.words = append(r.words, make([]int64, n))
+	return Ptr{Rank: int32(rank), Kind: KindWord, Seg: int32(len(r.words)), Off: 0}
+}
+
+// AllocBytes allocates a zeroed byte segment of n bytes owned by rank and
+// returns a pointer to its first byte.
+func (s *Space) AllocBytes(rank, n int) Ptr {
+	if n <= 0 {
+		panic(fmt.Sprintf("shmem: AllocBytes(%d, %d): non-positive size", rank, n))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &s.ranks[rank]
+	r.bytes = append(r.bytes, make([]byte, n))
+	return Ptr{Rank: int32(rank), Kind: KindByte, Seg: int32(len(r.bytes)), Off: 0}
+}
+
+// words resolves a word pointer to its backing slice starting at p.
+// Callers must hold s.mu.
+func (s *Space) words(p Ptr, n int64) []int64 {
+	if p.Kind != KindWord {
+		panic(fmt.Sprintf("shmem: %v is not a word pointer", p))
+	}
+	seg := s.ranks[p.Rank].words[p.Seg-1]
+	if p.Off < 0 || p.Off+n > int64(len(seg)) {
+		panic(fmt.Sprintf("shmem: word access %v+%d out of range (segment %d cells)", p, n, len(seg)))
+	}
+	return seg[p.Off : p.Off+n]
+}
+
+// bytesAt resolves a byte pointer to its backing slice starting at p.
+// Callers must hold s.mu.
+func (s *Space) bytesAt(p Ptr, n int64) []byte {
+	if p.Kind != KindByte {
+		panic(fmt.Sprintf("shmem: %v is not a byte pointer", p))
+	}
+	seg := s.ranks[p.Rank].bytes[p.Seg-1]
+	if p.Off < 0 || p.Off+n > int64(len(seg)) {
+		panic(fmt.Sprintf("shmem: byte access %v+%d out of range (segment %d bytes)", p, n, len(seg)))
+	}
+	return seg[p.Off : p.Off+n]
+}
+
+// --- word operations (ARMCI atomic memory operations) ---
+
+// Load atomically reads the cell at p.
+func (s *Space) Load(p Ptr) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.words(p, 1)[0]
+}
+
+// Store atomically writes v to the cell at p.
+func (s *Space) Store(p Ptr, v int64) {
+	s.mu.Lock()
+	s.words(p, 1)[0] = v
+	s.mu.Unlock()
+	s.notify()
+}
+
+// FetchAdd atomically adds delta to the cell at p and returns the previous
+// value (ARMCI_RMW fetch-and-add; the ticket lock's fetch-and-increment).
+func (s *Space) FetchAdd(p Ptr, delta int64) int64 {
+	s.mu.Lock()
+	w := s.words(p, 1)
+	old := w[0]
+	w[0] += delta
+	s.mu.Unlock()
+	s.notify()
+	return old
+}
+
+// Swap atomically replaces the cell at p with v and returns the previous
+// value.
+func (s *Space) Swap(p Ptr, v int64) int64 {
+	s.mu.Lock()
+	w := s.words(p, 1)
+	old := w[0]
+	w[0] = v
+	s.mu.Unlock()
+	s.notify()
+	return old
+}
+
+// CompareAndSwap atomically stores new in the cell at p if it holds old.
+// It returns the value observed before the operation (equal to old exactly
+// when the swap happened).
+func (s *Space) CompareAndSwap(p Ptr, old, new int64) int64 {
+	s.mu.Lock()
+	w := s.words(p, 1)
+	prev := w[0]
+	if prev == old {
+		w[0] = new
+	}
+	s.mu.Unlock()
+	s.notify()
+	return prev
+}
+
+// Pair is a pair of longs — the operand size of the atomic operations the
+// paper adds to ARMCI so global pointers can be manipulated atomically.
+type Pair struct{ Hi, Lo int64 }
+
+// PackPtr converts a global pointer to its two-word representation.
+func PackPtr(p Ptr) Pair { hi, lo := p.Pack(); return Pair{hi, lo} }
+
+// UnpackPtr converts a two-word representation back to a pointer.
+func (v Pair) UnpackPtr() Ptr { return Unpack(v.Hi, v.Lo) }
+
+// LoadPair atomically reads the two consecutive cells at p.
+func (s *Space) LoadPair(p Ptr) Pair {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.words(p, 2)
+	return Pair{w[0], w[1]}
+}
+
+// StorePair atomically writes the two consecutive cells at p.
+func (s *Space) StorePair(p Ptr, v Pair) {
+	s.mu.Lock()
+	w := s.words(p, 2)
+	w[0], w[1] = v.Hi, v.Lo
+	s.mu.Unlock()
+	s.notify()
+}
+
+// SwapPair atomically replaces the two consecutive cells at p with v and
+// returns their previous contents.
+func (s *Space) SwapPair(p Ptr, v Pair) Pair {
+	s.mu.Lock()
+	w := s.words(p, 2)
+	old := Pair{w[0], w[1]}
+	w[0], w[1] = v.Hi, v.Lo
+	s.mu.Unlock()
+	s.notify()
+	return old
+}
+
+// CompareAndSwapPair atomically stores new in the two consecutive cells at
+// p if they hold old. It returns the pair observed before the operation
+// (equal to old exactly when the swap happened).
+func (s *Space) CompareAndSwapPair(p Ptr, old, new Pair) Pair {
+	s.mu.Lock()
+	w := s.words(p, 2)
+	prev := Pair{w[0], w[1]}
+	if prev == old {
+		w[0], w[1] = new.Hi, new.Lo
+	}
+	s.mu.Unlock()
+	s.notify()
+	return prev
+}
+
+// --- byte operations (remote memory copy and accumulate) ---
+
+// Put copies data into memory at p.
+func (s *Space) Put(p Ptr, data []byte) {
+	s.mu.Lock()
+	copy(s.bytesAt(p, int64(len(data))), data)
+	s.mu.Unlock()
+	s.notify()
+}
+
+// Get copies n bytes out of memory at p.
+func (s *Space) Get(p Ptr, n int) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, n)
+	copy(out, s.bytesAt(p, int64(n)))
+	return out
+}
+
+// AccOp selects the element type of an accumulate operation.
+type AccOp uint8
+
+const (
+	// AccFloat64 interprets the region as float64 and performs
+	// dst += scale * src with scale carried as a float64.
+	AccFloat64 AccOp = 1
+	// AccInt64 interprets the region as int64 and performs
+	// dst += scale * src with scale carried as an int64 in the float bits.
+	AccInt64 AccOp = 2
+)
+
+// Accumulate atomically performs dst += scale*src elementwise at p. The
+// data length must be a multiple of 8. scale is interpreted per op.
+func (s *Space) Accumulate(op AccOp, p Ptr, data []byte, scale float64) {
+	if len(data)%8 != 0 {
+		panic(fmt.Sprintf("shmem: accumulate length %d not a multiple of 8", len(data)))
+	}
+	s.mu.Lock()
+	dst := s.bytesAt(p, int64(len(data)))
+	switch op {
+	case AccFloat64:
+		for i := 0; i+8 <= len(data); i += 8 {
+			d := math.Float64frombits(leUint64(dst[i:]))
+			v := math.Float64frombits(leUint64(data[i:]))
+			lePutUint64(dst[i:], math.Float64bits(d+scale*v))
+		}
+	case AccInt64:
+		k := int64(scale)
+		for i := 0; i+8 <= len(data); i += 8 {
+			d := int64(leUint64(dst[i:]))
+			v := int64(leUint64(data[i:]))
+			lePutUint64(dst[i:], uint64(d+k*v))
+		}
+	default:
+		s.mu.Unlock()
+		panic(fmt.Sprintf("shmem: unknown accumulate op %d", op))
+	}
+	s.mu.Unlock()
+	s.notify()
+}
+
+func leUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func lePutUint64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}

@@ -1,0 +1,148 @@
+package shmem
+
+import "fmt"
+
+// MaxStrideLevels bounds the nesting depth of a strided transfer, matching
+// ARMCI's ARMCI_MAX_STRIDE_LEVEL.
+const MaxStrideLevels = 8
+
+// Strided describes an ARMCI-style non-contiguous memory region relative
+// to a base pointer:
+//
+//	Count[0]            bytes in each innermost contiguous run
+//	Count[l], l >= 1    number of blocks at level l
+//	Stride[l-1]         distance in bytes between the starts of
+//	                    consecutive level-l blocks
+//
+// A 2-D sub-matrix of w-byte rows inside an array with a leading dimension
+// of ld bytes is Strided{Count: []int{w, rows}, Stride: []int64{ld}}.
+// A nil or zero-level descriptor denotes a contiguous run of Count[0]
+// bytes.
+type Strided struct {
+	Count  []int
+	Stride []int64
+}
+
+// Contig returns the descriptor of a contiguous n-byte run.
+func Contig(n int) Strided { return Strided{Count: []int{n}} }
+
+// Levels returns the number of stride levels.
+func (d Strided) Levels() int { return len(d.Stride) }
+
+// Validate reports a descriptive error if the descriptor is malformed.
+func (d Strided) Validate() error {
+	if len(d.Count) == 0 {
+		return fmt.Errorf("shmem: strided descriptor has empty count vector")
+	}
+	if len(d.Count) != len(d.Stride)+1 {
+		return fmt.Errorf("shmem: strided descriptor has %d counts for %d stride levels (want levels+1)",
+			len(d.Count), len(d.Stride))
+	}
+	if len(d.Stride) > MaxStrideLevels {
+		return fmt.Errorf("shmem: %d stride levels exceeds maximum %d", len(d.Stride), MaxStrideLevels)
+	}
+	for i, c := range d.Count {
+		if c <= 0 {
+			return fmt.Errorf("shmem: strided count[%d] = %d must be positive", i, c)
+		}
+	}
+	return nil
+}
+
+// TotalBytes returns the number of payload bytes the descriptor covers.
+func (d Strided) TotalBytes() int {
+	if len(d.Count) == 0 {
+		return 0
+	}
+	n := d.Count[0]
+	for _, c := range d.Count[1:] {
+		n *= c
+	}
+	return n
+}
+
+// NumRuns returns the number of contiguous runs the descriptor covers.
+func (d Strided) NumRuns() int {
+	n := 1
+	for _, c := range d.Count[1:] {
+		n *= c
+	}
+	return n
+}
+
+// EachRun invokes fn once per contiguous run, passing the byte offset of
+// the run relative to the base pointer and the run length. Runs are
+// visited in ascending level order (innermost first), which matches the
+// order a flattened payload buffer is packed in.
+func (d Strided) EachRun(fn func(off int64, n int)) {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	levels := d.Levels()
+	if levels == 0 {
+		fn(0, d.Count[0])
+		return
+	}
+	idx := make([]int, levels) // idx[l] counts blocks at level l+1
+	for {
+		var off int64
+		for l := 0; l < levels; l++ {
+			off += int64(idx[l]) * d.Stride[l]
+		}
+		fn(off, d.Count[0])
+		// Odometer increment over Count[1..levels].
+		l := 0
+		for ; l < levels; l++ {
+			idx[l]++
+			if idx[l] < d.Count[l+1] {
+				break
+			}
+			idx[l] = 0
+		}
+		if l == levels {
+			return
+		}
+	}
+}
+
+// PackFrom gathers the region described by d at base src in the space into
+// a flat buffer. It is used by the origin side of strided transfers when
+// the source is local memory.
+func (s *Space) PackFrom(src Ptr, d Strided) []byte {
+	out := make([]byte, 0, d.TotalBytes())
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.EachRun(func(off int64, n int) {
+		out = append(out, s.bytesAt(src.Add(off), int64(n))...)
+	})
+	return out
+}
+
+// UnpackTo scatters the flat buffer data into the region described by d at
+// base dst. It is the destination-side operation of a strided put.
+func (s *Space) UnpackTo(dst Ptr, d Strided, data []byte) {
+	if want := d.TotalBytes(); want != len(data) {
+		panic(fmt.Sprintf("shmem: strided unpack of %d bytes into descriptor covering %d", len(data), want))
+	}
+	s.mu.Lock()
+	pos := 0
+	d.EachRun(func(off int64, n int) {
+		copy(s.bytesAt(dst.Add(off), int64(n)), data[pos:pos+n])
+		pos += n
+	})
+	s.mu.Unlock()
+	s.notify()
+}
+
+// AccumulateStrided performs dst += scale*src elementwise over the strided
+// region at dst, consuming the flat buffer data run by run.
+func (s *Space) AccumulateStrided(op AccOp, dst Ptr, d Strided, data []byte, scale float64) {
+	if want := d.TotalBytes(); want != len(data) {
+		panic(fmt.Sprintf("shmem: strided accumulate of %d bytes into descriptor covering %d", len(data), want))
+	}
+	pos := 0
+	d.EachRun(func(off int64, n int) {
+		s.Accumulate(op, dst.Add(off), data[pos:pos+n], scale)
+		pos += n
+	})
+}

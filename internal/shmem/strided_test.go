@@ -1,0 +1,175 @@
+package shmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestContigDescriptor(t *testing.T) {
+	d := Contig(100)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Levels() != 0 || d.TotalBytes() != 100 || d.NumRuns() != 1 {
+		t.Fatalf("Contig descriptor wrong: %+v", d)
+	}
+	var runs [][2]int64
+	d.EachRun(func(off int64, n int) { runs = append(runs, [2]int64{off, int64(n)}) })
+	if len(runs) != 1 || runs[0] != [2]int64{0, 100} {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestTwoDimensionalRuns(t *testing.T) {
+	// 3 rows of 8 bytes inside a 32-byte-wide matrix.
+	d := Strided{Count: []int{8, 3}, Stride: []int64{32}}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalBytes() != 24 || d.NumRuns() != 3 {
+		t.Fatalf("totals wrong: %d bytes, %d runs", d.TotalBytes(), d.NumRuns())
+	}
+	var offs []int64
+	d.EachRun(func(off int64, n int) {
+		if n != 8 {
+			t.Fatalf("run length %d", n)
+		}
+		offs = append(offs, off)
+	})
+	want := []int64{0, 32, 64}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets %v, want %v", offs, want)
+		}
+	}
+}
+
+func TestThreeLevelRuns(t *testing.T) {
+	// 2 planes of 3 rows of 4 bytes; rows 16 apart, planes 100 apart.
+	d := Strided{Count: []int{4, 3, 2}, Stride: []int64{16, 100}}
+	if d.TotalBytes() != 24 || d.NumRuns() != 6 {
+		t.Fatalf("totals wrong")
+	}
+	var offs []int64
+	d.EachRun(func(off int64, n int) { offs = append(offs, off) })
+	want := []int64{0, 16, 32, 100, 116, 132}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets %v, want %v", offs, want)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []Strided{
+		{},                                       // empty count
+		{Count: []int{4, 2}},                     // counts without strides
+		{Count: []int{0}},                        // zero count
+		{Count: []int{4, 0}, Stride: []int64{8}}, // zero block count
+		{Count: []int{4, -1}, Stride: []int64{8}},           // negative
+		{Count: make([]int, 11), Stride: make([]int64, 10)}, // too deep
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: no error for %+v", i, d)
+		}
+	}
+}
+
+// TestPackUnpackStridedRoundTrip is the property test for the
+// scatter/gather pair: unpacking a packed region reproduces it exactly,
+// and bytes outside the region are never touched.
+func TestPackUnpackStridedRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		levels := r.Intn(3)
+		d := Strided{Count: []int{1 + r.Intn(16)}}
+		extent := int64(d.Count[0])
+		for l := 0; l < levels; l++ {
+			blocks := 1 + r.Intn(4)
+			// Stride at least the current extent to keep runs disjoint.
+			stride := extent + int64(r.Intn(8))
+			d.Count = append(d.Count, blocks)
+			d.Stride = append(d.Stride, stride)
+			extent = stride*int64(blocks-1) + extent
+		}
+		size := int(extent) + 16
+		nodes := []int{0}
+		s := NewSpace(nodes)
+		src := s.AllocBytes(0, size)
+		dst := s.AllocBytes(0, size)
+
+		// Fill the source with random bytes and a sentinel destination.
+		content := make([]byte, size)
+		r.Read(content)
+		s.Put(src, content)
+		sentinel := bytes.Repeat([]byte{0xEE}, size)
+		s.Put(dst, sentinel)
+
+		packed := s.PackFrom(src, d)
+		if len(packed) != d.TotalBytes() {
+			return false
+		}
+		s.UnpackTo(dst, d, packed)
+
+		// Inside the region: dst == src. Outside: sentinel intact.
+		inRegion := make([]bool, size)
+		d.EachRun(func(off int64, n int) {
+			for i := 0; i < n; i++ {
+				inRegion[off+int64(i)] = true
+			}
+		})
+		got := s.Get(dst, size)
+		want := s.Get(src, size)
+		for i := 0; i < size; i++ {
+			if inRegion[i] && got[i] != want[i] {
+				return false
+			}
+			if !inRegion[i] && got[i] != 0xEE {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackLengthMismatchPanics(t *testing.T) {
+	s := NewSpace([]int{0})
+	p := s.AllocBytes(0, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	s.UnpackTo(p, Contig(16), make([]byte, 8))
+}
+
+func TestAccumulateStrided(t *testing.T) {
+	s := NewSpace([]int{0})
+	p := s.AllocBytes(0, 128)
+	// Two rows of two float64s, rows 32 bytes apart.
+	d := Strided{Count: []int{16, 2}, Stride: []int64{32}}
+	add := make([]byte, 32)
+	for i := 0; i < 4; i++ {
+		lePutUint64(add[8*i:], 0x3FF0000000000000) // 1.0
+	}
+	s.AccumulateStrided(AccFloat64, p, d, add, 2)
+	out := s.PackFrom(p, d)
+	for i := 0; i < 4; i++ {
+		if got := leUint64(out[8*i:]); got != 0x4000000000000000 { // 2.0
+			t.Fatalf("element %d = %x", i, got)
+		}
+	}
+	// Bytes between the rows untouched.
+	gap := s.Get(p.Add(16), 16)
+	for _, b := range gap {
+		if b != 0 {
+			t.Fatalf("gap corrupted: %v", gap)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// A Kernel owns a virtual clock and a set of cooperating processes. Each
+// process runs in its own goroutine, but the kernel guarantees that at most
+// one process executes at any instant: a process runs until it calls one of
+// the blocking primitives (Sleep, Wait, WaitUntil, Yield), at which point
+// control returns to the kernel's scheduler, which advances virtual time
+// only when no process is runnable. Execution is therefore fully
+// deterministic — the same program produces the same event trace and the
+// same virtual-time results on every run — which is what allows the
+// benchmark harness to report reproducible "paper figure" numbers.
+//
+// The design follows the classic cooperative process-based simulation
+// style (SimPy, CSIM): a baton is passed between the scheduler and exactly
+// one process goroutine at a time.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ErrDeadlock is wrapped by the error Run returns when no process is
+// runnable and no event is pending. Callers that expect a benign drain
+// (servers parked after the workload finished) test for it with
+// errors.Is.
+var ErrDeadlock = errors.New("deadlock")
+
+// Kernel is a discrete-event scheduler with a virtual clock.
+type Kernel struct {
+	now      time.Duration
+	events   eventHeap
+	eventSeq uint64
+
+	procs    []*Proc
+	runnable []*Proc // FIFO run queue
+	live     int     // processes started and not yet finished
+
+	condWaiters []*Proc // processes blocked in WaitUntil
+
+	baton chan *Proc // scheduler -> process hand-off rendezvous
+
+	// shuffle, when non-nil, picks the next runnable process
+	// pseudo-randomly instead of FIFO. Still fully deterministic for a
+	// given seed: a cheap way to explore alternative interleavings.
+	shuffle *rand.Rand
+
+	failure error // first panic propagated out of a process
+}
+
+// New returns an empty kernel at virtual time zero.
+func New() *Kernel {
+	return &Kernel{baton: make(chan *Proc)}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// SetShuffle makes the scheduler pick among simultaneously runnable
+// processes pseudo-randomly, seeded (and therefore reproducible), instead
+// of strictly FIFO. Event times are unaffected — only the order in which
+// equally-ready processes get the CPU changes. Call before Run.
+func (k *Kernel) SetShuffle(seed int64) {
+	k.shuffle = rand.New(rand.NewSource(seed))
+}
+
+// event is a scheduled callback. Events fire in (at, seq) order so that
+// simultaneous events fire in scheduling order, keeping runs deterministic.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() *event  { return h[0] }
+
+// At schedules fn to run at absolute virtual time at (clamped to now).
+// It may be called from process context or from another event callback.
+func (k *Kernel) At(at time.Duration, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.eventSeq++
+	heap.Push(&k.events, &event{at: at, seq: k.eventSeq, fn: fn})
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
+
+// procState is the lifecycle of a process goroutine.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process. All of its methods except Kernel-side
+// bookkeeping must be called from the process's own goroutine while it
+// holds the baton.
+type Proc struct {
+	k     *Kernel
+	id    int
+	name  string
+	state procState
+	fn    func(p *Proc)
+
+	resume chan struct{} // scheduler tells the process to run
+	cond   func() bool   // predicate when blocked in WaitUntil
+
+	wakeAt   time.Duration // diagnostic: time of pending timer, -1 if none
+	blockTag string        // diagnostic: what the process is blocked on
+}
+
+// Spawn registers a new process executing fn. Processes are started when
+// Run is called; fn receives its Proc handle.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		state:  stateNew,
+		fn:     fn,
+		resume: make(chan struct{}),
+		wakeAt: -1,
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// ID returns the process's kernel-assigned index.
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// markRunnable appends p to the run queue if it is blocked or new.
+func (k *Kernel) markRunnable(p *Proc) {
+	if p.state == stateRunnable || p.state == stateRunning || p.state == stateDone {
+		return
+	}
+	p.state = stateRunnable
+	p.blockTag = ""
+	k.runnable = append(k.runnable, p)
+}
+
+// Run starts every spawned process and drives the simulation until all
+// processes finish, a deadline elapses (0 = none), or a deadlock occurs.
+// It returns an error on deadlock, on deadline, or if a process panicked.
+func (k *Kernel) Run(deadline time.Duration) error {
+	for _, p := range k.procs {
+		if p.state == stateNew {
+			k.live++
+			k.markRunnable(p)
+			go k.procMain(p)
+		}
+	}
+	for k.live > 0 {
+		if k.failure != nil {
+			return k.failure
+		}
+		if len(k.runnable) > 0 {
+			i := 0
+			if k.shuffle != nil {
+				i = k.shuffle.Intn(len(k.runnable))
+			}
+			p := k.runnable[i]
+			k.runnable = append(k.runnable[:i], k.runnable[i+1:]...)
+			k.step(p)
+			k.recheckConds()
+			continue
+		}
+		if len(k.events) == 0 {
+			return k.deadlockError()
+		}
+		next := k.events.peek().at
+		if deadline > 0 && next > deadline {
+			return fmt.Errorf("sim: deadline %v exceeded (next event at %v)", deadline, next)
+		}
+		k.now = next
+		for len(k.events) > 0 && k.events.peek().at == k.now {
+			e := heap.Pop(&k.events).(*event)
+			e.fn()
+		}
+		k.recheckConds()
+	}
+	return k.failure
+}
+
+// step hands the baton to p and waits for it to yield or finish.
+func (k *Kernel) step(p *Proc) {
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-k.baton // p (or its completion path) hands the baton back
+}
+
+// procMain is the goroutine body wrapping a process function.
+func (k *Kernel) procMain(p *Proc) {
+	<-p.resume
+	defer func() {
+		if r := recover(); r != nil {
+			if k.failure == nil {
+				k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+		}
+		p.state = stateDone
+		k.live--
+		k.baton <- p
+	}()
+	p.fn(p)
+}
+
+// yield parks the calling process (whose state has already been set) and
+// returns the baton to the scheduler. It returns when the scheduler
+// resumes the process.
+func (p *Proc) yield() {
+	p.k.baton <- p
+	<-p.resume
+	p.state = stateRunning
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		// Even a zero sleep is a scheduling point, giving other runnable
+		// processes a chance to interleave deterministically.
+		p.YieldProc()
+		return
+	}
+	p.state = stateBlocked
+	p.blockTag = "sleep"
+	p.wakeAt = p.k.now + d
+	p.k.After(d, func() {
+		p.wakeAt = -1
+		p.k.markRunnable(p)
+	})
+	p.yield()
+}
+
+// YieldProc re-queues the process at the back of the run queue without
+// advancing time, letting equally-runnable processes interleave.
+func (p *Proc) YieldProc() {
+	p.state = stateBlocked
+	p.blockTag = "yield"
+	p.k.markRunnable(p)
+	p.yield()
+}
+
+// WaitUntil blocks the process until pred() reports true. The predicate is
+// re-evaluated by the kernel after every process time slice and after every
+// fired event, so any state change made by another actor is observed at the
+// virtual time it happens.
+func (p *Proc) WaitUntil(tag string, pred func() bool) {
+	if pred() {
+		return
+	}
+	p.state = stateBlocked
+	p.blockTag = tag
+	p.cond = pred
+	p.k.condWaiters = append(p.k.condWaiters, p)
+	p.yield()
+}
+
+// recheckConds wakes every cond-blocked process whose predicate has become
+// true. Processes are woken in registration order for determinism.
+func (k *Kernel) recheckConds() {
+	if len(k.condWaiters) == 0 {
+		return
+	}
+	remaining := k.condWaiters[:0]
+	for _, p := range k.condWaiters {
+		if p.state == stateBlocked && p.cond != nil && p.cond() {
+			p.cond = nil
+			k.markRunnable(p)
+			continue
+		}
+		remaining = append(remaining, p)
+	}
+	k.condWaiters = remaining
+}
+
+// deadlockError reports every blocked process and what it was waiting for.
+func (k *Kernel) deadlockError() error {
+	var stuck []string
+	for _, p := range k.procs {
+		if p.state == stateBlocked || p.state == stateRunnable {
+			stuck = append(stuck, fmt.Sprintf("%s(%s)", p.name, p.blockTag))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: %w at %v with %d live processes: %v", ErrDeadlock, k.now, k.live, stuck)
+}

@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesVirtualTime(t *testing.T) {
+	k := New()
+	var woke time.Duration
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		woke = p.Now()
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 42*time.Millisecond {
+		t.Fatalf("woke at %v, want 42ms", woke)
+	}
+	if k.Now() != 42*time.Millisecond {
+		t.Fatalf("kernel finished at %v, want 42ms", k.Now())
+	}
+}
+
+func TestSleepsInterleave(t *testing.T) {
+	k := New()
+	var order []string
+	mk := func(name string, d time.Duration) {
+		k.Spawn(name, func(p *Proc) {
+			p.Sleep(d)
+			order = append(order, fmt.Sprintf("%s@%v", name, p.Now()))
+		})
+	}
+	mk("c", 30*time.Millisecond)
+	mk("a", 10*time.Millisecond)
+	mk("b", 20*time.Millisecond)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := "a@10ms,b@20ms,c@30ms"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for round := 0; round < 2; round++ {
+				order = append(order, i)
+				p.Sleep(0)
+			}
+		})
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// With cooperative round-robin yielding, rounds interleave:
+	// 0,1,2,0,1,2 rather than 0,0,1,1,2,2.
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 0 {
+		t.Fatalf("zero sleeps advanced the clock to %v", k.Now())
+	}
+}
+
+func TestEventsFireInTimeThenSeqOrder(t *testing.T) {
+	k := New()
+	var fired []string
+	k.Spawn("scheduler", func(p *Proc) {
+		k.At(20*time.Millisecond, func() { fired = append(fired, "b1") })
+		k.At(10*time.Millisecond, func() { fired = append(fired, "a") })
+		k.At(20*time.Millisecond, func() { fired = append(fired, "b2") })
+		p.Sleep(30 * time.Millisecond)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(fired, ","); got != "a,b1,b2" {
+		t.Fatalf("events fired %q, want a,b1,b2", got)
+	}
+}
+
+func TestWaitUntilObservesOtherProcess(t *testing.T) {
+	k := New()
+	flag := false
+	var waited time.Duration
+	k.Spawn("waiter", func(p *Proc) {
+		p.WaitUntil("flag", func() bool { return flag })
+		waited = p.Now()
+	})
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		flag = true
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if waited != 5*time.Millisecond {
+		t.Fatalf("waiter resumed at %v, want 5ms", waited)
+	}
+}
+
+func TestWaitUntilImmediateDoesNotBlock(t *testing.T) {
+	k := New()
+	ran := false
+	k.Spawn("p", func(p *Proc) {
+		p.WaitUntil("true", func() bool { return true })
+		ran = true
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("process never completed")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := New()
+	k.Spawn("stuck", func(p *Proc) {
+		p.WaitUntil("never", func() bool { return false })
+	})
+	err := k.Run(0)
+	if err == nil {
+		t.Fatal("want deadlock error, got nil")
+	}
+	if !strings.Contains(err.Error(), "deadlock") || !strings.Contains(err.Error(), "never") {
+		t.Fatalf("error %q should mention deadlock and the block tag", err)
+	}
+}
+
+func TestDeadlinePropagates(t *testing.T) {
+	k := New()
+	k.Spawn("slow", func(p *Proc) {
+		p.Sleep(time.Hour)
+	})
+	err := k.Run(time.Second)
+	if err == nil || !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	k := New()
+	k.Spawn("boom", func(p *Proc) {
+		panic("kaput")
+	})
+	err := k.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "kaput") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic error naming process and value, got %v", err)
+	}
+}
+
+func TestPanicUnblocksRun(t *testing.T) {
+	k := New()
+	k.Spawn("boom", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		panic("later")
+	})
+	k.Spawn("other", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+	})
+	err := k.Run(0)
+	if err == nil || !strings.Contains(err.Error(), "later") {
+		t.Fatalf("want propagated panic, got %v", err)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() string {
+		k := New()
+		var log []string
+		for i := 0; i < 4; i++ {
+			i := i
+			k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(time.Duration(i+1) * time.Millisecond)
+					log = append(log, fmt.Sprintf("%d:%v", i, p.Now()))
+				}
+			})
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, ",")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("two identical runs diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := New()
+	var at time.Duration
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		k.After(5*time.Millisecond, func() { at = k.Now() })
+		p.Sleep(20 * time.Millisecond)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15*time.Millisecond {
+		t.Fatalf("After fired at %v, want 15ms", at)
+	}
+}
+
+func TestAtClampsToPast(t *testing.T) {
+	k := New()
+	fired := time.Duration(-1)
+	k.Spawn("p", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond)
+		k.At(1*time.Millisecond, func() { fired = k.Now() }) // in the past
+		p.Sleep(1 * time.Millisecond)
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 10ms", fired)
+	}
+}
+
+func TestManyProcessesManyEvents(t *testing.T) {
+	k := New()
+	const procs, rounds = 32, 50
+	total := 0
+	for i := 0; i < procs; i++ {
+		i := i
+		k.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < rounds; j++ {
+				p.Sleep(time.Duration(1+(i+j)%7) * time.Microsecond)
+				total++
+			}
+		})
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if total != procs*rounds {
+		t.Fatalf("completed %d steps, want %d", total, procs*rounds)
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := New()
+	p0 := k.Spawn("alpha", func(p *Proc) {})
+	p1 := k.Spawn("beta", func(p *Proc) {})
+	if p0.ID() != 0 || p1.ID() != 1 {
+		t.Fatalf("IDs %d,%d want 0,1", p0.ID(), p1.ID())
+	}
+	if p0.Name() != "alpha" || p1.Name() != "beta" {
+		t.Fatalf("names %q,%q", p0.Name(), p1.Name())
+	}
+	if p0.Kernel() != k {
+		t.Fatal("Kernel() does not return the owner")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+// Package trace collects message and operation statistics from a running
+// fabric. The paper's analytical claims (the old AllFence costs ~2(N−1)
+// one-way latencies, the new barrier 2·log₂N; MCS lock hand-off takes one
+// message where the hybrid lock takes two) are verified by counting
+// messages here rather than only by timing.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"armci/internal/msg"
+)
+
+// Stats accumulates counters. The zero value is ready to use; all methods
+// are safe for concurrent use.
+type Stats struct {
+	mu       sync.Mutex
+	byKind   map[msg.Kind]int
+	bytes    int64
+	sends    int
+	events   []Event
+	capture  bool
+	perPair  map[pair]int
+	disabled bool
+}
+
+type pair struct{ src, dst msg.Addr }
+
+// Event is one recorded message send (capture mode only).
+type Event struct {
+	Seq  int
+	Kind msg.Kind
+	Src  msg.Addr
+	Dst  msg.Addr
+	Size int
+	// Arrival is the fabric delivery time of the message, when the
+	// fabric had stamped it before recording (the simulated and channel
+	// fabrics do; TCP arrival is only known at the receiver).
+	Arrival time.Duration
+}
+
+// New returns an empty Stats collector.
+func New() *Stats {
+	return &Stats{byKind: make(map[msg.Kind]int), perPair: make(map[pair]int)}
+}
+
+// SetCapture toggles recording of individual send events (for determinism
+// tests and debugging); counting is always on.
+func (s *Stats) SetCapture(on bool) {
+	s.mu.Lock()
+	s.capture = on
+	s.mu.Unlock()
+}
+
+// SetDisabled pauses all accounting (used to exclude warm-up phases).
+func (s *Stats) SetDisabled(off bool) {
+	s.mu.Lock()
+	s.disabled = off
+	s.mu.Unlock()
+}
+
+// RecordSend accounts one message send.
+func (s *Stats) RecordSend(m *msg.Message) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled {
+		return
+	}
+	s.sends++
+	s.byKind[m.Kind]++
+	s.bytes += int64(m.PayloadBytes())
+	s.perPair[pair{m.Src, m.Dst}]++
+	if s.capture {
+		s.events = append(s.events, Event{
+			Seq: s.sends, Kind: m.Kind, Src: m.Src, Dst: m.Dst,
+			Size: m.PayloadBytes(), Arrival: m.Arrival,
+		})
+	}
+}
+
+// Sends returns the total number of messages sent.
+func (s *Stats) Sends() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sends
+}
+
+// Count returns the number of messages of kind k.
+func (s *Stats) Count(k msg.Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byKind[k]
+}
+
+// Bytes returns the total modeled payload bytes sent.
+func (s *Stats) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// PairCount returns the number of messages sent from src to dst.
+func (s *Stats) PairCount(src, dst msg.Addr) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perPair[pair{src, dst}]
+}
+
+// Events returns a copy of the captured send events.
+func (s *Stats) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Reset clears all counters and captured events.
+func (s *Stats) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sends = 0
+	s.bytes = 0
+	s.byKind = make(map[msg.Kind]int)
+	s.perPair = make(map[pair]int)
+	s.events = nil
+}
+
+// Summary formats the per-kind counters, sorted by kind, for reports.
+func (s *Stats) Summary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kinds := make([]msg.Kind, 0, len(s.byKind))
+	for k := range s.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d msgs, %d bytes:", s.sends, s.bytes)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, s.byKind[k])
+	}
+	return b.String()
+}
+
+// Fingerprint returns a deterministic digest of the captured event stream,
+// used by determinism tests to compare two runs.
+func (s *Stats) Fingerprint() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	for _, e := range s.events {
+		fmt.Fprintf(&b, "%d:%s:%v>%v:%d;", e.Seq, e.Kind, e.Src, e.Dst, e.Size)
+	}
+	return b.String()
+}

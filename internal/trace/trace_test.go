@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"armci/internal/msg"
+)
+
+func send(s *Stats, kind msg.Kind, src, dst msg.Addr, n int) {
+	s.RecordSend(&msg.Message{Kind: kind, Src: src, Dst: dst, Data: make([]byte, n)})
+}
+
+func TestCountsAndBytes(t *testing.T) {
+	s := New()
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(1), 100)
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(2), 50)
+	send(s, msg.KindFenceReq, msg.User(0), msg.ServerOf(1), 0)
+	if s.Sends() != 3 {
+		t.Fatalf("sends = %d", s.Sends())
+	}
+	if s.Count(msg.KindPut) != 2 || s.Count(msg.KindFenceReq) != 1 || s.Count(msg.KindGet) != 0 {
+		t.Fatal("per-kind counts wrong")
+	}
+	wantBytes := int64((&msg.Message{Data: make([]byte, 100)}).PayloadBytes() +
+		(&msg.Message{Data: make([]byte, 50)}).PayloadBytes() +
+		(&msg.Message{}).PayloadBytes())
+	if s.Bytes() != wantBytes {
+		t.Fatalf("bytes = %d, want %d", s.Bytes(), wantBytes)
+	}
+	if s.PairCount(msg.User(0), msg.ServerOf(1)) != 2 {
+		t.Fatalf("pair count = %d", s.PairCount(msg.User(0), msg.ServerOf(1)))
+	}
+}
+
+func TestNilStatsIsSafe(t *testing.T) {
+	var s *Stats
+	s.RecordSend(&msg.Message{Kind: msg.KindPut}) // must not panic
+}
+
+func TestCaptureAndFingerprint(t *testing.T) {
+	mk := func() *Stats {
+		s := New()
+		s.SetCapture(true)
+		send(s, msg.KindColl, msg.User(0), msg.User(1), 8)
+		send(s, msg.KindColl, msg.User(1), msg.User(0), 8)
+		return s
+	}
+	a, b := mk(), mk()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical streams produced different fingerprints")
+	}
+	c := New()
+	c.SetCapture(true)
+	send(c, msg.KindColl, msg.User(1), msg.User(0), 8)
+	send(c, msg.KindColl, msg.User(0), msg.User(1), 8)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("reordered streams produced equal fingerprints")
+	}
+	if len(a.Events()) != 2 {
+		t.Fatalf("captured %d events", len(a.Events()))
+	}
+}
+
+func TestCaptureOffByDefault(t *testing.T) {
+	s := New()
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 1)
+	if len(s.Events()) != 0 {
+		t.Fatal("events captured without capture mode")
+	}
+	if s.Sends() != 1 {
+		t.Fatal("counting should always be on")
+	}
+}
+
+func TestDisabledPausesAccounting(t *testing.T) {
+	s := New()
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 1)
+	s.SetDisabled(true)
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 1)
+	s.SetDisabled(false)
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 1)
+	if s.Sends() != 2 {
+		t.Fatalf("sends = %d, want 2", s.Sends())
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := New()
+	s.SetCapture(true)
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 1)
+	s.Reset()
+	if s.Sends() != 0 || s.Bytes() != 0 || len(s.Events()) != 0 || s.Count(msg.KindPut) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	s := New()
+	send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 1)
+	send(s, msg.KindColl, msg.User(0), msg.User(1), 1)
+	sum := s.Summary()
+	for _, want := range []string{"2 msgs", "put=1", "coll=1"} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	s := New()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				send(s, msg.KindPut, msg.User(0), msg.ServerOf(0), 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Sends() != workers*each {
+		t.Fatalf("sends = %d, want %d", s.Sends(), workers*each)
+	}
+}

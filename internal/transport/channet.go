@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/shmem"
+	"armci/internal/trace"
+)
+
+// ChanFabric runs the cluster as real goroutines communicating through
+// in-process mailboxes. It is the fabric used by correctness and stress
+// tests: everything is truly concurrent, so races and protocol bugs that
+// the sequential simulator cannot exhibit are exercised here. With a
+// non-zero cost model it also injects latency in wall time (arrival-time
+// stamping on a FIFO pipe model), which the demo benchmarks use.
+type ChanFabric struct {
+	cfg   Config
+	space *shmem.Space
+
+	mu        sync.Mutex
+	cond      *sync.Cond // broadcast on memory writes, deliveries, shutdown
+	fifo      *fifoStamp
+	mailboxes map[msg.Addr]*msg.Queue
+	shutdown  bool
+	jitter    *rand.Rand // guarded by mu; nil when jitter is off
+
+	users   []actorSpec
+	servers []actorSpec
+
+	start time.Time
+
+	panics chan error
+}
+
+// NewChan builds an in-process channel fabric for the configuration.
+func NewChan(cfg Config) (*ChanFabric, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	f := &ChanFabric{
+		cfg:       cfg,
+		space:     shmem.NewSpace(cfg.nodeMap()),
+		fifo:      newFifoStamp(),
+		mailboxes: make(map[msg.Addr]*msg.Queue),
+		panics:    make(chan error, cfg.Procs+cfg.numNodes()),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	if cfg.Jitter > 0 {
+		seed := cfg.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		f.jitter = rand.New(rand.NewSource(seed))
+	}
+	f.space.SetOnWrite(func() {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	return f, nil
+}
+
+// Space returns the cluster's shared memory.
+func (f *ChanFabric) Space() *shmem.Space { return f.space }
+
+// Config returns the cluster configuration.
+func (f *ChanFabric) Config() *Config { return &f.cfg }
+
+// SpawnUser registers the body of rank's user process.
+func (f *ChanFabric) SpawnUser(rank int, body func(Env)) {
+	f.users = append(f.users, actorSpec{addr: msg.User(rank), body: body})
+}
+
+// SpawnServer registers the body of node's data server.
+func (f *ChanFabric) SpawnServer(node int, body func(Env)) {
+	f.servers = append(f.servers, actorSpec{addr: msg.ServerOf(node), body: body})
+}
+
+// Run starts every actor goroutine, waits for all user processes, then
+// shuts the servers down (their pending Recv returns nil) and waits for
+// them too. It returns the first actor panic, or an error if the deadline
+// (default 120 s wall time) elapses.
+func (f *ChanFabric) Run() error {
+	for _, a := range f.users {
+		f.mailboxes[a.addr] = &msg.Queue{}
+	}
+	for _, a := range f.servers {
+		f.mailboxes[a.addr] = &msg.Queue{}
+	}
+	f.start = time.Now()
+
+	var userWG, serverWG sync.WaitGroup
+	runActor := func(spec actorSpec, wg *sync.WaitGroup) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				f.panics <- fmt.Errorf("channet: actor %v panicked: %v", spec.addr, r)
+				f.mu.Lock()
+				f.shutdown = true // unwedge everyone else
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			}
+		}()
+		spec.body(&chanEnv{f: f, addr: spec.addr})
+	}
+	for _, a := range f.servers {
+		serverWG.Add(1)
+		go runActor(a, &serverWG)
+	}
+	for _, a := range f.users {
+		userWG.Add(1)
+		go runActor(a, &userWG)
+	}
+
+	deadline := f.cfg.Deadline
+	if deadline == 0 {
+		deadline = 120 * time.Second
+	}
+	usersDone := make(chan struct{})
+	go func() { userWG.Wait(); close(usersDone) }()
+	select {
+	case <-usersDone:
+	case err := <-f.panics:
+		return err
+	case <-time.After(deadline):
+		return fmt.Errorf("channet: deadline %v exceeded waiting for user processes", deadline)
+	}
+
+	f.mu.Lock()
+	f.shutdown = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	serversDone := make(chan struct{})
+	go func() { serverWG.Wait(); close(serversDone) }()
+	select {
+	case <-serversDone:
+	case err := <-f.panics:
+		return err
+	case <-time.After(deadline):
+		return fmt.Errorf("channet: deadline %v exceeded waiting for servers to drain", deadline)
+	}
+	select {
+	case err := <-f.panics:
+		return err
+	default:
+	}
+	return nil
+}
+
+// chanEnv is the Env of one channel-fabric actor.
+type chanEnv struct {
+	f    *ChanFabric
+	addr msg.Addr
+}
+
+var _ Env = (*chanEnv)(nil)
+
+func (e *chanEnv) Self() msg.Addr       { return e.addr }
+func (e *chanEnv) Rank() int            { return e.addr.ID }
+func (e *chanEnv) Size() int            { return e.f.cfg.Procs }
+func (e *chanEnv) NumNodes() int        { return e.f.cfg.numNodes() }
+func (e *chanEnv) Node(rank int) int    { return e.f.space.Node(rank) }
+func (e *chanEnv) Space() *shmem.Space  { return e.f.space }
+func (e *chanEnv) Params() model.Params { return e.f.cfg.Model }
+func (e *chanEnv) Trace() *trace.Stats  { return e.f.cfg.Trace }
+
+type wallClock struct{ start time.Time }
+
+func (c wallClock) Now() time.Duration { return time.Since(c.start) }
+func (c wallClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (e *chanEnv) Clock() Clock { return wallClock{e.f.start} }
+
+func (e *chanEnv) Charge(d time.Duration) {
+	if d > 0 && e.f.cfg.Model.Latency > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (e *chanEnv) Send(to msg.Addr, m *msg.Message) {
+	m.Src = e.addr
+	m.Dst = to
+	e.Charge(e.f.cfg.Model.SendOverhead)
+	now := time.Since(e.f.start)
+	wire := time.Duration(0)
+	if e.f.cfg.Model.Latency > 0 {
+		wire = wireTime(e.f.cfg.Model, e.f.space, e.addr, to, m)
+	}
+	e.f.mu.Lock()
+	q, ok := e.f.mailboxes[to]
+	if !ok {
+		e.f.mu.Unlock()
+		panic(fmt.Sprintf("channet: send to unknown endpoint %v", to))
+	}
+	if e.f.jitter != nil {
+		wire += time.Duration(e.f.jitter.Int63n(int64(e.f.cfg.Jitter)))
+	}
+	m.Arrival = e.f.fifo.arrival(e.addr, to, now, wire)
+	e.f.cfg.Trace.RecordSend(m)
+	q.Put(m)
+	e.f.cond.Broadcast()
+	e.f.mu.Unlock()
+}
+
+func (e *chanEnv) Recv(match msg.Match) *msg.Message {
+	q := e.f.mailboxes[e.addr]
+	e.f.mu.Lock()
+	for {
+		if m := q.TryPop(match); m != nil {
+			e.f.mu.Unlock()
+			// Enforce the modeled arrival time in wall time.
+			if wait := m.Arrival - time.Since(e.f.start); wait > 0 {
+				time.Sleep(wait)
+			}
+			e.Charge(e.f.cfg.Model.RecvOverhead)
+			return m
+		}
+		if e.addr.Server && e.f.shutdown {
+			e.f.mu.Unlock()
+			return nil
+		}
+		e.f.cond.Wait()
+	}
+}
+
+func (e *chanEnv) WaitUntil(tag string, pred func() bool) {
+	e.f.mu.Lock()
+	for !pred() {
+		if e.f.shutdown && e.addr.Server {
+			break
+		}
+		e.f.cond.Wait()
+	}
+	e.f.mu.Unlock()
+}

@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/shmem"
+	"armci/internal/sim"
+	"armci/internal/trace"
+)
+
+// SimFabric runs the cluster on the discrete-event kernel. Execution is
+// deterministic and all times are virtual, governed by the cost model; it
+// is the fabric used to regenerate the paper's figures.
+type SimFabric struct {
+	cfg    Config
+	kernel *sim.Kernel
+	space  *shmem.Space
+	fifo   *fifoStamp
+
+	mailboxes map[msg.Addr]*msg.Queue
+
+	users     []actorSpec
+	servers   []actorSpec
+	liveUsers int
+	shutdown  bool
+}
+
+type actorSpec struct {
+	addr msg.Addr
+	body func(Env)
+}
+
+// NewSim builds a simulated fabric for the given configuration.
+func NewSim(cfg Config) (*SimFabric, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	f := &SimFabric{
+		cfg:       cfg,
+		kernel:    sim.New(),
+		space:     shmem.NewSpace(cfg.nodeMap()),
+		fifo:      newFifoStamp(),
+		mailboxes: make(map[msg.Addr]*msg.Queue),
+	}
+	if cfg.ScheduleSeed != 0 {
+		f.kernel.SetShuffle(cfg.ScheduleSeed)
+	}
+	return f, nil
+}
+
+// Space returns the cluster's shared memory.
+func (f *SimFabric) Space() *shmem.Space { return f.space }
+
+// Config returns the cluster configuration.
+func (f *SimFabric) Config() *Config { return &f.cfg }
+
+// Kernel exposes the underlying discrete-event kernel (for tests).
+func (f *SimFabric) Kernel() *sim.Kernel { return f.kernel }
+
+// SpawnUser registers the body of rank's user process.
+func (f *SimFabric) SpawnUser(rank int, body func(Env)) {
+	f.users = append(f.users, actorSpec{addr: msg.User(rank), body: body})
+}
+
+// SpawnServer registers the body of node's data server.
+func (f *SimFabric) SpawnServer(node int, body func(Env)) {
+	f.servers = append(f.servers, actorSpec{addr: msg.ServerOf(node), body: body})
+}
+
+// Run executes the simulation until every user process finishes. Servers
+// are unblocked with a nil Recv result once the last user is done.
+func (f *SimFabric) Run() error {
+	for _, a := range f.users {
+		f.mailboxes[a.addr] = &msg.Queue{}
+	}
+	for _, a := range f.servers {
+		f.mailboxes[a.addr] = &msg.Queue{}
+	}
+	f.liveUsers = len(f.users)
+	for _, a := range f.users {
+		spec := a
+		f.kernel.Spawn(spec.addr.String(), func(p *sim.Proc) {
+			defer func() {
+				f.liveUsers--
+				if f.liveUsers == 0 {
+					f.shutdown = true
+				}
+			}()
+			spec.body(&simEnv{f: f, p: p, addr: spec.addr})
+		})
+	}
+	for _, a := range f.servers {
+		spec := a
+		f.kernel.Spawn(spec.addr.String(), func(p *sim.Proc) {
+			spec.body(&simEnv{f: f, p: p, addr: spec.addr})
+		})
+	}
+	deadline := f.cfg.Deadline
+	if deadline == 0 {
+		deadline = time.Hour // virtual; generous default against runaways
+	}
+	err := f.kernel.Run(deadline)
+	if errors.Is(err, sim.ErrDeadlock) && f.shutdown {
+		// A deadlock after the last user finished is the expected way an
+		// idle simulation drains when a server has no poison support.
+		return nil
+	}
+	return err
+}
+
+// Now returns the current virtual time (valid during and after Run).
+func (f *SimFabric) Now() time.Duration { return f.kernel.Now() }
+
+// simEnv is the Env of one simulated actor.
+type simEnv struct {
+	f    *SimFabric
+	p    *sim.Proc
+	addr msg.Addr
+}
+
+var _ Env = (*simEnv)(nil)
+
+func (e *simEnv) Self() msg.Addr       { return e.addr }
+func (e *simEnv) Rank() int            { return e.addr.ID }
+func (e *simEnv) Size() int            { return e.f.cfg.Procs }
+func (e *simEnv) NumNodes() int        { return e.f.cfg.numNodes() }
+func (e *simEnv) Node(rank int) int    { return e.f.space.Node(rank) }
+func (e *simEnv) Space() *shmem.Space  { return e.f.space }
+func (e *simEnv) Params() model.Params { return e.f.cfg.Model }
+func (e *simEnv) Trace() *trace.Stats  { return e.f.cfg.Trace }
+func (e *simEnv) Clock() Clock         { return simClock{e.p} }
+
+type simClock struct{ p *sim.Proc }
+
+func (c simClock) Now() time.Duration    { return c.p.Now() }
+func (c simClock) Sleep(d time.Duration) { c.p.Sleep(d) }
+
+func (e *simEnv) Charge(d time.Duration) {
+	if d > 0 {
+		e.p.Sleep(d)
+	}
+}
+
+func (e *simEnv) Send(to msg.Addr, m *msg.Message) {
+	m.Src = e.addr
+	m.Dst = to
+	e.Charge(e.f.cfg.Model.SendOverhead)
+	wire := wireTime(e.f.cfg.Model, e.f.space, e.addr, to, m)
+	at := e.f.fifo.arrival(e.addr, to, e.p.Now(), wire)
+	m.Arrival = at
+	e.f.cfg.Trace.RecordSend(m)
+	q, ok := e.f.mailboxes[to]
+	if !ok {
+		panic(fmt.Sprintf("simnet: send to unknown endpoint %v", to))
+	}
+	e.p.Kernel().At(at, func() { q.Put(m) })
+}
+
+func (e *simEnv) Recv(match msg.Match) *msg.Message {
+	q := e.f.mailboxes[e.addr]
+	var got *msg.Message
+	e.p.WaitUntil("recv@"+e.addr.String(), func() bool {
+		if e.addr.Server && e.f.shutdown && q.Len() == 0 {
+			return true // drained and cluster is shutting down
+		}
+		if m := q.TryPop(match); m != nil {
+			got = m
+			return true
+		}
+		return false
+	})
+	if got != nil {
+		e.Charge(e.f.cfg.Model.RecvOverhead)
+	}
+	return got
+}
+
+func (e *simEnv) WaitUntil(tag string, pred func() bool) {
+	e.p.WaitUntil(tag, pred)
+	if g := e.f.cfg.Model.PollGap; g > 0 {
+		// Model the detection delay between the memory write and the
+		// spinning process noticing it.
+		e.p.Sleep(g)
+	}
+}

@@ -1,0 +1,360 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/shmem"
+	"armci/internal/trace"
+	"armci/internal/wire"
+)
+
+// TCPFabric runs the cluster as real goroutines whose every message —
+// including between a user process and its own node's server — crosses a
+// loopback TCP socket through a star router. It emulates the message path
+// of a socket-based ARMCI port: the paper's cluster interconnect is
+// replaced by real kernel sockets, per the reproduction substitution rule.
+type TCPFabric struct {
+	cfg   Config
+	space *shmem.Space
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	mailboxes map[msg.Addr]*msg.Queue
+	shutdown  bool
+
+	users   []actorSpec
+	servers []actorSpec
+
+	start time.Time
+
+	listener net.Listener
+	router   *router
+
+	conns map[msg.Addr]*endpointConn
+
+	panics chan error
+}
+
+// endpointConn is an endpoint's dialed connection to the router.
+type endpointConn struct {
+	c       net.Conn
+	writeMu sync.Mutex
+}
+
+func (ec *endpointConn) writeFrame(f []byte) error {
+	ec.writeMu.Lock()
+	defer ec.writeMu.Unlock()
+	return wire.WriteFrame(ec.c, f)
+}
+
+// NewTCP builds a TCP fabric. The router listens on an ephemeral loopback
+// port; everything is torn down when Run returns.
+func NewTCP(cfg Config) (*TCPFabric, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	f := &TCPFabric{
+		cfg:       cfg,
+		space:     shmem.NewSpace(cfg.nodeMap()),
+		mailboxes: make(map[msg.Addr]*msg.Queue),
+		conns:     make(map[msg.Addr]*endpointConn),
+		panics:    make(chan error, cfg.Procs+cfg.numNodes()),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.space.SetOnWrite(func() {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	return f, nil
+}
+
+// Space returns the cluster's shared memory.
+func (f *TCPFabric) Space() *shmem.Space { return f.space }
+
+// Config returns the cluster configuration.
+func (f *TCPFabric) Config() *Config { return &f.cfg }
+
+// SpawnUser registers the body of rank's user process.
+func (f *TCPFabric) SpawnUser(rank int, body func(Env)) {
+	f.users = append(f.users, actorSpec{addr: msg.User(rank), body: body})
+}
+
+// SpawnServer registers the body of node's data server.
+func (f *TCPFabric) SpawnServer(node int, body func(Env)) {
+	f.servers = append(f.servers, actorSpec{addr: msg.ServerOf(node), body: body})
+}
+
+// Run brings up the router, connects every endpoint, executes the actors
+// to completion and tears the network down.
+func (f *TCPFabric) Run() (err error) {
+	f.listener, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("tcpnet: listen: %w", err)
+	}
+	f.router = newRouter(f.listener)
+	go f.router.serve()
+	defer func() {
+		f.listener.Close()
+		f.router.closeAll()
+	}()
+
+	all := append(append([]actorSpec(nil), f.users...), f.servers...)
+	for _, a := range all {
+		f.mailboxes[a.addr] = &msg.Queue{}
+		conn, derr := net.Dial("tcp", f.listener.Addr().String())
+		if derr != nil {
+			return fmt.Errorf("tcpnet: dial router: %w", derr)
+		}
+		ec := &endpointConn{c: conn}
+		if werr := ec.writeFrame(wire.EncodeHello(a.addr)); werr != nil {
+			return fmt.Errorf("tcpnet: hello: %w", werr)
+		}
+		f.conns[a.addr] = ec
+		go f.readLoop(a.addr, conn)
+	}
+	// Wait for the router to have registered every endpoint before any
+	// actor sends, so no frame races ahead of its destination's hello.
+	if werr := f.router.waitRegistered(len(all), 10*time.Second); werr != nil {
+		return werr
+	}
+
+	f.start = time.Now()
+	var userWG, serverWG sync.WaitGroup
+	runActor := func(spec actorSpec, wg *sync.WaitGroup) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				f.panics <- fmt.Errorf("tcpnet: actor %v panicked: %v", spec.addr, r)
+				f.mu.Lock()
+				f.shutdown = true
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			}
+		}()
+		spec.body(&tcpEnv{f: f, addr: spec.addr})
+	}
+	for _, a := range f.servers {
+		serverWG.Add(1)
+		go runActor(a, &serverWG)
+	}
+	for _, a := range f.users {
+		userWG.Add(1)
+		go runActor(a, &userWG)
+	}
+
+	deadline := f.cfg.Deadline
+	if deadline == 0 {
+		deadline = 120 * time.Second
+	}
+	usersDone := make(chan struct{})
+	go func() { userWG.Wait(); close(usersDone) }()
+	select {
+	case <-usersDone:
+	case perr := <-f.panics:
+		return perr
+	case <-time.After(deadline):
+		return fmt.Errorf("tcpnet: deadline %v exceeded waiting for user processes", deadline)
+	}
+
+	f.mu.Lock()
+	f.shutdown = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	serversDone := make(chan struct{})
+	go func() { serverWG.Wait(); close(serversDone) }()
+	select {
+	case <-serversDone:
+	case perr := <-f.panics:
+		return perr
+	case <-time.After(deadline):
+		return fmt.Errorf("tcpnet: deadline %v exceeded waiting for servers to drain", deadline)
+	}
+	select {
+	case perr := <-f.panics:
+		return perr
+	default:
+	}
+	return nil
+}
+
+// readLoop drains frames arriving for one endpoint into its mailbox.
+func (f *TCPFabric) readLoop(a msg.Addr, conn net.Conn) {
+	for {
+		body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // connection closed at teardown
+		}
+		m, err := wire.Decode(body)
+		if err != nil {
+			f.panics <- fmt.Errorf("tcpnet: endpoint %v received corrupt frame: %w", a, err)
+			return
+		}
+		m.Arrival = time.Since(f.start)
+		f.mu.Lock()
+		f.mailboxes[a].Put(m)
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}
+
+// router forwards frames between endpoint connections.
+type router struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[msg.Addr]*endpointConn
+	n     int
+}
+
+func newRouter(ln net.Listener) *router {
+	return &router{ln: ln, conns: make(map[msg.Addr]*endpointConn)}
+}
+
+func (r *router) serve() {
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		go r.serveConn(c)
+	}
+}
+
+func (r *router) serveConn(c net.Conn) {
+	hello, err := wire.ReadFrame(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	addr, err := wire.DecodeHello(hello)
+	if err != nil {
+		c.Close()
+		return
+	}
+	ec := &endpointConn{c: c}
+	r.mu.Lock()
+	r.conns[addr] = ec
+	r.n++
+	r.mu.Unlock()
+	for {
+		body, err := wire.ReadFrame(c)
+		if err != nil {
+			return
+		}
+		// Peek the destination without a full decode: it sits right
+		// after kind (1 byte) and src (5 bytes).
+		if len(body) < 11 {
+			return
+		}
+		dst, err := wire.DecodeHello(body[6:11])
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		out := r.conns[dst]
+		r.mu.Unlock()
+		if out == nil {
+			continue // destination gone at teardown
+		}
+		// Re-frame and forward.
+		fr := make([]byte, 0, 4+len(body))
+		fr = append(fr, byte(len(body)), byte(len(body)>>8), byte(len(body)>>16), byte(len(body)>>24))
+		fr = append(fr, body...)
+		if err := out.writeFrame(fr); err != nil {
+			continue
+		}
+	}
+}
+
+func (r *router) waitRegistered(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		got := r.n
+		r.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcpnet: only %d of %d endpoints registered with router", got, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (r *router) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, ec := range r.conns {
+		ec.c.Close()
+	}
+}
+
+// tcpEnv is the Env of one TCP-fabric actor.
+type tcpEnv struct {
+	f    *TCPFabric
+	addr msg.Addr
+}
+
+var _ Env = (*tcpEnv)(nil)
+
+func (e *tcpEnv) Self() msg.Addr       { return e.addr }
+func (e *tcpEnv) Rank() int            { return e.addr.ID }
+func (e *tcpEnv) Size() int            { return e.f.cfg.Procs }
+func (e *tcpEnv) NumNodes() int        { return e.f.cfg.numNodes() }
+func (e *tcpEnv) Node(rank int) int    { return e.f.space.Node(rank) }
+func (e *tcpEnv) Space() *shmem.Space  { return e.f.space }
+func (e *tcpEnv) Params() model.Params { return e.f.cfg.Model }
+func (e *tcpEnv) Trace() *trace.Stats  { return e.f.cfg.Trace }
+func (e *tcpEnv) Clock() Clock         { return wallClock{e.f.start} }
+
+func (e *tcpEnv) Charge(d time.Duration) {
+	// The TCP fabric measures real socket costs; no injected CPU model.
+}
+
+func (e *tcpEnv) Send(to msg.Addr, m *msg.Message) {
+	m.Src = e.addr
+	m.Dst = to
+	e.f.cfg.Trace.RecordSend(m)
+	ec := e.f.conns[e.addr]
+	if ec == nil {
+		panic(fmt.Sprintf("tcpnet: send from unknown endpoint %v", e.addr))
+	}
+	if err := ec.writeFrame(wire.Encode(m)); err != nil {
+		panic(fmt.Sprintf("tcpnet: send %v -> %v: %v", e.addr, to, err))
+	}
+}
+
+func (e *tcpEnv) Recv(match msg.Match) *msg.Message {
+	q := e.f.mailboxes[e.addr]
+	e.f.mu.Lock()
+	for {
+		if m := q.TryPop(match); m != nil {
+			e.f.mu.Unlock()
+			return m
+		}
+		if e.addr.Server && e.f.shutdown {
+			e.f.mu.Unlock()
+			return nil
+		}
+		e.f.cond.Wait()
+	}
+}
+
+func (e *tcpEnv) WaitUntil(tag string, pred func() bool) {
+	e.f.mu.Lock()
+	for !pred() {
+		if e.f.shutdown && e.addr.Server {
+			break
+		}
+		e.f.cond.Wait()
+	}
+	e.f.mu.Unlock()
+}

@@ -1,0 +1,181 @@
+// Package transport provides the execution fabrics an emulated ARMCI
+// cluster runs on. Protocol code (fences, barriers, locks, collectives,
+// Global Arrays) is written once against the Env interface and runs
+// unchanged on:
+//
+//   - simnet:  a deterministic discrete-event fabric with a virtual clock
+//     and a calibrated cost model — the fabric that reproduces the paper's
+//     figures as virtual-time measurements;
+//   - channet: real goroutines exchanging messages through in-process
+//     mailboxes — the fabric correctness tests use;
+//   - tcpnet:  real goroutines whose every message crosses a loopback TCP
+//     socket through a star router — the "emulate over sockets" fabric.
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/shmem"
+	"armci/internal/trace"
+)
+
+// Clock abstracts virtual versus wall time. Now is the duration since the
+// fabric started.
+type Clock interface {
+	Now() time.Duration
+	Sleep(d time.Duration)
+}
+
+// Env is the execution environment of one actor — a user process or a data
+// server. All methods must be called from the actor's own goroutine.
+type Env interface {
+	// Self returns this actor's endpoint address.
+	Self() msg.Addr
+	// Rank returns the actor's rank (user processes) or node (servers).
+	Rank() int
+	// Size returns the number of user processes in the cluster.
+	Size() int
+	// NumNodes returns the number of SMP nodes.
+	NumNodes() int
+	// Node returns the node index hosting the given rank.
+	Node(rank int) int
+	// Space returns the cluster's shared memory.
+	Space() *shmem.Space
+	// Clock returns the fabric clock.
+	Clock() Clock
+	// Params returns the cost model in force.
+	Params() model.Params
+	// Send transmits m to the given endpoint. Delivery is reliable and
+	// FIFO per (source, destination) pair. Send charges the sender the
+	// modeled send overhead and returns without waiting for delivery.
+	Send(to msg.Addr, m *msg.Message)
+	// Recv blocks until a message satisfying match is available, removes
+	// it from the mailbox and returns it.
+	Recv(match msg.Match) *msg.Message
+	// Charge models d of CPU work by this actor.
+	Charge(d time.Duration)
+	// WaitUntil blocks until pred() is true. pred must depend only on
+	// shared memory or other fabric-visible state, so the fabric can
+	// re-evaluate it when that state changes. tag is diagnostic.
+	WaitUntil(tag string, pred func() bool)
+	// Trace returns the statistics collector (never nil).
+	Trace() *trace.Stats
+}
+
+// Config describes the emulated cluster.
+type Config struct {
+	// Procs is the number of user processes (ranks).
+	Procs int
+	// ProcsPerNode is how many consecutive ranks share one SMP node.
+	// Defaults to 1 (each process on its own node, as in the paper's
+	// 16-node runs).
+	ProcsPerNode int
+	// Model is the cost model. The zero value (model.Zero()) disables
+	// all latency injection on the real fabrics.
+	Model model.Params
+	// Trace, if non-nil, collects message statistics.
+	Trace *trace.Stats
+	// Jitter, when positive, adds a uniformly random extra delay in
+	// [0, Jitter) to every message arrival on the channel fabric — a
+	// stress knob that shakes out protocol ordering assumptions. Per-pair
+	// FIFO is still preserved. Ignored by the other fabrics.
+	Jitter time.Duration
+	// JitterSeed seeds the jitter generator (0 uses a fixed default).
+	JitterSeed int64
+	// ScheduleSeed, when non-zero, makes the simulated fabric pick among
+	// simultaneously runnable processes pseudo-randomly (reproducibly for
+	// a given seed) instead of FIFO — interleaving exploration for
+	// protocol tests. Ignored by the concurrent fabrics.
+	ScheduleSeed int64
+	// Deadline bounds a fabric run; 0 means the fabric default.
+	Deadline time.Duration
+}
+
+func (c *Config) normalize() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("transport: config needs Procs >= 1, got %d", c.Procs)
+	}
+	if c.ProcsPerNode <= 0 {
+		c.ProcsPerNode = 1
+	}
+	if c.Trace == nil {
+		c.Trace = trace.New()
+	}
+	return nil
+}
+
+// nodeMap returns the rank→node assignment of the config.
+func (c *Config) nodeMap() []int {
+	nodes := make([]int, c.Procs)
+	for r := range nodes {
+		nodes[r] = r / c.ProcsPerNode
+	}
+	return nodes
+}
+
+// numNodes returns the node count of the config.
+func (c *Config) numNodes() int {
+	return (c.Procs + c.ProcsPerNode - 1) / c.ProcsPerNode
+}
+
+// Fabric builds and runs a cluster of actors.
+type Fabric interface {
+	// Space returns the cluster's shared memory.
+	Space() *shmem.Space
+	// Config returns the cluster configuration.
+	Config() *Config
+	// SpawnUser registers the body of rank's user process.
+	SpawnUser(rank int, body func(Env))
+	// SpawnServer registers the body of node's data server. Servers are
+	// expected to run until every user process has finished; the fabric
+	// stops them afterwards by delivering a poison message, see Stop.
+	SpawnServer(node int, body func(Env))
+	// Run executes all registered actors to completion of the user
+	// processes and returns the first error (panic, deadlock, deadline).
+	Run() error
+}
+
+// fifoStamp tracks the per-(src,dst) pipe occupancy so that message
+// arrival times are monotonic per pair: a later message on the same pipe
+// never arrives before an earlier one, even if it is smaller.
+type fifoStamp struct {
+	last map[[2]msg.Addr]time.Duration
+}
+
+func newFifoStamp() *fifoStamp {
+	return &fifoStamp{last: make(map[[2]msg.Addr]time.Duration)}
+}
+
+// arrival computes the delivery time of a message sent at now from src to
+// dst with the given wire time, and records it.
+func (f *fifoStamp) arrival(src, dst msg.Addr, now, wire time.Duration) time.Duration {
+	key := [2]msg.Addr{src, dst}
+	at := now + wire
+	if prev := f.last[key]; at < prev {
+		at = prev
+	}
+	f.last[key] = at
+	return at
+}
+
+// wireTime computes the modeled wire time of m between the endpoints.
+func wireTime(p model.Params, space *shmem.Space, src, dst msg.Addr, m *msg.Message) time.Duration {
+	srcNode, dstNode := endpointNode(space, src), endpointNode(space, dst)
+	return p.WireTime(m.PayloadBytes(), srcNode == dstNode)
+}
+
+// endpointNode returns the node an endpoint lives on. Server-class
+// endpoints with IDs at or beyond the node count are NIC agents: agent i
+// serves node i - NumNodes (see msg.NICOf).
+func endpointNode(space *shmem.Space, a msg.Addr) int {
+	if a.Server {
+		if a.ID >= space.NumNodes() {
+			return a.ID - space.NumNodes()
+		}
+		return a.ID
+	}
+	return space.Node(a.ID)
+}

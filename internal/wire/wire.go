@@ -1,0 +1,255 @@
+// Package wire implements the binary framing used by the TCP fabric.
+// Every protocol message is encoded as a length-prefixed frame:
+//
+//	u32  body length (little endian)
+//	body ...
+//
+// The body is a fixed header followed by the variable-length stride
+// descriptor and payload. Encoding is deliberately explicit — no
+// reflection — so the format is stable, inspectable and cheap.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"armci/internal/msg"
+	"armci/internal/shmem"
+)
+
+// MaxFrame bounds the size of an accepted frame body to keep a corrupted
+// length prefix from provoking a huge allocation.
+const MaxFrame = 64 << 20
+
+// Hello is the first frame an endpoint sends the router: just an address,
+// encoded with the same primitives.
+func EncodeHello(a msg.Addr) []byte {
+	b := make([]byte, 0, 9)
+	b = appendAddr(b, a)
+	return frame(b)
+}
+
+// DecodeHello parses a hello frame body.
+func DecodeHello(body []byte) (msg.Addr, error) {
+	d := decoder{buf: body}
+	a := d.addr()
+	if d.err != nil {
+		return msg.Addr{}, fmt.Errorf("wire: bad hello: %w", d.err)
+	}
+	return a, nil
+}
+
+// Encode serializes m into a ready-to-write frame (length prefix
+// included). The Arrival field is not transmitted; it is fabric-local.
+func Encode(m *msg.Message) []byte {
+	b := make([]byte, 0, 96+len(m.Data))
+	b = append(b, byte(m.Kind))
+	b = appendAddr(b, m.Src)
+	b = appendAddr(b, m.Dst)
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(m.Origin)))
+	b = binary.LittleEndian.AppendUint64(b, m.Token)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Tag)))
+	b = appendPtr(b, m.Ptr)
+	b = appendStride(b, m.Stride)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Vec)))
+	for _, seg := range m.Vec {
+		b = appendPtr(b, seg.Ptr)
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(seg.N)))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(m.N)))
+	b = append(b, m.Op)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.Scale))
+	for _, v := range m.Operands {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Data)))
+	b = append(b, m.Data...)
+	return frame(b)
+}
+
+// Decode parses a frame body produced by Encode.
+func Decode(body []byte) (*msg.Message, error) {
+	d := decoder{buf: body}
+	m := &msg.Message{}
+	m.Kind = msg.Kind(d.u8())
+	m.Src = d.addr()
+	m.Dst = d.addr()
+	m.Origin = int(int32(d.u32()))
+	m.Token = d.u64()
+	m.Tag = int(int64(d.u64()))
+	m.Ptr = d.ptr()
+	m.Stride = d.stride()
+	if nv := int(d.u16()); nv > 0 && d.err == nil {
+		m.Vec = make([]msg.VecSeg, nv)
+		for i := range m.Vec {
+			m.Vec[i].Ptr = d.ptr()
+			m.Vec[i].N = int(int32(d.u32()))
+		}
+	}
+	m.N = int(int32(d.u32()))
+	m.Op = d.u8()
+	m.Scale = math.Float64frombits(d.u64())
+	for i := range m.Operands {
+		m.Operands[i] = int64(d.u64())
+	}
+	n := int(d.u32())
+	if d.err == nil && (n < 0 || n > len(d.buf)-d.pos) {
+		d.err = fmt.Errorf("wire: payload length %d exceeds remaining %d bytes", n, len(d.buf)-d.pos)
+	}
+	if d.err == nil && n > 0 {
+		m.Data = append([]byte(nil), d.buf[d.pos:d.pos+n]...)
+		d.pos += n
+	}
+	if d.err == nil && d.pos != len(d.buf) {
+		d.err = fmt.Errorf("wire: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return m, nil
+}
+
+// WriteFrame writes one pre-encoded frame to w.
+func WriteFrame(w io.Writer, f []byte) error {
+	_, err := w.Write(f)
+	return err
+}
+
+// ReadFrame reads one frame body from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("wire: short frame: %w", err)
+	}
+	return body, nil
+}
+
+func frame(body []byte) []byte {
+	out := make([]byte, 0, 4+len(body))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+func appendAddr(b []byte, a msg.Addr) []byte {
+	flag := byte(0)
+	if a.Server {
+		flag = 1
+	}
+	b = append(b, flag)
+	return binary.LittleEndian.AppendUint32(b, uint32(int32(a.ID)))
+}
+
+func appendPtr(b []byte, p shmem.Ptr) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Rank))
+	b = append(b, byte(p.Kind))
+	b = binary.LittleEndian.AppendUint32(b, uint32(p.Seg))
+	return binary.LittleEndian.AppendUint64(b, uint64(p.Off))
+}
+
+func appendStride(b []byte, s shmem.Strided) []byte {
+	b = append(b, byte(len(s.Count)))
+	for _, c := range s.Count {
+		b = binary.LittleEndian.AppendUint32(b, uint32(int32(c)))
+	}
+	b = append(b, byte(len(s.Stride)))
+	for _, st := range s.Stride {
+		b = binary.LittleEndian.AppendUint64(b, uint64(st))
+	}
+	return b
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated frame at byte %d of %d", d.pos, len(d.buf))
+	}
+}
+
+func (d *decoder) u8() byte {
+	if d.err != nil || d.pos+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) u16() uint16 {
+	if d.err != nil || d.pos+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.pos:])
+	d.pos += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.pos+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) addr() msg.Addr {
+	flag := d.u8()
+	id := int(int32(d.u32()))
+	return msg.Addr{Server: flag == 1, ID: id}
+}
+
+func (d *decoder) ptr() shmem.Ptr {
+	var p shmem.Ptr
+	p.Rank = int32(d.u32())
+	p.Kind = shmem.Kind(d.u8())
+	p.Seg = int32(d.u32())
+	p.Off = int64(d.u64())
+	return p
+}
+
+func (d *decoder) stride() shmem.Strided {
+	var s shmem.Strided
+	nc := int(d.u8())
+	if nc > 0 {
+		s.Count = make([]int, nc)
+		for i := range s.Count {
+			s.Count[i] = int(int32(d.u32()))
+		}
+	}
+	ns := int(d.u8())
+	if ns > 0 {
+		s.Stride = make([]int64, ns)
+		for i := range s.Stride {
+			s.Stride[i] = int64(d.u64())
+		}
+	}
+	return s
+}

@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"armci/internal/msg"
+	"armci/internal/shmem"
+)
+
+// randomMessage builds a structurally valid random message.
+func randomMessage(r *rand.Rand) *msg.Message {
+	m := &msg.Message{
+		Kind:   msg.Kind(1 + r.Intn(14)),
+		Src:    msg.Addr{Server: r.Intn(2) == 0, ID: r.Intn(1 << 16)},
+		Dst:    msg.Addr{Server: r.Intn(2) == 0, ID: r.Intn(1 << 16)},
+		Origin: r.Intn(1 << 16),
+		Token:  r.Uint64(),
+		Tag:    int(int32(r.Uint32())),
+		Op:     uint8(r.Intn(9)),
+		Scale:  r.NormFloat64(),
+		N:      r.Intn(1 << 20),
+	}
+	if r.Intn(2) == 0 {
+		m.Ptr = shmem.Ptr{
+			Rank: int32(r.Intn(1 << 16)),
+			Kind: shmem.Kind(1 + r.Intn(2)),
+			Seg:  int32(1 + r.Intn(1<<16)),
+			Off:  r.Int63n(1 << 40),
+		}
+	}
+	for i := range m.Operands {
+		m.Operands[i] = r.Int63() - r.Int63()
+	}
+	levels := r.Intn(4)
+	if levels > 0 || r.Intn(2) == 0 {
+		m.Stride = shmem.Strided{Count: []int{1 + r.Intn(256)}}
+		for l := 0; l < levels; l++ {
+			m.Stride.Count = append(m.Stride.Count, 1+r.Intn(16))
+			m.Stride.Stride = append(m.Stride.Stride, r.Int63n(1<<30))
+		}
+	}
+	if nv := r.Intn(5); nv > 0 {
+		m.Vec = make([]msg.VecSeg, nv)
+		for i := range m.Vec {
+			m.Vec[i] = msg.VecSeg{
+				Ptr: shmem.Ptr{Rank: int32(r.Intn(64)), Kind: shmem.KindByte,
+					Seg: int32(1 + r.Intn(8)), Off: r.Int63n(1 << 20)},
+				N: r.Intn(1 << 12),
+			}
+		}
+	}
+	if n := r.Intn(512); n > 0 {
+		m.Data = make([]byte, n)
+		r.Read(m.Data)
+	}
+	return m
+}
+
+// messagesEquivalent compares every wire-carried field.
+func messagesEquivalent(a, b *msg.Message) bool {
+	if a.Kind != b.Kind || a.Src != b.Src || a.Dst != b.Dst || a.Origin != b.Origin ||
+		a.Token != b.Token || a.Tag != b.Tag || a.Ptr != b.Ptr || a.N != b.N ||
+		a.Op != b.Op || a.Operands != b.Operands || !bytes.Equal(a.Data, b.Data) {
+		return false
+	}
+	if a.Scale != b.Scale && !(math.IsNaN(a.Scale) && math.IsNaN(b.Scale)) {
+		return false
+	}
+	if len(a.Stride.Count) != len(b.Stride.Count) || len(a.Stride.Stride) != len(b.Stride.Stride) {
+		return false
+	}
+	for i := range a.Stride.Count {
+		if a.Stride.Count[i] != b.Stride.Count[i] {
+			return false
+		}
+	}
+	for i := range a.Stride.Stride {
+		if a.Stride.Stride[i] != b.Stride.Stride[i] {
+			return false
+		}
+	}
+	if len(a.Vec) != len(b.Vec) {
+		return false
+	}
+	for i := range a.Vec {
+		if a.Vec[i] != b.Vec[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncodeDecodeRoundTrip is the codec property test.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randomMessage(r)
+		frame := Encode(m)
+		got, err := Decode(frame[4:])
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		return messagesEquivalent(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripThroughReader sends several frames through a byte stream
+// and reads them back with ReadFrame, as the TCP fabric does.
+func TestRoundTripThroughReader(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var stream bytes.Buffer
+	var sent []*msg.Message
+	for i := 0; i < 20; i++ {
+		m := randomMessage(r)
+		sent = append(sent, m)
+		if err := WriteFrame(&stream, Encode(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range sent {
+		body, err := ReadFrame(&stream)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := Decode(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !messagesEquivalent(want, got) {
+			t.Fatalf("frame %d corrupted:\nsent %+v\ngot  %+v", i, want, got)
+		}
+	}
+	if stream.Len() != 0 {
+		t.Fatalf("%d trailing bytes in stream", stream.Len())
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	for _, a := range []msg.Addr{msg.User(0), msg.User(123), msg.ServerOf(0), msg.ServerOf(7)} {
+		frame := EncodeHello(a)
+		got, err := DecodeHello(frame[4:])
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got != a {
+			t.Fatalf("hello round trip %v -> %v", a, got)
+		}
+	}
+}
+
+// TestTruncatedFramesError: every prefix of a valid body must produce an
+// error, never a garbage message or a panic.
+func TestTruncatedFramesError(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := randomMessage(r)
+	body := Encode(m)[4:]
+	for cut := 0; cut < len(body); cut++ {
+		if _, err := Decode(body[:cut]); err == nil {
+			// A truncated payload length can still parse if the data
+			// section happens to be self-consistent; only full length
+			// must succeed.
+			t.Fatalf("truncation at %d of %d decoded successfully", cut, len(body))
+		}
+	}
+	if _, err := Decode(body); err != nil {
+		t.Fatalf("full body failed: %v", err)
+	}
+}
+
+func TestTrailingGarbageErrors(t *testing.T) {
+	m := &msg.Message{Kind: msg.KindColl, Tag: 1}
+	body := Encode(m)[4:]
+	if _, err := Decode(append(body, 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestReadFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // 4 GiB frame claim
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReadFrameShortBody(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{16, 0, 0, 0, 1, 2, 3}) // claims 16 bytes, has 3
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("short body accepted")
+	}
+}
+
+func TestPayloadLengthOverrun(t *testing.T) {
+	m := &msg.Message{Kind: msg.KindPut, Data: []byte{1, 2, 3, 4}}
+	body := Encode(m)[4:]
+	// Corrupt the payload length field (last 4 bytes before data).
+	body[len(body)-8] = 0xFF
+	if _, err := Decode(body); err == nil {
+		t.Fatal("overrun payload length accepted")
+	}
+}

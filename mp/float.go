@@ -1,0 +1,29 @@
+package mp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Float64sToBytes encodes a float64 vector little-endian, the layout the
+// shared byte segments use.
+func Float64sToBytes(vec []float64) []byte {
+	out := make([]byte, 8*len(vec))
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// BytesToFloat64s decodes a little-endian float64 vector.
+func BytesToFloat64s(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic(fmt.Sprintf("mp: float64 payload of %d bytes", len(b)))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package mp_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"armci"
+	"armci/mp"
+)
+
+func runMP(t *testing.T, procs int, body func(c *mp.Comm)) {
+	t.Helper()
+	_, err := armci.Run(armci.Options{Procs: procs, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		body(mp.Attach(p))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	runMP(t, 2, func(c *mp.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("ping"))
+			if got := c.Recv(1, 8); string(got) != "pong" {
+				panic(fmt.Sprintf("got %q", got))
+			}
+		} else {
+			if got := c.Recv(0, 7); string(got) != "ping" {
+				panic(fmt.Sprintf("got %q", got))
+			}
+			c.Send(0, 8, []byte("pong"))
+		}
+	})
+}
+
+// TestTagSelectivity: receives match on (source, tag) even when messages
+// arrive out of request order.
+func TestTagSelectivity(t *testing.T) {
+	runMP(t, 2, func(c *mp.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("a"))
+			c.Send(1, 2, []byte("b"))
+			c.Send(1, 3, []byte("c"))
+		} else {
+			if string(c.Recv(0, 3)) != "c" || string(c.Recv(0, 1)) != "a" || string(c.Recv(0, 2)) != "b" {
+				panic("tag matching broke")
+			}
+		}
+	})
+}
+
+func TestSendRecvVectors(t *testing.T) {
+	runMP(t, 2, func(c *mp.Comm) {
+		if c.Rank() == 0 {
+			c.SendInt64s(1, 0, []int64{1, -2, 1 << 40})
+			c.SendFloat64s(1, 1, []float64{3.5, -0.25, math.Inf(1)})
+		} else {
+			iv := c.RecvInt64s(0, 0)
+			if iv[0] != 1 || iv[1] != -2 || iv[2] != 1<<40 {
+				panic(fmt.Sprintf("int64s %v", iv))
+			}
+			fv := c.RecvFloat64s(0, 1)
+			if fv[0] != 3.5 || fv[1] != -0.25 || !math.IsInf(fv[2], 1) {
+				panic(fmt.Sprintf("float64s %v", fv))
+			}
+		}
+	})
+}
+
+// TestBcastAllRootsAllSizes: every root distributes correctly for
+// power-of-two and odd process counts.
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 4, 5, 7, 8} {
+		for root := 0; root < procs; root++ {
+			t.Run(fmt.Sprintf("procs=%d/root=%d", procs, root), func(t *testing.T) {
+				payload := []byte(fmt.Sprintf("from-%d", root))
+				runMP(t, procs, func(c *mp.Comm) {
+					var in []byte
+					if c.Rank() == root {
+						in = payload
+					}
+					got := c.Bcast(root, in)
+					if !bytes.Equal(got, payload) {
+						panic(fmt.Sprintf("rank %d got %q", c.Rank(), got))
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	for _, procs := range []int{1, 3, 4, 6} {
+		runMP(t, procs, func(c *mp.Comm) {
+			mine := []byte{byte(c.Rank() + 1), byte(c.Rank() * 2)}
+			got := c.Gather(0, mine)
+			if c.Rank() != 0 {
+				if got != nil {
+					panic("non-root received data")
+				}
+				return
+			}
+			for r := 0; r < procs; r++ {
+				want := []byte{byte(r + 1), byte(r * 2)}
+				if !bytes.Equal(got[r], want) {
+					panic(fmt.Sprintf("slot %d = %v", r, got[r]))
+				}
+			}
+		})
+	}
+}
+
+func TestAllReduceThroughComm(t *testing.T) {
+	runMP(t, 5, func(c *mp.Comm) {
+		vec := []int64{int64(c.Rank()), 1}
+		c.AllReduceSumInt64(vec)
+		if vec[0] != 10 || vec[1] != 5 {
+			panic(fmt.Sprintf("allreduce %v", vec))
+		}
+	})
+}
+
+// TestBarrierThenTraffic: barriers and point-to-point traffic share the
+// fabric without cross-matching.
+func TestBarrierThenTraffic(t *testing.T) {
+	runMP(t, 4, func(c *mp.Comm) {
+		me, n := c.Rank(), c.Size()
+		for round := 0; round < 4; round++ {
+			c.Send((me+1)%n, round, []byte{byte(me)})
+			got := c.Recv((me-1+n)%n, round)
+			if got[0] != byte((me-1+n)%n) {
+				panic("ring payload wrong")
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestReservedTagRejected(t *testing.T) {
+	runMP(t, 1, func(c *mp.Comm) {
+		defer func() {
+			if recover() == nil {
+				panic("reserved tag accepted")
+			}
+		}()
+		c.Send(0, 1<<30, nil)
+	})
+}
+
+// TestFloatBytesRoundTrip is the property test for the codec helpers.
+func TestFloatBytesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vec := make([]float64, r.Intn(64))
+		for i := range vec {
+			vec[i] = r.NormFloat64() * math.Pow(10, float64(r.Intn(20)-10))
+		}
+		got := mp.BytesToFloat64s(mp.Float64sToBytes(vec))
+		if len(got) != len(vec) {
+			return false
+		}
+		for i := range vec {
+			if got[i] != vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBigBcastPayload pushes a large buffer down the tree.
+func TestBigBcastPayload(t *testing.T) {
+	payload := make([]byte, 256<<10)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	runMP(t, 6, func(c *mp.Comm) {
+		var in []byte
+		if c.Rank() == 2 {
+			in = payload
+		}
+		got := c.Bcast(2, in)
+		if !bytes.Equal(got, payload) {
+			panic("big bcast corrupted")
+		}
+	})
+}

@@ -1,0 +1,331 @@
+package armci_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"armci"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []armci.Options{
+		{Procs: 0},
+		{Procs: -3},
+		{Procs: 2, Preset: "warp-drive"},
+		{Procs: 2, NumMutexes: 2, LockHomes: []int{0}},       // length mismatch
+		{Procs: 2, Fabric: armci.FabricKind(99)},             // unknown fabric
+		{Procs: 2, NumMutexes: 0, LockHomes: []int{0, 1, 2}}, // homes without mutexes
+	}
+	for i, opt := range cases {
+		if _, err := armci.Run(opt, func(p *armci.Proc) {}); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, opt)
+		}
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	rep, err := armci.Run(armci.Options{
+		Procs:  2,
+		Fabric: armci.FabricSim,
+		Preset: armci.PresetMyrinet2000,
+	}, func(p *armci.Proc) {
+		ptrs := p.MallocWords(1)
+		if p.Rank() == 0 {
+			p.Store(ptrs[1], 1)
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Fatal("virtual elapsed time not reported")
+	}
+	if rep.Stats.Sends() == 0 {
+		t.Fatal("trace empty")
+	}
+}
+
+// TestSimRunsAreDeterministic: two identical simulated runs produce the
+// identical captured message stream and elapsed time — the property that
+// makes the benchmark figures reproducible.
+func TestSimRunsAreDeterministic(t *testing.T) {
+	run := func() (string, time.Duration) {
+		rep, err := armci.Run(armci.Options{
+			Procs:        6,
+			Fabric:       armci.FabricSim,
+			Preset:       armci.PresetMyrinet2000,
+			CaptureTrace: true,
+			NumMutexes:   1,
+		}, func(p *armci.Proc) {
+			ptrs := p.Malloc(64)
+			payload := bytes.Repeat([]byte{byte(p.Rank())}, 32)
+			mu := p.Mutex(0, armci.LockQueue)
+			for round := 0; round < 3; round++ {
+				for q := 0; q < p.Size(); q++ {
+					if q != p.Rank() {
+						p.Put(ptrs[q], payload)
+					}
+				}
+				p.Barrier()
+				mu.Lock()
+				mu.Unlock()
+			}
+			p.Barrier()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Stats.Fingerprint(), rep.Elapsed
+	}
+	fp1, t1 := run()
+	fp2, t2 := run()
+	if fp1 != fp2 {
+		t.Fatal("identical runs produced different message streams")
+	}
+	if t1 != t2 {
+		t.Fatalf("identical runs took %v and %v", t1, t2)
+	}
+}
+
+// TestSMPNodes: with several ranks per node, co-located traffic bypasses
+// the network entirely and locks exploit the local fast path.
+func TestSMPNodes(t *testing.T) {
+	rep, err := armci.Run(armci.Options{
+		Procs:        4,
+		ProcsPerNode: 4, // one SMP node: everything is local
+		Fabric:       armci.FabricSim,
+		NumMutexes:   1,
+	}, func(p *armci.Proc) {
+		if p.NumNodes() != 1 || p.MyNode() != 0 {
+			panic("topology wrong")
+		}
+		ptrs := p.MallocWords(4)
+		mu := p.Mutex(0, armci.LockQueue)
+		for i := 0; i < 10; i++ {
+			mu.Lock()
+			v := p.Load(ptrs[0])
+			p.Store(ptrs[0], v+1)
+			mu.Unlock()
+		}
+		p.Barrier()
+		if p.Rank() == 0 && p.Load(ptrs[0]) != 40 {
+			panic(fmt.Sprintf("counter = %d", p.Load(ptrs[0])))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only collective messages (Malloc exchange + barriers) may cross
+	// the fabric; no puts, gets, RMWs or lock messages.
+	sum := rep.Stats.Summary()
+	for _, forbidden := range []string{"put=", "rmw=", "lock-req=", "unlock="} {
+		if contains(sum, forbidden) {
+			t.Fatalf("single-node run sent remote traffic: %s", sum)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+// TestFenceAckModePublic: the LAPI/VIA-like mode works through the public
+// API on every fabric.
+func TestFenceAckModePublic(t *testing.T) {
+	for _, fk := range fabrics {
+		t.Run(fk.String(), func(t *testing.T) {
+			const procs = 4
+			_, err := armci.Run(armci.Options{
+				Procs:     procs,
+				Fabric:    fk,
+				FenceMode: armci.FenceAck,
+			}, func(p *armci.Proc) {
+				ptrs := p.MallocWords(procs)
+				me := p.Rank()
+				for q := 0; q < procs; q++ {
+					if q != me {
+						p.Store(ptrs[q].Add(int64(me)), int64(me+1))
+					}
+				}
+				p.Barrier()
+				for q := 0; q < procs; q++ {
+					if q != me {
+						if got := p.Load(ptrs[me].Add(int64(q))); got != int64(q+1) {
+							panic(fmt.Sprintf("rank %d missing write from %d", me, q))
+						}
+					}
+				}
+				p.Barrier()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestNbGetOverlap: non-blocking gets return correct data after
+// intervening operations, locally and remotely.
+func TestNbGetOverlap(t *testing.T) {
+	_, err := armci.Run(armci.Options{Procs: 2, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		ptrs := p.Malloc(64)
+		me := p.Rank()
+		fill := bytes.Repeat([]byte{byte(me + 1)}, 64)
+		p.Put(ptrs[me], fill) // local
+		p.Barrier()
+
+		// Issue both remote and local gets, interleave other work, then
+		// collect in reverse order.
+		words := p.MallocWords(1)
+		hRemote := p.NbGet(ptrs[1-me], 64)
+		hLocal := p.NbGet(ptrs[me], 64)
+		p.FetchAdd(words[1-me], 1) // unrelated remote traffic in between
+		local := hLocal.Wait()
+		remote := hRemote.Wait()
+		if !bytes.Equal(local, fill) {
+			panic("local nbget wrong")
+		}
+		if !bytes.Equal(remote, bytes.Repeat([]byte{byte(2 - me)}, 64)) {
+			panic("remote nbget wrong")
+		}
+		p.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNbGetDoubleWaitPanics documents the single-use contract.
+func TestNbGetDoubleWaitPanics(t *testing.T) {
+	_, err := armci.Run(armci.Options{Procs: 1, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		ptr := p.MallocLocal(8)
+		h := p.NbGet(ptr, 8)
+		h.Wait()
+		defer func() {
+			if recover() == nil {
+				panic("double Wait did not panic")
+			}
+		}()
+		h.Wait()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJitterStress: with random extra delays on every message, the sync
+// and lock protocols stay correct on the concurrent fabric.
+func TestJitterStress(t *testing.T) {
+	const procs, iters = 4, 10
+	_, err := armci.Run(armci.Options{
+		Procs:      procs,
+		Fabric:     armci.FabricChan,
+		NumMutexes: 1,
+		Jitter:     300 * time.Microsecond,
+		JitterSeed: 7,
+	}, func(p *armci.Proc) {
+		ptrs := p.MallocWords(procs)
+		mu := p.Mutex(0, armci.LockQueue)
+		me := p.Rank()
+		for i := 0; i < iters; i++ {
+			for q := 0; q < procs; q++ {
+				if q != me {
+					p.Store(ptrs[q].Add(int64(me)), int64(i+1))
+				}
+			}
+			p.Barrier()
+			for q := 0; q < procs; q++ {
+				if q != me {
+					if got := p.Load(ptrs[me].Add(int64(q))); got != int64(i+1) {
+						panic(fmt.Sprintf("iter %d: stale value %d from %d", i, got, q))
+					}
+				}
+			}
+			mu.Lock()
+			v := p.Load(ptrs[0].Add(int64(procs - 1)))
+			p.Store(ptrs[0].Add(int64(procs-1)), v)
+			mu.Unlock()
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFetchAddOnBytePtrPanics: word operations demand word pointers.
+func TestFetchAddOnBytePtrPanics(t *testing.T) {
+	_, err := armci.Run(armci.Options{Procs: 1, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		b := p.MallocLocal(8)
+		defer func() {
+			if recover() == nil {
+				panic("byte-pointer FetchAdd did not panic")
+			}
+		}()
+		p.FetchAdd(b, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMutexMisuse: index errors and missing configuration panic loudly.
+func TestMutexMisuse(t *testing.T) {
+	_, err := armci.Run(armci.Options{Procs: 1, Fabric: armci.FabricSim, NumMutexes: 1}, func(p *armci.Proc) {
+		for _, fn := range []func(){
+			func() { p.Mutex(1, armci.LockQueue) },  // out of range
+			func() { p.Mutex(-1, armci.LockQueue) }, // negative
+			func() { p.Mutex(0, armci.LockAlg(9)) }, // unknown algorithm
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						panic("expected a panic")
+					}
+				}()
+				fn()
+			}()
+		}
+		if p.LockHome(0) != 0 {
+			panic("lock home wrong")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = armci.Run(armci.Options{Procs: 1, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		defer func() {
+			if recover() == nil {
+				panic("Mutex without NumMutexes did not panic")
+			}
+		}()
+		p.Mutex(0, armci.LockQueue)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllReduceFloatPublic: the float all-reduce is exact on integers and
+// identical across ranks.
+func TestAllReduceFloatPublic(t *testing.T) {
+	const procs = 6
+	results := make([]float64, procs)
+	_, err := armci.Run(armci.Options{Procs: procs, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		vec := []float64{float64(p.Rank() + 1), 0.5}
+		p.AllReduceSumFloat64(vec)
+		results[p.Rank()] = vec[0]
+		if vec[1] != 3.0 {
+			panic(fmt.Sprintf("fraction sum %v", vec[1]))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range results {
+		if v != 21 {
+			t.Fatalf("rank %d sum %v, want 21", r, v)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package armci
+
+import (
+	"fmt"
+	"time"
+
+	"armci/internal/collective"
+	"armci/internal/core"
+	"armci/internal/proc"
+	"armci/internal/shmem"
+	"armci/internal/transport"
+)
+
+// Proc is a rank's handle to the cluster: every ARMCI operation is a
+// method on it. A Proc is only valid inside the body passed to Run, and
+// only on the goroutine (or simulated process) that received it.
+type Proc struct {
+	eng   *proc.Engine
+	comm  *collective.Comm
+	sync  *core.Sync
+	locks *proc.LockTable
+}
+
+// Rank returns this process's rank, in [0, Size).
+func (p *Proc) Rank() int { return p.eng.Rank() }
+
+// Size returns the number of processes in the cluster.
+func (p *Proc) Size() int { return p.eng.Size() }
+
+// NumNodes returns the number of SMP nodes.
+func (p *Proc) NumNodes() int { return p.eng.Env().NumNodes() }
+
+// NodeOf returns the node hosting the given rank.
+func (p *Proc) NodeOf(rank int) int { return p.eng.Env().Node(rank) }
+
+// MyNode returns the caller's node.
+func (p *Proc) MyNode() int { return p.NodeOf(p.Rank()) }
+
+// Now returns the fabric time (virtual on the simulated fabric, wall
+// otherwise) — the clock experiments measure with.
+func (p *Proc) Now() time.Duration { return p.eng.Env().Clock().Now() }
+
+// Env exposes the underlying execution environment for the library's
+// companion packages (ga, mp) and the benchmark harness.
+func (p *Proc) Env() transport.Env { return p.eng.Env() }
+
+// Engine exposes the underlying ARMCI engine (companion packages only).
+func (p *Proc) Engine() *proc.Engine { return p.eng }
+
+// --- memory management ---
+
+// MallocLocal allocates n bytes of remotely accessible memory owned by
+// the calling rank. Other ranks may use the returned pointer once they
+// learn it (for example from Malloc, which is collective).
+func (p *Proc) MallocLocal(n int) Ptr {
+	return p.eng.Env().Space().AllocBytes(p.Rank(), n)
+}
+
+// MallocWordsLocal allocates n words (int64 cells) owned by the caller.
+func (p *Proc) MallocWordsLocal(n int) Ptr {
+	return p.eng.Env().Space().AllocWords(p.Rank(), n)
+}
+
+// Malloc is the collective allocator (ARMCI_Malloc): every rank calls it
+// with the same n; each rank allocates n bytes locally and the call
+// returns the pointers of all ranks, indexed by rank. The exchange makes
+// the call synchronizing.
+func (p *Proc) Malloc(n int) []Ptr {
+	return p.exchangePtrs(p.MallocLocal(n))
+}
+
+// MallocWords is the collective word allocator: like Malloc, for word
+// segments.
+func (p *Proc) MallocWords(n int) []Ptr {
+	return p.exchangePtrs(p.MallocWordsLocal(n))
+}
+
+// exchangePtrs all-gathers one pointer per rank.
+func (p *Proc) exchangePtrs(mine Ptr) []Ptr {
+	n := p.Size()
+	vec := make([]int64, 2*n)
+	hi, lo := mine.Pack()
+	vec[2*p.Rank()], vec[2*p.Rank()+1] = hi, lo
+	p.comm.AllReduceSumInt64(vec)
+	out := make([]Ptr, n)
+	for r := 0; r < n; r++ {
+		out[r] = shmem.Unpack(vec[2*r], vec[2*r+1])
+	}
+	return out
+}
+
+// --- one-sided data operations ---
+
+// Put copies data into the byte memory at dst. Non-blocking: completion
+// at the destination is guaranteed only after a fence covering dst's node
+// (Fence, AllFence or Barrier).
+func (p *Proc) Put(dst Ptr, data []byte) { p.eng.Put(dst, data) }
+
+// PutStrided scatters data into the strided region at dst (ARMCI_PutS).
+// Non-blocking like Put.
+func (p *Proc) PutStrided(dst Ptr, d Strided, data []byte) { p.eng.PutStrided(dst, d, data) }
+
+// Get copies n bytes from the byte memory at src. Blocking.
+func (p *Proc) Get(src Ptr, n int) []byte { return p.eng.Get(src, n) }
+
+// GetStrided gathers the strided region at src (ARMCI_GetS). Blocking.
+func (p *Proc) GetStrided(src Ptr, d Strided) []byte { return p.eng.GetStrided(src, d) }
+
+// Handle tracks a non-blocking get (ARMCI_NbGet / armci_hdl_t); collect
+// the data with Wait.
+type Handle = proc.Handle
+
+// NbGet starts a non-blocking get of n bytes at src, letting the caller
+// overlap communication with computation before calling Wait.
+func (p *Proc) NbGet(src Ptr, n int) *Handle { return p.eng.NbGet(src, n) }
+
+// NbGetStrided starts a non-blocking strided get.
+func (p *Proc) NbGetStrided(src Ptr, d Strided) *Handle { return p.eng.NbGetStrided(src, d) }
+
+// Accumulate atomically adds scale*data into the strided region at dst
+// (ARMCI_AccS). Non-blocking and fence-counted like Put.
+func (p *Proc) Accumulate(op AccOp, dst Ptr, d Strided, data []byte, scale float64) {
+	p.eng.Accumulate(op, dst, d, data, scale)
+}
+
+// VecPiece is one segment of a vector put: destination and payload.
+type VecPiece = proc.VecPiece
+
+// VecRead is one segment of a vector get: source and length.
+type VecRead = proc.VecRead
+
+// PutV writes many disjoint segments of one rank's memory with a single
+// message (ARMCI_PutV). Non-blocking and fence-counted.
+func (p *Proc) PutV(pieces []VecPiece) { p.eng.PutV(pieces) }
+
+// GetV reads many disjoint segments of one rank's memory with a single
+// request/response pair (ARMCI_GetV). Blocking; buffers are returned in
+// order.
+func (p *Proc) GetV(reads []VecRead) [][]byte { return p.eng.GetV(reads) }
+
+// --- atomic word operations (ARMCI_Rmw and the paper's pair extensions) ---
+
+// FetchAdd atomically adds delta to the word at ptr, returning the prior
+// value.
+func (p *Proc) FetchAdd(ptr Ptr, delta int64) int64 { return p.eng.FetchAdd(ptr, delta) }
+
+// Swap atomically replaces the word at ptr, returning the prior value.
+func (p *Proc) Swap(ptr Ptr, v int64) int64 { return p.eng.Swap(ptr, v) }
+
+// CompareAndSwap stores new at ptr if it holds old, returning the
+// observed value.
+func (p *Proc) CompareAndSwap(ptr Ptr, old, new int64) int64 {
+	return p.eng.CompareAndSwap(ptr, old, new)
+}
+
+// SwapPair atomically replaces the pair of words at ptr.
+func (p *Proc) SwapPair(ptr Ptr, v Pair) Pair { return p.eng.SwapPair(ptr, v) }
+
+// CompareAndSwapPair stores new at the pair at ptr if it holds old,
+// returning the observed pair.
+func (p *Proc) CompareAndSwapPair(ptr Ptr, old, new Pair) Pair {
+	return p.eng.CompareAndSwapPair(ptr, old, new)
+}
+
+// LoadPair atomically reads the pair of words at ptr.
+func (p *Proc) LoadPair(ptr Ptr) Pair { return p.eng.LoadPair(ptr) }
+
+// Load atomically reads the word at ptr.
+func (p *Proc) Load(ptr Ptr) int64 { return p.eng.Load(ptr) }
+
+// Store writes the word at ptr; fire-and-forget and fence-counted when
+// remote.
+func (p *Proc) Store(ptr Ptr, v int64) { p.eng.Store(ptr, v) }
+
+// StorePair writes the pair at ptr; fire-and-forget and fence-counted
+// when remote.
+func (p *Proc) StorePair(ptr Ptr, v Pair) { p.eng.StorePair(ptr, v) }
+
+// --- fences and barriers ---
+
+// Fence blocks until all of the caller's fence-counted operations to the
+// given node have completed there (ARMCI_Fence).
+func (p *Proc) Fence(node int) { p.eng.Fence(node) }
+
+// AllFence blocks until all of the caller's fence-counted operations have
+// completed everywhere (ARMCI_AllFence, the original serialized
+// implementation).
+func (p *Proc) AllFence() { p.eng.AllFence() }
+
+// MPIBarrier performs a plain barrier synchronization.
+func (p *Proc) MPIBarrier() { p.sync.MPIBarrier() }
+
+// AllReduceSumInt64 element-wise sums vec across all ranks (collective;
+// every rank must call it with a vector of the same length). On return
+// every rank holds the identical summed vector.
+func (p *Proc) AllReduceSumInt64(vec []int64) { p.comm.AllReduceSumInt64(vec) }
+
+// AllReduceSumFloat64 element-wise sums a float64 vector across all ranks
+// (collective). All ranks return bit-identical results.
+func (p *Proc) AllReduceSumFloat64(vec []float64) { p.comm.AllReduceSumFloat64(vec) }
+
+// SyncOld is the original GA_Sync: AllFence followed by MPIBarrier.
+func (p *Proc) SyncOld() { p.sync.SyncOld() }
+
+// SyncOldPipelined is SyncOld with the fence round trips overlapped — an
+// ablation, not a paper configuration.
+func (p *Proc) SyncOldPipelined() { p.sync.SyncOldPipelined() }
+
+// Barrier is the paper's new combined operation ARMCI_Barrier():
+// semantically AllFence+MPIBarrier, in 2·log₂(N) message latencies.
+func (p *Proc) Barrier() { p.sync.Barrier() }
+
+// --- distributed mutexes ---
+
+// LockAlg selects a mutual-exclusion algorithm.
+type LockAlg uint8
+
+const (
+	// LockHybrid is the original ARMCI lock: ticket-based locally,
+	// server-queued remotely (§3.2.1).
+	LockHybrid LockAlg = iota
+	// LockQueue is the paper's software queuing (MCS) lock (§3.2.2).
+	LockQueue
+	// LockQueueNoCAS is the future-work variant releasing with swap
+	// instead of compare&swap.
+	LockQueueNoCAS
+	// LockTicket is the pure ticket lock; callers must be on the lock's
+	// home node.
+	LockTicket
+)
+
+func (a LockAlg) String() string {
+	switch a {
+	case LockHybrid:
+		return "hybrid"
+	case LockQueue:
+		return "queue"
+	case LockQueueNoCAS:
+		return "queue-nocas"
+	case LockTicket:
+		return "ticket"
+	}
+	return fmt.Sprintf("LockAlg(%d)", uint8(a))
+}
+
+// Mutex is a distributed lock handle.
+type Mutex = core.Mutex
+
+// Mutex returns the caller's handle to cluster lock idx (created via
+// Options.NumMutexes) under the chosen algorithm. All processes must use
+// the same algorithm for a given lock index.
+func (p *Proc) Mutex(idx int, alg LockAlg) Mutex {
+	if p.locks == nil {
+		panic("armci: run was configured with NumMutexes == 0")
+	}
+	if idx < 0 || idx >= p.locks.NumLocks() {
+		panic(fmt.Sprintf("armci: mutex index %d out of range [0,%d)", idx, p.locks.NumLocks()))
+	}
+	switch alg {
+	case LockHybrid:
+		return core.NewHybrid(p.eng, p.locks, idx)
+	case LockQueue:
+		return core.NewQueueLock(p.eng, p.locks, idx)
+	case LockQueueNoCAS:
+		return core.NewQueueLockNoCAS(p.eng, p.locks, idx)
+	case LockTicket:
+		return core.NewTicket(p.eng, p.locks, idx)
+	}
+	panic(fmt.Sprintf("armci: unknown lock algorithm %v", alg))
+}
+
+// LockHome returns the home rank of cluster lock idx.
+func (p *Proc) LockHome(idx int) int {
+	if p.locks == nil {
+		panic("armci: run was configured with NumMutexes == 0")
+	}
+	return p.locks.Home[idx]
+}
