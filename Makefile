@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full verification gate (vet + build + tests + race detector over
+# the internal packages). Referenced from ROADMAP.md's tier-1 verify.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem

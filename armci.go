@@ -31,6 +31,7 @@ import (
 	"armci/internal/collective"
 	"armci/internal/core"
 	"armci/internal/model"
+	"armci/internal/pipeline"
 	"armci/internal/proc"
 	"armci/internal/server"
 	"armci/internal/shmem"
@@ -54,6 +55,24 @@ const (
 	AccFloat64 = shmem.AccFloat64
 	AccInt64   = shmem.AccInt64
 )
+
+// Faults configures deterministic fault injection on any fabric: uniform
+// jitter, per-pair latency spikes and bounded duplicate delivery, all
+// derived from a seed so a fault pattern replays identically across runs
+// and fabrics. Per-pair FIFO order is preserved and duplicates are
+// suppressed at the receiver, so protocol code still observes reliable
+// exactly-once delivery. The zero value disables faults.
+type Faults = pipeline.Faults
+
+// Metrics collects per-kind and per-pair message latency histograms,
+// fault counters and (optionally) a delivery timeline from the transport
+// pipeline. One Metrics may be shared across runs to aggregate an
+// experiment.
+type Metrics = pipeline.Metrics
+
+// NewMetrics returns an empty latency-metrics collector to pass in
+// Options.Metrics.
+func NewMetrics() *Metrics { return pipeline.NewMetrics() }
 
 // Contig returns the strided descriptor of a contiguous n-byte run.
 func Contig(n int) Strided { return shmem.Contig(n) }
@@ -166,11 +185,22 @@ type Options struct {
 	NICAssist bool
 	// CaptureTrace records every message send for inspection.
 	CaptureTrace bool
+	// Faults configures deterministic fault injection (jitter, latency
+	// spikes, duplicate delivery) on every fabric. Zero value: no faults.
+	Faults Faults
+	// Metrics, if non-nil, collects per-kind/per-pair message latency
+	// histograms, fault counters and (with Metrics.SetTimeline) a
+	// delivery timeline from the run.
+	Metrics *Metrics
 	// Jitter, when positive, adds a uniformly random extra delay in
-	// [0, Jitter) to every message on FabricChan — a robustness stress
-	// knob. Per-pair FIFO delivery is preserved.
+	// [0, Jitter) to every message. Per-pair FIFO delivery is preserved.
+	//
+	// Deprecated: use Faults.Jitter, which applies on every fabric and
+	// composes with the other fault knobs.
 	Jitter time.Duration
 	// JitterSeed seeds the jitter generator (0 uses a fixed default).
+	//
+	// Deprecated: use Faults.Seed.
 	JitterSeed int64
 	// ScheduleSeed, when non-zero, randomizes (reproducibly) which of the
 	// simultaneously runnable simulated processes runs next on FabricSim —
@@ -188,6 +218,9 @@ type Report struct {
 	Elapsed time.Duration
 	// Stats is the message-trace collector of the run.
 	Stats *trace.Stats
+	// Metrics is the latency-metrics collector of the run (nil unless
+	// Options.Metrics was set).
+	Metrics *Metrics
 }
 
 // Run builds a cluster per opt, executes body once per rank (concurrently
@@ -212,6 +245,8 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 		ProcsPerNode: opt.ProcsPerNode,
 		Model:        params,
 		Trace:        stats,
+		Faults:       opt.Faults,
+		Metrics:      opt.Metrics,
 		Jitter:       opt.Jitter,
 		JitterSeed:   opt.JitterSeed,
 		ScheduleSeed: opt.ScheduleSeed,
@@ -286,7 +321,7 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 	if err := fabric.Run(); err != nil {
 		return nil, err
 	}
-	rep := &Report{Stats: stats}
+	rep := &Report{Stats: stats, Metrics: opt.Metrics}
 	if simF != nil {
 		rep.Elapsed = simF.Now()
 	} else {

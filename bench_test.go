@@ -160,6 +160,9 @@ func BenchmarkCrossover(b *testing.B) {
 // are Go-scheduler numbers, not cluster numbers; the point is that the
 // protocol code itself is cheap and the new path moves fewer messages.
 func BenchmarkWireSync(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping socket-crossing wall-time benchmark in -short mode")
+	}
 	for _, fk := range []armci.FabricKind{armci.FabricChan, armci.FabricTCP} {
 		for _, mode := range []string{"old", "new"} {
 			b.Run(fmt.Sprintf("%v/%s", fk, mode), func(b *testing.B) {
@@ -192,6 +195,9 @@ func BenchmarkWireSync(b *testing.B) {
 // BenchmarkWireLock measures one lock+unlock cycle per op on the real
 // in-process fabric under contention, per algorithm.
 func BenchmarkWireLock(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping contended wall-time benchmark in -short mode")
+	}
 	for _, alg := range []armci.LockAlg{armci.LockHybrid, armci.LockQueue, armci.LockQueueNoCAS} {
 		b.Run(alg.String(), func(b *testing.B) {
 			const procs = 4

@@ -1,0 +1,175 @@
+package armci_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"armci"
+)
+
+// faultPlan is the stress plan the invariant tests run under: jitter on
+// every message, occasional latency spikes dragging a whole pipe, and
+// frequent duplicate deliveries.
+func faultPlan(seed int64) armci.Faults {
+	return armci.Faults{
+		Seed:       seed,
+		Jitter:     200 * time.Microsecond,
+		SpikeProb:  0.05,
+		SpikeDelay: time.Millisecond,
+		DupProb:    0.2,
+	}
+}
+
+// TestSyncInvariantsUnderFaults: every lock algorithm and the barrier
+// keep their guarantees on every fabric while the pipeline injects
+// jitter, latency spikes and duplicate deliveries. Mutual exclusion is
+// checked by a read-modify-write counter that would lose increments on
+// any overlap; barrier semantics by the visibility of pre-barrier puts.
+func TestSyncInvariantsUnderFaults(t *testing.T) {
+	const procs, iters = 4, 4
+	for _, fabric := range []armci.FabricKind{armci.FabricSim, armci.FabricChan, armci.FabricTCP} {
+		for _, alg := range []armci.LockAlg{armci.LockHybrid, armci.LockQueue, armci.LockQueueNoCAS} {
+			t.Run(fmt.Sprintf("%v/%v", fabric, alg), func(t *testing.T) {
+				metrics := armci.NewMetrics()
+				rep, err := armci.Run(armci.Options{
+					Procs:      procs,
+					Fabric:     fabric,
+					NumMutexes: 1,
+					Faults:     faultPlan(11),
+					Metrics:    metrics,
+				}, func(p *armci.Proc) {
+					ptrs := p.MallocWords(procs + 1)
+					counter := ptrs[0]
+					mu := p.Mutex(0, alg)
+					me := p.Rank()
+					for i := 0; i < iters; i++ {
+						// Publish this round to every peer, then barrier:
+						// all pre-barrier puts must be visible after it.
+						for q := 0; q < procs; q++ {
+							if q != me {
+								p.Store(ptrs[q].Add(int64(1+me)), int64(i+1))
+							}
+						}
+						p.Barrier()
+						for q := 0; q < procs; q++ {
+							if q != me {
+								if got := p.Load(ptrs[me].Add(int64(1 + q))); got != int64(i+1) {
+									panic(fmt.Sprintf("iter %d: stale value %d from %d", i, got, q))
+								}
+							}
+						}
+						// A non-atomic read-modify-write: only mutual
+						// exclusion keeps the count exact. The put must be
+						// fenced before the hand-off, as in any ARMCI
+						// critical section.
+						mu.Lock()
+						p.Store(counter, p.Load(counter)+1)
+						p.AllFence()
+						mu.Unlock()
+						p.Barrier()
+					}
+					if me == 0 {
+						if got := p.Load(counter); got != int64(procs*iters) {
+							panic(fmt.Sprintf("lost increments: counter %d, want %d", got, procs*iters))
+						}
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := metrics.Faults()
+				if f.Jittered == 0 {
+					t.Fatal("fault stage inert: no message drew jitter")
+				}
+				if f.DupsInjected == 0 {
+					t.Fatal("fault stage inert: no duplicate injected")
+				}
+				if f.DupsSuppressed > f.DupsInjected {
+					t.Fatalf("suppressed %d duplicates but injected only %d", f.DupsSuppressed, f.DupsInjected)
+				}
+				// On the fabrics that deliver everything before Run
+				// returns, every injected duplicate must have been
+				// suppressed — exactly-once held.
+				if fabric != armci.FabricTCP && f.DupsSuppressed != f.DupsInjected {
+					t.Fatalf("dedup leaked: injected %d, suppressed %d", f.DupsInjected, f.DupsSuppressed)
+				}
+				if metrics.Observed() == 0 {
+					t.Fatal("metrics stage observed no deliveries")
+				}
+				if rep.Metrics != metrics {
+					t.Fatal("report does not carry the metrics collector")
+				}
+			})
+		}
+	}
+}
+
+// TestTCPTraceArrivalPopulated: on the TCP fabric the sender cannot know
+// the arrival time, so the receive-side trace stage must back-annotate
+// it — every captured event ends up with a non-zero arrival.
+func TestTCPTraceArrivalPopulated(t *testing.T) {
+	rep, err := armci.Run(armci.Options{
+		Procs:        2,
+		Fabric:       armci.FabricTCP,
+		CaptureTrace: true,
+	}, func(p *armci.Proc) {
+		ptrs := p.Malloc(64)
+		payload := make([]byte, 64)
+		for i := 0; i < 5; i++ {
+			p.Put(ptrs[1-p.Rank()], payload)
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := rep.Stats.Events()
+	if len(events) == 0 {
+		t.Fatal("no events captured")
+	}
+	for _, e := range events {
+		if e.Arrival == 0 {
+			t.Fatalf("event %d (%s %v->%v) has no arrival time", e.Seq, e.Kind, e.Src, e.Dst)
+		}
+	}
+}
+
+// TestFaultMetricsHistograms: the metrics stage produces usable latency
+// histograms and a timeline on a faulted run.
+func TestFaultMetricsHistograms(t *testing.T) {
+	metrics := armci.NewMetrics()
+	metrics.SetTimeline(true)
+	_, err := armci.Run(armci.Options{
+		Procs:   2,
+		Fabric:  armci.FabricSim,
+		Preset:  armci.PresetMyrinet2000,
+		Faults:  faultPlan(3),
+		Metrics: metrics,
+	}, func(p *armci.Proc) {
+		ptrs := p.Malloc(64)
+		payload := make([]byte, 64)
+		for i := 0; i < 8; i++ {
+			p.Put(ptrs[1-p.Rank()], payload)
+			p.Barrier()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Observed() == 0 {
+		t.Fatal("no deliveries observed")
+	}
+	tl := metrics.Timeline()
+	if len(tl) == 0 {
+		t.Fatal("timeline empty")
+	}
+	for _, s := range tl {
+		if s.Arrival < s.Sent {
+			t.Fatalf("delivery %d arrives before it is sent: %v < %v", s.Seq, s.Arrival, s.Sent)
+		}
+	}
+	if csv := metrics.TimelineCSV(); len(csv) == 0 {
+		t.Fatal("timeline CSV empty")
+	}
+}

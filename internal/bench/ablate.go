@@ -153,11 +153,11 @@ func Ablations(opts AblationOpts) (*AblationResult, error) {
 func tileTime(opts AblationOpts, strided bool) (float64, error) {
 	const rows, rowBytes, ld = 32, 32 * 8, 64 * 8
 	times := newPerRank(2, opts.Reps)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:  2,
 		Fabric: opts.Fabric,
 		Preset: opts.Preset,
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		ptrs := p.Malloc(64 * 64 * 8)
 		if p.Rank() == 0 {
 			tile := make([]byte, rows*rowBytes)
@@ -193,14 +193,14 @@ func lockRunNIC(opts AblationOpts, nic bool) (LockSample, error) {
 	iters := 60
 	acq := newPerRank(2, iters)
 	rel := newPerRank(2, iters)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:      2,
 		Fabric:     opts.Fabric,
 		Preset:     opts.Preset,
 		NICAssist:  nic,
 		NumMutexes: 1,
 		LockHomes:  []int{0},
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		if p.Rank() != 1 {
 			return
 		}
@@ -230,14 +230,14 @@ func lockRunPPN(opts AblationOpts, procs, ppn int, alg armci.LockAlg) (LockSampl
 	iters := 60
 	acq := newPerRank(procs, iters)
 	rel := newPerRank(procs, iters)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:        procs,
 		ProcsPerNode: ppn,
 		Fabric:       opts.Fabric,
 		Preset:       opts.Preset,
 		NumMutexes:   1,
 		LockHomes:    []int{0},
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		mu := p.Mutex(0, alg)
 		p.MPIBarrier()
 		for i := 0; i < opts.Warmup+iters; i++ {
@@ -266,12 +266,12 @@ func lockRunPPN(opts AblationOpts, procs, ppn int, alg armci.LockAlg) (LockSampl
 func barrierTime(opts AblationOpts, alg armci.BarrierAlg) (float64, error) {
 	procs := opts.Procs
 	times := newPerRank(procs, opts.Reps)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:      procs,
 		Fabric:     opts.Fabric,
 		Preset:     opts.Preset,
 		BarrierAlg: alg,
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		me := p.Rank()
 		ptrs := p.Malloc(64)
 		payload := make([]byte, 64)
@@ -301,12 +301,12 @@ func barrierTime(opts AblationOpts, alg armci.BarrierAlg) (float64, error) {
 func syncVariantTime(opts AblationOpts, mode ga.SyncMode, fm armci.FenceMode) (float64, error) {
 	procs := opts.Procs
 	times := newPerRank(procs, opts.Reps)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:     procs,
 		Fabric:    opts.Fabric,
 		Preset:    opts.Preset,
 		FenceMode: fm,
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		a, err := ga.Create(p, "ablate", 128, 128)
 		if err != nil {
 			panic(err)

@@ -36,6 +36,20 @@ type Opts struct {
 	Reps int
 	// Warmup repetitions run before timing starts (default 2).
 	Warmup int
+	// Faults is the deterministic fault-injection plan applied to every
+	// run of the experiment (zero value: no faults).
+	Faults armci.Faults
+	// Metrics, if non-nil, aggregates per-kind/per-pair message latency
+	// histograms and fault counters across the experiment's runs.
+	Metrics *armci.Metrics
+}
+
+// inject copies the experiment-wide fault plan and metrics collector
+// into one run's options.
+func (o Opts) inject(ao armci.Options) armci.Options {
+	ao.Faults = o.Faults
+	ao.Metrics = o.Metrics
+	return ao
 }
 
 func (o Opts) withDefaults() Opts {

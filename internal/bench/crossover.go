@@ -65,11 +65,11 @@ func Crossover(opts CrossoverOpts) (*CrossoverResult, error) {
 func crossoverRun(opts CrossoverOpts, k int, old bool) (float64, error) {
 	procs := opts.Procs
 	times := newPerRank(procs, opts.Reps)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:  procs,
 		Fabric: opts.Fabric,
 		Preset: opts.Preset,
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		me := p.Rank()
 		ptrs := p.Malloc(8 * procs)
 		payload := make([]byte, 64)

@@ -76,11 +76,11 @@ func gaSyncTime(opts Fig7Opts, procs int, mode ga.SyncMode) (float64, error) {
 	times := newPerRank(procs, opts.Reps)
 	// The array gives every process one BlockDim×BlockDim block, laid
 	// out on the near-square grid ga chooses.
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:  procs,
 		Fabric: opts.Fabric,
 		Preset: opts.Preset,
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		pr := gridRows(procs)
 		pc := procs / pr
 		a, err := ga.Create(p, "fig7", pr*opts.BlockDim, pc*opts.BlockDim)

@@ -106,13 +106,13 @@ func lockSample(opts LockOpts, procs int, alg armci.LockAlg) (LockSample, error)
 func lockRun(opts LockOpts, procs, only int, alg armci.LockAlg) (LockSample, error) {
 	acq := newPerRank(procs, opts.Iters)
 	rel := newPerRank(procs, opts.Iters)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:      procs,
 		Fabric:     opts.Fabric,
 		Preset:     opts.Preset,
 		NumMutexes: 1,
 		LockHomes:  []int{0},
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		me := p.Rank()
 		mu := p.Mutex(0, alg)
 		participate := only == -1 || me == only

@@ -69,12 +69,12 @@ func Striping(opts StripingOpts) (*StripingResult, error) {
 func stripingRun(opts StripingOpts, nLocks int, alg armci.LockAlg) (float64, error) {
 	procs := opts.Procs
 	times := newPerRank(procs, opts.Iters)
-	_, err := armci.Run(armci.Options{
+	_, err := armci.Run(opts.inject(armci.Options{
 		Procs:      procs,
 		Fabric:     opts.Fabric,
 		Preset:     opts.Preset,
 		NumMutexes: nLocks, // homed round-robin by default
-	}, func(p *armci.Proc) {
+	}), func(p *armci.Proc) {
 		me := p.Rank()
 		rng := rand.New(rand.NewSource(int64(me)*31 + 7))
 		locks := make([]armci.Mutex, nLocks)

@@ -192,9 +192,28 @@ type Message struct {
 	// mp-layer messages.
 	Data []byte
 
+	// Seq is the per-(Src,Dst) sequence number the transport pipeline
+	// stamps on every send, starting at 1. The receive side uses it to
+	// suppress injected duplicate deliveries and to correlate arrivals
+	// with trace events.
+	Seq uint64
+
+	// Sent is stamped by the fabric: the (virtual or wall) time at
+	// which the send was initiated (after the modeled send overhead).
+	Sent time.Duration
+
 	// Arrival is stamped by the fabric: the (virtual or wall) time at
 	// which the message is available at the destination.
 	Arrival time.Duration
+
+	// Dup marks an injected duplicate copy (fault injection only);
+	// duplicates are suppressed before delivery and never reach
+	// protocol code. Not transmitted on the wire.
+	Dup bool
+
+	// FaultDelay is the extra latency the fault-injection stage added
+	// to this message (diagnostic; not transmitted on the wire).
+	FaultDelay time.Duration
 }
 
 // PayloadBytes returns the modeled wire payload size of the message, used

@@ -1,0 +1,323 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"armci/internal/msg"
+)
+
+// Histogram is a log₂-bucketed latency distribution. Bucket i counts
+// latencies in [2^(i-1), 2^i) nanoseconds (bucket 0 counts <= 1 ns).
+type Histogram struct {
+	Count   int
+	Sum     time.Duration
+	Min     time.Duration
+	Max     time.Duration
+	Buckets [64]int
+}
+
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d))
+}
+
+// bucketHi is the exclusive upper bound of bucket i.
+func bucketHi(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+func (h *Histogram) add(d time.Duration) {
+	if h.Count == 0 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+	h.Count++
+	h.Sum += d
+	h.Buckets[bucketOf(d)]++
+}
+
+// Mean returns the average latency.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) as the upper bound of
+// the bucket holding it.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int(q * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	cum := 0
+	for i, c := range h.Buckets {
+		cum += c
+		if cum > target {
+			hi := bucketHi(i)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// Sample is one delivered message on the timeline.
+type Sample struct {
+	Seq     int // admission order
+	Kind    msg.Kind
+	Src     msg.Addr
+	Dst     msg.Addr
+	PairSeq uint64
+	Size    int
+	Sent    time.Duration // fabric time the send was initiated
+	Arrival time.Duration // fabric time the message arrived
+}
+
+// FaultCounts reports how many faults the injection stage produced.
+type FaultCounts struct {
+	// Jittered counts messages that drew a non-zero jitter delay.
+	Jittered int
+	// Spiked counts messages that suffered a latency spike.
+	Spiked int
+	// DupsInjected counts duplicate copies handed to the fabric.
+	DupsInjected int
+	// DupsSuppressed counts duplicates dropped by receive-side dedup.
+	DupsSuppressed int
+}
+
+// Metrics collects per-kind and per-pair latency histograms, fault
+// counters and (optionally) a delivery timeline, fed by the pipeline's
+// receive stage. Latency is arrival minus send time — virtual on the
+// simulated fabric, wall on the concurrent ones. One Metrics may be
+// shared across runs to aggregate an experiment. All methods are safe
+// for concurrent use and work on a nil receiver (as no-ops for the
+// recording side).
+type Metrics struct {
+	mu       sync.Mutex
+	byKind   map[msg.Kind]*Histogram
+	byPair   map[Pair]*Histogram
+	faults   FaultCounts
+	timeline []Sample
+	capture  bool
+}
+
+// NewMetrics returns an empty collector.
+func NewMetrics() *Metrics {
+	return &Metrics{byKind: make(map[msg.Kind]*Histogram), byPair: make(map[Pair]*Histogram)}
+}
+
+// SetTimeline toggles capture of the per-delivery timeline (off by
+// default; histograms and counters are always on).
+func (x *Metrics) SetTimeline(on bool) {
+	x.mu.Lock()
+	x.capture = on
+	x.mu.Unlock()
+}
+
+func (x *Metrics) observe(m *msg.Message) {
+	if x == nil {
+		return
+	}
+	lat := m.Arrival - m.Sent
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	hk := x.byKind[m.Kind]
+	if hk == nil {
+		hk = &Histogram{}
+		x.byKind[m.Kind] = hk
+	}
+	hk.add(lat)
+	pair := Pair{m.Src, m.Dst}
+	hp := x.byPair[pair]
+	if hp == nil {
+		hp = &Histogram{}
+		x.byPair[pair] = hp
+	}
+	hp.add(lat)
+	if x.capture {
+		x.timeline = append(x.timeline, Sample{
+			Seq: len(x.timeline) + 1, Kind: m.Kind, Src: m.Src, Dst: m.Dst,
+			PairSeq: m.Seq, Size: m.PayloadBytes(), Sent: m.Sent, Arrival: m.Arrival,
+		})
+	}
+}
+
+func (x *Metrics) countSend(jittered, spiked, dup bool) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	if jittered {
+		x.faults.Jittered++
+	}
+	if spiked {
+		x.faults.Spiked++
+	}
+	if dup {
+		x.faults.DupsInjected++
+	}
+	x.mu.Unlock()
+}
+
+func (x *Metrics) countDupSuppressed() {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	x.faults.DupsSuppressed++
+	x.mu.Unlock()
+}
+
+// Faults returns the fault counters.
+func (x *Metrics) Faults() FaultCounts {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.faults
+}
+
+// KindHistogram returns a copy of the histogram of one message kind.
+func (x *Metrics) KindHistogram(k msg.Kind) Histogram {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if h := x.byKind[k]; h != nil {
+		return *h
+	}
+	return Histogram{}
+}
+
+// PairHistogram returns a copy of the histogram of one directed pair.
+func (x *Metrics) PairHistogram(src, dst msg.Addr) Histogram {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if h := x.byPair[Pair{src, dst}]; h != nil {
+		return *h
+	}
+	return Histogram{}
+}
+
+// Observed returns the total number of admitted deliveries.
+func (x *Metrics) Observed() int {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	n := 0
+	for _, h := range x.byKind {
+		n += h.Count
+	}
+	return n
+}
+
+// Timeline returns a copy of the captured delivery timeline.
+func (x *Metrics) Timeline() []Sample {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return append([]Sample(nil), x.timeline...)
+}
+
+// TimelineCSV renders the captured timeline as CSV (times in
+// microseconds — virtual or wall, per the fabric that fed the
+// collector).
+func (x *Metrics) TimelineCSV() string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("seq,kind,src,dst,pair_seq,bytes,sent_us,arrival_us,latency_us\n")
+	for _, s := range x.timeline {
+		fmt.Fprintf(&b, "%d,%s,%v,%v,%d,%d,%.3f,%.3f,%.3f\n",
+			s.Seq, s.Kind, s.Src, s.Dst, s.PairSeq, s.Size,
+			float64(s.Sent)/1000, float64(s.Arrival)/1000, float64(s.Arrival-s.Sent)/1000)
+	}
+	return b.String()
+}
+
+// HistogramCSV renders the per-kind bucket counts as CSV.
+func (x *Metrics) HistogramCSV() string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var b strings.Builder
+	b.WriteString("kind,bucket_lo_ns,bucket_hi_ns,count\n")
+	for _, k := range x.sortedKindsLocked() {
+		h := x.byKind[k]
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(bucketHi(i - 1))
+			}
+			fmt.Fprintf(&b, "%s,%d,%d,%d\n", k, lo, int64(bucketHi(i)), c)
+		}
+	}
+	return b.String()
+}
+
+func (x *Metrics) sortedKindsLocked() []msg.Kind {
+	kinds := make([]msg.Kind, 0, len(x.byKind))
+	for k := range x.byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+// String renders the per-kind latency histograms and fault counters as
+// a human-readable report.
+func (x *Metrics) String() string {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	var b strings.Builder
+	total := 0
+	for _, h := range x.byKind {
+		total += h.Count
+	}
+	fmt.Fprintf(&b, "message latency by kind (%d deliveries", total)
+	f := x.faults
+	if f.Jittered+f.Spiked+f.DupsInjected > 0 {
+		fmt.Fprintf(&b, "; faults: jittered=%d spiked=%d dups=%d/%d suppressed",
+			f.Jittered, f.Spiked, f.DupsSuppressed, f.DupsInjected)
+	}
+	b.WriteString("):\n")
+	for _, k := range x.sortedKindsLocked() {
+		h := x.byKind[k]
+		fmt.Fprintf(&b, "  %-10s n=%-6d mean=%-10v p50=%-10v p99=%-10v max=%v\n",
+			k, h.Count, h.Mean().Round(time.Nanosecond),
+			h.Quantile(0.50), h.Quantile(0.99), h.Max)
+		peak := 0
+		for _, c := range h.Buckets {
+			if c > peak {
+				peak = c
+			}
+		}
+		for i, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketHi(i - 1)
+			}
+			bar := strings.Repeat("#", 1+c*39/peak)
+			fmt.Fprintf(&b, "    [%8v, %8v)  %-40s %d\n", lo, bucketHi(i), bar, c)
+		}
+	}
+	return b.String()
+}

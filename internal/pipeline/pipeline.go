@@ -1,0 +1,347 @@
+// Package pipeline implements the composable send/receive path every
+// transport fabric routes messages through. Historically each fabric
+// (simnet, channet, tcpnet) hand-rolled its own delivery path: jitter
+// existed only on the channel fabric, TCP arrivals were never stamped
+// into trace events, and the cost model was charged in three slightly
+// different places. The pipeline factors that hot path into four shared
+// stages, applied in order on every Send:
+//
+//  1. identity — stamp Src/Dst, the per-(src,dst) sequence number and
+//     the send time onto the message;
+//  2. cost model — charge the sender the modeled send overhead and
+//     compute the base arrival time (now + latency + bytes·G), honoring
+//     intra-node locality;
+//  3. fault injection — seeded, deterministic extra delay (uniform
+//     jitter and latency spikes) plus bounded duplicate delivery; the
+//     per-pair FIFO stamp keeps arrivals monotonic per pipe throughout;
+//  4. trace/metrics — record the send (and any duplicate) in the trace
+//     collector and the fault counters.
+//
+// On the receive side, Inbound applies the mirror stages: duplicate
+// suppression by sequence number (the transport stays exactly-once even
+// under injected duplication), arrival stamping (so trace.Event.Arrival
+// is populated on every fabric, including TCP where the arrival is only
+// known at the receiver), trace back-annotation and latency metrics.
+//
+// Fault decisions are pure functions of (seed, src, dst, sequence), not
+// of wall-clock timing or scheduling order, so the same seed injects the
+// identical fault pattern on the deterministic simulated fabric and on
+// the concurrent fabrics — that is what makes cross-fabric determinism
+// tests possible.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/trace"
+)
+
+// Pair identifies one directed (source, destination) message pipe.
+type Pair [2]msg.Addr
+
+// Faults configures deterministic fault injection. The zero value
+// disables every fault. All decisions derive from hashing (Seed, src,
+// dst, seq), so a fault plan replays identically on every fabric and
+// across runs.
+type Faults struct {
+	// Seed selects the fault pattern (0 uses a fixed default).
+	Seed int64
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter) to
+	// every message.
+	Jitter time.Duration
+	// SpikeProb is the per-message probability of a latency spike. A
+	// spiked message is delayed by SpikeDelay, and — because arrivals
+	// are FIFO-stamped per pair — drags the whole pipe behind it: a
+	// per-pair latency spike.
+	SpikeProb float64
+	// SpikeDelay is the extra delay of a spiked message.
+	SpikeDelay time.Duration
+	// DupProb is the per-message probability that the fabric delivers
+	// the message twice. The duplicate trails the original and is
+	// always suppressed by the receive-side dedup stage, so protocol
+	// code still observes exactly-once delivery.
+	DupProb float64
+	// DupDelay is the extra delay of the duplicate copy. 0 picks a
+	// small default.
+	DupDelay time.Duration
+	// MaxDupsPerPair bounds how many duplicates are injected per
+	// directed pair (0 means the default of 8). The bound is per pair
+	// rather than global so that it is independent of cross-pair
+	// scheduling order.
+	MaxDupsPerPair int
+}
+
+// Enabled reports whether any fault is configured.
+func (f Faults) Enabled() bool {
+	return f.Jitter > 0 || (f.SpikeProb > 0 && f.SpikeDelay > 0) || f.DupProb > 0
+}
+
+// Validate rejects nonsensical fault plans with a descriptive error.
+func (f Faults) Validate() error {
+	switch {
+	case f.Jitter < 0:
+		return fmt.Errorf("pipeline: Faults.Jitter must be >= 0, got %v", f.Jitter)
+	case f.SpikeDelay < 0:
+		return fmt.Errorf("pipeline: Faults.SpikeDelay must be >= 0, got %v", f.SpikeDelay)
+	case f.DupDelay < 0:
+		return fmt.Errorf("pipeline: Faults.DupDelay must be >= 0, got %v", f.DupDelay)
+	case f.SpikeProb < 0 || f.SpikeProb > 1:
+		return fmt.Errorf("pipeline: Faults.SpikeProb must be in [0,1], got %g", f.SpikeProb)
+	case f.DupProb < 0 || f.DupProb > 1:
+		return fmt.Errorf("pipeline: Faults.DupProb must be in [0,1], got %g", f.DupProb)
+	case f.MaxDupsPerPair < 0:
+		return fmt.Errorf("pipeline: Faults.MaxDupsPerPair must be >= 0, got %d", f.MaxDupsPerPair)
+	}
+	return nil
+}
+
+// Hash salts, one per independent fault decision.
+const (
+	saltJitter = 0x9e3779b97f4a7c15
+	saltSpike  = 0xbf58476d1ce4e5b9
+	saltDup    = 0x94d049bb133111eb
+)
+
+// roll derives a 64-bit pseudo-random value for one decision about one
+// message. It depends only on the plan seed, the pair and the sequence
+// number — never on timing — so decisions replay across fabrics.
+func (f Faults) roll(src, dst msg.Addr, seq, salt uint64) uint64 {
+	seed := uint64(f.Seed)
+	if seed == 0 {
+		seed = 1
+	}
+	x := seed ^ salt
+	x = mix64(x ^ addrBits(src))
+	x = mix64(x ^ addrBits(dst))
+	x = mix64(x ^ seq)
+	return mix64(x)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func addrBits(a msg.Addr) uint64 {
+	b := uint64(uint32(a.ID))
+	if a.Server {
+		b |= 1 << 32
+	}
+	return b
+}
+
+// hit converts a roll into a probability decision.
+func hit(r uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	return float64(r>>11)/(1<<53) < prob
+}
+
+// extra returns the injected extra delay of message seq on the pair and
+// whether it includes a spike.
+func (f Faults) extra(src, dst msg.Addr, seq uint64) (d time.Duration, spiked bool) {
+	if f.Jitter > 0 {
+		d += time.Duration(f.roll(src, dst, seq, saltJitter) % uint64(f.Jitter))
+	}
+	if f.SpikeProb > 0 && f.SpikeDelay > 0 && hit(f.roll(src, dst, seq, saltSpike), f.SpikeProb) {
+		d += f.SpikeDelay
+		spiked = true
+	}
+	return d, spiked
+}
+
+// dup reports whether message seq should be delivered twice (before the
+// per-pair bound is applied).
+func (f Faults) dup(src, dst msg.Addr, seq uint64) bool {
+	return f.DupProb > 0 && hit(f.roll(src, dst, seq, saltDup), f.DupProb)
+}
+
+func (f Faults) dupDelay() time.Duration {
+	if f.DupDelay > 0 {
+		return f.DupDelay
+	}
+	if f.Jitter > 0 {
+		return f.Jitter
+	}
+	return time.Microsecond
+}
+
+func (f Faults) maxDupsPerPair() int {
+	if f.MaxDupsPerPair > 0 {
+		return f.MaxDupsPerPair
+	}
+	return 8
+}
+
+// Config assembles one pipeline.
+type Config struct {
+	// Params is the cost model.
+	Params model.Params
+	// ChargeModel selects whether the cost-model stage is active: send
+	// and receive overheads are charged and the wire time contributes
+	// to arrivals. The simulated fabric always charges; the channel
+	// fabric charges only when latency injection is on; the TCP fabric
+	// never does (it measures real socket costs).
+	ChargeModel bool
+	// Faults is the fault-injection plan (zero value: no faults).
+	Faults Faults
+	// Stats is the trace collector (may be nil).
+	Stats *trace.Stats
+	// Metrics collects latency histograms and fault counters (may be
+	// nil).
+	Metrics *Metrics
+	// Local reports whether two endpoints share a node, selecting the
+	// intra-node latency. nil treats every pair as remote.
+	Local func(src, dst msg.Addr) bool
+}
+
+// Delivery is one scheduled handoff of a message to the destination
+// mailbox: the fabric owes the destination this message at time At.
+type Delivery struct {
+	Msg *msg.Message
+	// At is the fabric time the message becomes available at the
+	// destination. Fabrics without a modeled clock (TCP with no
+	// faults) receive At equal to the send time.
+	At time.Duration
+	// Dup marks an injected duplicate copy.
+	Dup bool
+}
+
+// Pipeline is the shared send/receive path of one fabric instance. All
+// methods are safe for concurrent use.
+type Pipeline struct {
+	cfg Config
+
+	mu   sync.Mutex
+	fifo map[Pair]time.Duration // last stamped arrival per pipe
+	seq  map[Pair]uint64        // last assigned sequence number per pipe
+	seen map[Pair]uint64        // last admitted sequence number per pipe
+	dups map[Pair]int           // duplicates injected per pipe
+}
+
+// New builds a pipeline for one fabric instance.
+func New(cfg Config) *Pipeline {
+	return &Pipeline{
+		cfg:  cfg,
+		fifo: make(map[Pair]time.Duration),
+		seq:  make(map[Pair]uint64),
+		seen: make(map[Pair]uint64),
+		dups: make(map[Pair]int),
+	}
+}
+
+// Faults returns the active fault plan.
+func (p *Pipeline) Faults() Faults { return p.cfg.Faults }
+
+// Send runs the outbound stage chain for m from src to dst: it charges
+// the modeled send overhead through charge (when the cost model is
+// active), stamps identity, sequence number, send time and arrival, and
+// records the send. clock is read after the overhead charge so arrivals
+// account for the time spent injecting. The returned deliveries — the
+// original plus any injected duplicate, in arrival order — must each be
+// handed to the destination via the fabric's own delivery mechanism and
+// passed through Inbound at the destination side.
+func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Duration, charge func(time.Duration)) []Delivery {
+	if p.cfg.ChargeModel && charge != nil {
+		charge(p.cfg.Params.SendOverhead)
+	}
+	now := clock()
+
+	p.mu.Lock()
+	pair := Pair{src, dst}
+	p.seq[pair]++
+	seq := p.seq[pair]
+	m.Src, m.Dst = src, dst
+	m.Seq, m.Sent = seq, now
+	m.Dup, m.FaultDelay = false, 0
+
+	var wire time.Duration
+	if p.cfg.ChargeModel {
+		local := p.cfg.Local != nil && p.cfg.Local(src, dst)
+		wire = p.cfg.Params.WireTime(m.PayloadBytes(), local)
+	}
+	extra, spiked := p.cfg.Faults.extra(src, dst, seq)
+	m.FaultDelay = extra
+	at := p.arrivalLocked(pair, now, wire+extra)
+	m.Arrival = at
+	deliveries := []Delivery{{Msg: m, At: at}}
+
+	var dup *msg.Message
+	if p.cfg.Faults.dup(src, dst, seq) && p.dups[pair] < p.cfg.Faults.maxDupsPerPair() {
+		p.dups[pair]++
+		c := *m // shallow copy; payload is read-only in transit
+		c.Dup = true
+		c.Arrival = p.arrivalLocked(pair, now, wire+extra+p.cfg.Faults.dupDelay())
+		dup = &c
+		deliveries = append(deliveries, Delivery{Msg: dup, At: c.Arrival, Dup: true})
+	}
+	p.mu.Unlock()
+
+	p.cfg.Stats.RecordSend(m)
+	if dup != nil {
+		p.cfg.Stats.RecordSend(dup)
+	}
+	p.cfg.Metrics.countSend(extra > 0 && p.cfg.Faults.Jitter > 0, spiked, dup != nil)
+	return deliveries
+}
+
+// arrivalLocked computes the delivery time of a message sent at now with
+// the given wire time, keeping arrivals monotonic per pipe: a later
+// message never arrives before an earlier one, even if it is smaller or
+// drew less jitter. Callers hold p.mu.
+func (p *Pipeline) arrivalLocked(pair Pair, now, wire time.Duration) time.Duration {
+	at := now + wire
+	if prev := p.fifo[pair]; at < prev {
+		at = prev
+	}
+	p.fifo[pair] = at
+	return at
+}
+
+// Inbound runs the receive-side stages on a message reaching the
+// destination at fabric time now, and reports whether the message may
+// enter the mailbox. Duplicates (same pair, non-increasing sequence
+// number) are suppressed; admitted messages get their Arrival stamped to
+// the actual arrival when the modeled one is earlier or absent — this is
+// what populates trace.Event.Arrival on the TCP fabric — and are
+// observed by the metrics stage.
+func (p *Pipeline) Inbound(m *msg.Message, now time.Duration) bool {
+	if m.Seq != 0 {
+		pair := Pair{m.Src, m.Dst}
+		p.mu.Lock()
+		if m.Seq <= p.seen[pair] {
+			p.mu.Unlock()
+			p.cfg.Metrics.countDupSuppressed()
+			return false
+		}
+		p.seen[pair] = m.Seq
+		p.mu.Unlock()
+	}
+	if m.Arrival < now {
+		m.Arrival = now
+	}
+	p.cfg.Stats.RecordArrival(m)
+	p.cfg.Metrics.observe(m)
+	return true
+}
+
+// RecvCharge charges the modeled receive overhead through charge when
+// the cost-model stage is active.
+func (p *Pipeline) RecvCharge(charge func(time.Duration)) {
+	if p.cfg.ChargeModel && charge != nil {
+		charge(p.cfg.Params.RecvOverhead)
+	}
+}

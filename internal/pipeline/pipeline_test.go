@@ -1,0 +1,271 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+)
+
+// virtual clock helper: a settable fabric time.
+type vclock struct{ t time.Duration }
+
+func (c *vclock) now() time.Duration { return c.t }
+
+func TestArrivalMonotonicPerPair(t *testing.T) {
+	p := New(Config{Params: model.Myrinet2000(), ChargeModel: true})
+	a, b := msg.User(0), msg.User(1)
+	clk := &vclock{}
+	// A big message followed by a small one: the small one's raw arrival
+	// would be earlier; the FIFO stamp must push it after the big one.
+	big := &msg.Message{Kind: msg.KindSend, Data: make([]byte, 64<<10)}
+	small := &msg.Message{Kind: msg.KindSend}
+	d1 := p.Send(a, b, big, clk.now, nil)
+	d2 := p.Send(a, b, small, clk.now, nil)
+	if d2[0].At < d1[0].At {
+		t.Fatalf("pipe reordered: %v then %v", d1[0].At, d2[0].At)
+	}
+	// A different pair is independent of the loaded one.
+	d3 := p.Send(b, a, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+	if d3[0].At >= d1[0].At {
+		t.Fatalf("independent pair delayed behind big transfer: %v >= %v", d3[0].At, d1[0].At)
+	}
+}
+
+func TestSendStampsIdentity(t *testing.T) {
+	p := New(Config{Params: model.Myrinet2000(), ChargeModel: true})
+	a, b := msg.User(0), msg.User(1)
+	clk := &vclock{t: 5 * time.Microsecond}
+	var charged time.Duration
+	m := &msg.Message{Kind: msg.KindSend}
+	p.Send(a, b, m, clk.now, func(d time.Duration) { charged += d })
+	if charged != model.Myrinet2000().SendOverhead {
+		t.Fatalf("send overhead charged %v", charged)
+	}
+	if m.Src != a || m.Dst != b || m.Seq != 1 || m.Sent != 5*time.Microsecond {
+		t.Fatalf("identity stamp wrong: %+v", m)
+	}
+	m2 := &msg.Message{Kind: msg.KindSend}
+	p.Send(a, b, m2, clk.now, nil)
+	if m2.Seq != 2 {
+		t.Fatalf("sequence did not advance: %d", m2.Seq)
+	}
+}
+
+func TestFaultDecisionsAreDeterministic(t *testing.T) {
+	f := Faults{Seed: 7, Jitter: time.Millisecond, SpikeProb: 0.3, SpikeDelay: 5 * time.Millisecond, DupProb: 0.3}
+	g := Faults{Seed: 8, Jitter: time.Millisecond, SpikeProb: 0.3, SpikeDelay: 5 * time.Millisecond, DupProb: 0.3}
+	a, b := msg.User(0), msg.User(1)
+	diverged := false
+	for seq := uint64(1); seq <= 200; seq++ {
+		d1, s1 := f.extra(a, b, seq)
+		d2, s2 := f.extra(a, b, seq)
+		if d1 != d2 || s1 != s2 {
+			t.Fatalf("same plan, same message, different decision at seq %d", seq)
+		}
+		if f.dup(a, b, seq) != f.dup(a, b, seq) {
+			t.Fatalf("dup decision unstable at seq %d", seq)
+		}
+		og, sg := g.extra(a, b, seq)
+		if d1 != og || s1 != sg || f.dup(a, b, seq) != g.dup(a, b, seq) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("two different seeds produced identical fault patterns over 200 messages")
+	}
+}
+
+func TestFaultRatesRoughlyMatchProbabilities(t *testing.T) {
+	f := Faults{Seed: 1, SpikeProb: 0.25, SpikeDelay: time.Millisecond, DupProb: 0.25}
+	a, b := msg.User(0), msg.User(1)
+	spikes, dups := 0, 0
+	const n = 2000
+	for seq := uint64(1); seq <= n; seq++ {
+		if _, s := f.extra(a, b, seq); s {
+			spikes++
+		}
+		if f.dup(a, b, seq) {
+			dups++
+		}
+	}
+	for name, got := range map[string]int{"spikes": spikes, "dups": dups} {
+		if got < n/8 || got > n/2 {
+			t.Fatalf("%s rate badly off: %d of %d at prob 0.25", name, got, n)
+		}
+	}
+}
+
+func TestInboundSuppressesDuplicates(t *testing.T) {
+	mx := NewMetrics()
+	p := New(Config{Metrics: mx})
+	a, b := msg.User(0), msg.User(1)
+	m := &msg.Message{Kind: msg.KindSend, Src: a, Dst: b, Seq: 1}
+	if !p.Inbound(m, 0) {
+		t.Fatal("first delivery rejected")
+	}
+	c := *m
+	c.Dup = true
+	if p.Inbound(&c, time.Microsecond) {
+		t.Fatal("duplicate admitted")
+	}
+	if got := mx.Faults().DupsSuppressed; got != 1 {
+		t.Fatalf("DupsSuppressed = %d", got)
+	}
+	// A later sequence number on the pair is admitted.
+	if !p.Inbound(&msg.Message{Kind: msg.KindSend, Src: a, Dst: b, Seq: 2}, 0) {
+		t.Fatal("next message rejected")
+	}
+	// Unsequenced messages (no pipeline on the send side) always pass.
+	if !p.Inbound(&msg.Message{Kind: msg.KindSend, Src: a, Dst: b}, 0) {
+		t.Fatal("unsequenced message rejected")
+	}
+}
+
+func TestInboundStampsArrival(t *testing.T) {
+	p := New(Config{})
+	m := &msg.Message{Kind: msg.KindSend, Src: msg.User(0), Dst: msg.User(1), Seq: 1}
+	p.Inbound(m, 42*time.Microsecond)
+	if m.Arrival != 42*time.Microsecond {
+		t.Fatalf("arrival not stamped: %v", m.Arrival)
+	}
+	// A modeled future arrival is preserved.
+	m2 := &msg.Message{Kind: msg.KindSend, Src: msg.User(0), Dst: msg.User(1), Seq: 2,
+		Arrival: time.Second}
+	p.Inbound(m2, 42*time.Microsecond)
+	if m2.Arrival != time.Second {
+		t.Fatalf("modeled arrival clobbered: %v", m2.Arrival)
+	}
+}
+
+func TestDuplicateInjectionBoundedPerPair(t *testing.T) {
+	p := New(Config{Faults: Faults{Seed: 3, DupProb: 1, MaxDupsPerPair: 2}})
+	a, b := msg.User(0), msg.User(1)
+	clk := &vclock{}
+	total := 0
+	for i := 0; i < 20; i++ {
+		ds := p.Send(a, b, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+		for _, d := range ds {
+			if d.Dup {
+				total++
+				if !d.Msg.Dup {
+					t.Fatal("duplicate delivery not marked on the message")
+				}
+				if d.At < ds[0].At {
+					t.Fatalf("duplicate before original: %v < %v", d.At, ds[0].At)
+				}
+			}
+		}
+	}
+	if total != 2 {
+		t.Fatalf("injected %d duplicates, want the per-pair bound 2", total)
+	}
+	// The bound is per pair: a different pipe gets its own allowance.
+	ds := p.Send(b, a, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+	if len(ds) != 2 {
+		t.Fatalf("fresh pair got %d deliveries, want original+dup", len(ds))
+	}
+}
+
+func TestFaultsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		f    Faults
+		ok   bool
+	}{
+		{"zero", Faults{}, true},
+		{"full plan", Faults{Seed: 1, Jitter: time.Millisecond, SpikeProb: 0.1, SpikeDelay: time.Millisecond, DupProb: 0.1}, true},
+		{"negative jitter", Faults{Jitter: -1}, false},
+		{"negative spike delay", Faults{SpikeDelay: -1}, false},
+		{"negative dup delay", Faults{DupDelay: -1}, false},
+		{"spike prob below 0", Faults{SpikeProb: -0.5}, false},
+		{"spike prob above 1", Faults{SpikeProb: 1.5}, false},
+		{"dup prob above 1", Faults{DupProb: 2}, false},
+		{"negative dup cap", Faults{MaxDupsPerPair: -3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("valid plan rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("invalid plan %+v accepted", tc.f)
+			}
+		})
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{100, 200, 400, 800, 100_000} {
+		h.add(d)
+	}
+	if h.Count != 5 || h.Min != 100 || h.Max != 100_000 {
+		t.Fatalf("stats wrong: %+v", h)
+	}
+	if m := h.Mean(); m != (100+200+400+800+100_000)/5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := h.Quantile(0.5); q < 200 || q > 1024 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100_000 {
+		t.Fatalf("p100 = %v, want clamped to max", q)
+	}
+	var empty Histogram
+	if empty.Mean() != 0 || empty.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestMetricsObserveAndExport(t *testing.T) {
+	mx := NewMetrics()
+	mx.SetTimeline(true)
+	p := New(Config{Params: model.Myrinet2000(), ChargeModel: true, Metrics: mx})
+	a, b := msg.User(0), msg.User(1)
+	clk := &vclock{}
+	for i := 0; i < 4; i++ {
+		for _, d := range p.Send(a, b, &msg.Message{Kind: msg.KindSend, Tag: i}, clk.now, nil) {
+			p.Inbound(d.Msg, d.At)
+		}
+		clk.t += 100 * time.Microsecond
+	}
+	if got := mx.Observed(); got != 4 {
+		t.Fatalf("observed %d deliveries", got)
+	}
+	h := mx.KindHistogram(msg.KindSend)
+	if h.Count != 4 || h.Mean() <= 0 {
+		t.Fatalf("kind histogram: %+v", h)
+	}
+	if hp := mx.PairHistogram(a, b); hp.Count != 4 {
+		t.Fatalf("pair histogram: %+v", hp)
+	}
+	tl := mx.Timeline()
+	if len(tl) != 4 || tl[0].PairSeq != 1 || tl[3].PairSeq != 4 {
+		t.Fatalf("timeline: %+v", tl)
+	}
+	csv := mx.TimelineCSV()
+	if !strings.HasPrefix(csv, "seq,kind,src,dst,pair_seq,bytes,sent_us,arrival_us,latency_us\n") {
+		t.Fatalf("timeline CSV header: %q", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 5 {
+		t.Fatalf("timeline CSV has %d lines", lines)
+	}
+	if hcsv := mx.HistogramCSV(); !strings.Contains(hcsv, "kind,bucket_lo_ns") {
+		t.Fatalf("histogram CSV: %q", hcsv)
+	}
+	if s := mx.String(); !strings.Contains(s, "message latency by kind (4 deliveries") {
+		t.Fatalf("report: %q", s)
+	}
+}
+
+func TestNilMetricsAndStatsAreSafe(t *testing.T) {
+	p := New(Config{Faults: Faults{Seed: 1, Jitter: time.Microsecond, DupProb: 1}})
+	clk := &vclock{}
+	for _, d := range p.Send(msg.User(0), msg.User(1), &msg.Message{Kind: msg.KindSend}, clk.now, nil) {
+		p.Inbound(d.Msg, d.At)
+	}
+}

@@ -23,12 +23,18 @@ type Stats struct {
 	bytes    int64
 	sends    int
 	events   []Event
+	byKey    map[eventKey]int // (src,dst,pairSeq) -> events index, capture mode
 	capture  bool
 	perPair  map[pair]int
 	disabled bool
 }
 
 type pair struct{ src, dst msg.Addr }
+
+type eventKey struct {
+	src, dst msg.Addr
+	seq      uint64
+}
 
 // Event is one recorded message send (capture mode only).
 type Event struct {
@@ -37,15 +43,30 @@ type Event struct {
 	Src  msg.Addr
 	Dst  msg.Addr
 	Size int
-	// Arrival is the fabric delivery time of the message, when the
-	// fabric had stamped it before recording (the simulated and channel
-	// fabrics do; TCP arrival is only known at the receiver).
+	// PairSeq is the per-(Src,Dst) sequence number the transport
+	// pipeline stamped on the message.
+	PairSeq uint64
+	// Sent is the fabric time the send was initiated.
+	Sent time.Duration
+	// Arrival is the fabric delivery time of the message. The send-side
+	// record carries the modeled arrival when the fabric computed one;
+	// the receive-side trace stage back-annotates the actual arrival
+	// (RecordArrival), so it is populated on every fabric — including
+	// TCP, where the arrival is only known at the receiver.
 	Arrival time.Duration
+	// Dup marks an injected duplicate delivery (fault injection).
+	Dup bool
+	// FaultDelay is the extra latency fault injection added.
+	FaultDelay time.Duration
 }
 
 // New returns an empty Stats collector.
 func New() *Stats {
-	return &Stats{byKind: make(map[msg.Kind]int), perPair: make(map[pair]int)}
+	return &Stats{
+		byKind:  make(map[msg.Kind]int),
+		perPair: make(map[pair]int),
+		byKey:   make(map[eventKey]int),
+	}
 }
 
 // SetCapture toggles recording of individual send events (for determinism
@@ -80,8 +101,30 @@ func (s *Stats) RecordSend(m *msg.Message) {
 	if s.capture {
 		s.events = append(s.events, Event{
 			Seq: s.sends, Kind: m.Kind, Src: m.Src, Dst: m.Dst,
-			Size: m.PayloadBytes(), Arrival: m.Arrival,
+			Size: m.PayloadBytes(), PairSeq: m.Seq, Sent: m.Sent,
+			Arrival: m.Arrival, Dup: m.Dup, FaultDelay: m.FaultDelay,
 		})
+		if !m.Dup && m.Seq != 0 {
+			s.byKey[eventKey{m.Src, m.Dst, m.Seq}] = len(s.events) - 1
+		}
+	}
+}
+
+// RecordArrival back-annotates the captured send event of m with the
+// actual arrival time the receive side observed. This is the trace
+// stage's receive half: on fabrics where the sender cannot know the
+// arrival (TCP), it is what populates Event.Arrival.
+func (s *Stats) RecordArrival(m *msg.Message) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled || !s.capture {
+		return
+	}
+	if i, ok := s.byKey[eventKey{m.Src, m.Dst, m.Seq}]; ok {
+		s.events[i].Arrival = m.Arrival
 	}
 }
 
@@ -128,6 +171,7 @@ func (s *Stats) Reset() {
 	s.bytes = 0
 	s.byKind = make(map[msg.Kind]int)
 	s.perPair = make(map[pair]int)
+	s.byKey = make(map[eventKey]int)
 	s.events = nil
 }
 
@@ -148,14 +192,31 @@ func (s *Stats) Summary() string {
 	return b.String()
 }
 
-// Fingerprint returns a deterministic digest of the captured event stream,
-// used by determinism tests to compare two runs.
+// Fingerprint returns a deterministic digest of the captured event
+// stream, used by determinism tests to compare two runs. Besides the
+// message identity it folds in the per-pair sequence number and the
+// fault-injection metadata (injected delay, duplicate marker), so that
+// two runs with different fault seeds fingerprint differently even when
+// they exchange the same messages — and two runs with the same seed
+// fingerprint identically across fabrics when their send order agrees.
+// Arrival times are deliberately excluded: they are virtual on the
+// simulated fabric and wall-clock on the concurrent ones.
 func (s *Stats) Fingerprint() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var b strings.Builder
 	for _, e := range s.events {
-		fmt.Fprintf(&b, "%d:%s:%v>%v:%d;", e.Seq, e.Kind, e.Src, e.Dst, e.Size)
+		fmt.Fprintf(&b, "%d:%s:%v>%v:%d", e.Seq, e.Kind, e.Src, e.Dst, e.Size)
+		if e.PairSeq != 0 {
+			fmt.Fprintf(&b, ":q%d", e.PairSeq)
+		}
+		if e.FaultDelay != 0 {
+			fmt.Fprintf(&b, ":f%d", e.FaultDelay.Nanoseconds())
+		}
+		if e.Dup {
+			b.WriteString(":dup")
+		}
+		b.WriteByte(';')
 	}
 	return b.String()
 }

@@ -2,12 +2,12 @@ package transport
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"armci/internal/model"
 	"armci/internal/msg"
+	"armci/internal/pipeline"
 	"armci/internal/shmem"
 	"armci/internal/trace"
 )
@@ -21,13 +21,12 @@ import (
 type ChanFabric struct {
 	cfg   Config
 	space *shmem.Space
+	pipe  *pipeline.Pipeline
 
 	mu        sync.Mutex
 	cond      *sync.Cond // broadcast on memory writes, deliveries, shutdown
-	fifo      *fifoStamp
 	mailboxes map[msg.Addr]*msg.Queue
 	shutdown  bool
-	jitter    *rand.Rand // guarded by mu; nil when jitter is off
 
 	users   []actorSpec
 	servers []actorSpec
@@ -45,18 +44,11 @@ func NewChan(cfg Config) (*ChanFabric, error) {
 	f := &ChanFabric{
 		cfg:       cfg,
 		space:     shmem.NewSpace(cfg.nodeMap()),
-		fifo:      newFifoStamp(),
 		mailboxes: make(map[msg.Addr]*msg.Queue),
 		panics:    make(chan error, cfg.Procs+cfg.numNodes()),
 	}
+	f.pipe = cfg.newPipeline(f.space, cfg.Model.Latency > 0)
 	f.cond = sync.NewCond(&f.mu)
-	if cfg.Jitter > 0 {
-		seed := cfg.JitterSeed
-		if seed == 0 {
-			seed = 1
-		}
-		f.jitter = rand.New(rand.NewSource(seed))
-	}
 	f.space.SetOnWrite(func() {
 		f.mu.Lock()
 		f.cond.Broadcast()
@@ -188,26 +180,22 @@ func (e *chanEnv) Charge(d time.Duration) {
 }
 
 func (e *chanEnv) Send(to msg.Addr, m *msg.Message) {
-	m.Src = e.addr
-	m.Dst = to
-	e.Charge(e.f.cfg.Model.SendOverhead)
-	now := time.Since(e.f.start)
-	wire := time.Duration(0)
-	if e.f.cfg.Model.Latency > 0 {
-		wire = wireTime(e.f.cfg.Model, e.f.space, e.addr, to, m)
-	}
+	deliveries := e.f.pipe.Send(e.addr, to, m,
+		func() time.Duration { return time.Since(e.f.start) }, e.Charge)
 	e.f.mu.Lock()
 	q, ok := e.f.mailboxes[to]
 	if !ok {
 		e.f.mu.Unlock()
 		panic(fmt.Sprintf("channet: send to unknown endpoint %v", to))
 	}
-	if e.f.jitter != nil {
-		wire += time.Duration(e.f.jitter.Int63n(int64(e.f.cfg.Jitter)))
+	// Messages enter the mailbox immediately in send order (injected
+	// duplicates trail their original, where dedup drops them); the
+	// stamped arrival time is enforced on the receive side.
+	for _, d := range deliveries {
+		if e.f.pipe.Inbound(d.Msg, time.Since(e.f.start)) {
+			q.Put(d.Msg)
+		}
 	}
-	m.Arrival = e.f.fifo.arrival(e.addr, to, now, wire)
-	e.f.cfg.Trace.RecordSend(m)
-	q.Put(m)
 	e.f.cond.Broadcast()
 	e.f.mu.Unlock()
 }
@@ -222,7 +210,7 @@ func (e *chanEnv) Recv(match msg.Match) *msg.Message {
 			if wait := m.Arrival - time.Since(e.f.start); wait > 0 {
 				time.Sleep(wait)
 			}
-			e.Charge(e.f.cfg.Model.RecvOverhead)
+			e.f.pipe.RecvCharge(e.Charge)
 			return m
 		}
 		if e.addr.Server && e.f.shutdown {

@@ -7,6 +7,7 @@ import (
 
 	"armci/internal/model"
 	"armci/internal/msg"
+	"armci/internal/pipeline"
 	"armci/internal/shmem"
 	"armci/internal/sim"
 	"armci/internal/trace"
@@ -19,7 +20,7 @@ type SimFabric struct {
 	cfg    Config
 	kernel *sim.Kernel
 	space  *shmem.Space
-	fifo   *fifoStamp
+	pipe   *pipeline.Pipeline
 
 	mailboxes map[msg.Addr]*msg.Queue
 
@@ -43,9 +44,9 @@ func NewSim(cfg Config) (*SimFabric, error) {
 		cfg:       cfg,
 		kernel:    sim.New(),
 		space:     shmem.NewSpace(cfg.nodeMap()),
-		fifo:      newFifoStamp(),
 		mailboxes: make(map[msg.Addr]*msg.Queue),
 	}
+	f.pipe = cfg.newPipeline(f.space, true)
 	if cfg.ScheduleSeed != 0 {
 		f.kernel.SetShuffle(cfg.ScheduleSeed)
 	}
@@ -146,18 +147,18 @@ func (e *simEnv) Charge(d time.Duration) {
 }
 
 func (e *simEnv) Send(to msg.Addr, m *msg.Message) {
-	m.Src = e.addr
-	m.Dst = to
-	e.Charge(e.f.cfg.Model.SendOverhead)
-	wire := wireTime(e.f.cfg.Model, e.f.space, e.addr, to, m)
-	at := e.f.fifo.arrival(e.addr, to, e.p.Now(), wire)
-	m.Arrival = at
-	e.f.cfg.Trace.RecordSend(m)
 	q, ok := e.f.mailboxes[to]
 	if !ok {
 		panic(fmt.Sprintf("simnet: send to unknown endpoint %v", to))
 	}
-	e.p.Kernel().At(at, func() { q.Put(m) })
+	for _, d := range e.f.pipe.Send(e.addr, to, m, e.p.Now, e.Charge) {
+		d := d
+		e.p.Kernel().At(d.At, func() {
+			if e.f.pipe.Inbound(d.Msg, e.f.kernel.Now()) {
+				q.Put(d.Msg)
+			}
+		})
+	}
 }
 
 func (e *simEnv) Recv(match msg.Match) *msg.Message {
@@ -174,7 +175,7 @@ func (e *simEnv) Recv(match msg.Match) *msg.Message {
 		return false
 	})
 	if got != nil {
-		e.Charge(e.f.cfg.Model.RecvOverhead)
+		e.f.pipe.RecvCharge(e.Charge)
 	}
 	return got
 }

@@ -8,6 +8,7 @@ import (
 
 	"armci/internal/model"
 	"armci/internal/msg"
+	"armci/internal/pipeline"
 	"armci/internal/shmem"
 	"armci/internal/trace"
 	"armci/internal/wire"
@@ -21,6 +22,7 @@ import (
 type TCPFabric struct {
 	cfg   Config
 	space *shmem.Space
+	pipe  *pipeline.Pipeline
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -65,6 +67,9 @@ func NewTCP(cfg Config) (*TCPFabric, error) {
 		conns:     make(map[msg.Addr]*endpointConn),
 		panics:    make(chan error, cfg.Procs+cfg.numNodes()),
 	}
+	// The TCP fabric measures real socket costs, so the cost-model
+	// stage is inactive; trace, fault injection and metrics still run.
+	f.pipe = cfg.newPipeline(f.space, false)
 	f.cond = sync.NewCond(&f.mu)
 	f.space.SetOnWrite(func() {
 		f.mu.Lock()
@@ -196,7 +201,12 @@ func (f *TCPFabric) readLoop(a msg.Addr, conn net.Conn) {
 			f.panics <- fmt.Errorf("tcpnet: endpoint %v received corrupt frame: %w", a, err)
 			return
 		}
-		m.Arrival = time.Since(f.start)
+		// The inbound pipeline stages: duplicate suppression, arrival
+		// stamping (actual socket arrival, or the fault-injected future
+		// arrival carried in the frame), trace back-annotation, metrics.
+		if !f.pipe.Inbound(m, time.Since(f.start)) {
+			continue
+		}
 		f.mu.Lock()
 		f.mailboxes[a].Put(m)
 		f.cond.Broadcast()
@@ -320,15 +330,16 @@ func (e *tcpEnv) Charge(d time.Duration) {
 }
 
 func (e *tcpEnv) Send(to msg.Addr, m *msg.Message) {
-	m.Src = e.addr
-	m.Dst = to
-	e.f.cfg.Trace.RecordSend(m)
 	ec := e.f.conns[e.addr]
 	if ec == nil {
 		panic(fmt.Sprintf("tcpnet: send from unknown endpoint %v", e.addr))
 	}
-	if err := ec.writeFrame(wire.Encode(m)); err != nil {
-		panic(fmt.Sprintf("tcpnet: send %v -> %v: %v", e.addr, to, err))
+	deliveries := e.f.pipe.Send(e.addr, to, m,
+		func() time.Duration { return time.Since(e.f.start) }, nil)
+	for _, d := range deliveries {
+		if err := ec.writeFrame(wire.Encode(d.Msg)); err != nil {
+			panic(fmt.Sprintf("tcpnet: send %v -> %v: %v", e.addr, to, err))
+		}
 	}
 }
 
@@ -338,6 +349,12 @@ func (e *tcpEnv) Recv(match msg.Match) *msg.Message {
 	for {
 		if m := q.TryPop(match); m != nil {
 			e.f.mu.Unlock()
+			// Enforce a fault-injected arrival time in wall time (with
+			// no faults the stamp is the actual socket arrival, already
+			// in the past).
+			if wait := m.Arrival - time.Since(e.f.start); wait > 0 {
+				time.Sleep(wait)
+			}
 			return m
 		}
 		if e.addr.Server && e.f.shutdown {

@@ -18,6 +18,7 @@ import (
 
 	"armci/internal/model"
 	"armci/internal/msg"
+	"armci/internal/pipeline"
 	"armci/internal/shmem"
 	"armci/internal/trace"
 )
@@ -78,12 +79,26 @@ type Config struct {
 	Model model.Params
 	// Trace, if non-nil, collects message statistics.
 	Trace *trace.Stats
-	// Jitter, when positive, adds a uniformly random extra delay in
-	// [0, Jitter) to every message arrival on the channel fabric — a
-	// stress knob that shakes out protocol ordering assumptions. Per-pair
-	// FIFO is still preserved. Ignored by the other fabrics.
+	// Faults configures deterministic fault injection — uniform jitter,
+	// per-pair latency spikes and bounded duplicate delivery — applied
+	// identically on every fabric by the shared send/receive pipeline.
+	// Per-pair FIFO delivery is preserved throughout, and duplicates
+	// are suppressed at the receiver, so protocol code still observes
+	// reliable exactly-once delivery. The zero value disables faults.
+	Faults pipeline.Faults
+	// Metrics, if non-nil, collects per-kind/per-pair message latency
+	// histograms, fault counters and (optionally) a delivery timeline.
+	Metrics *pipeline.Metrics
+	// Jitter adds a uniformly random extra delay in [0, Jitter) to
+	// every message arrival.
+	//
+	// Deprecated: this was the channel-fabric-only stress knob; it now
+	// maps onto Faults.Jitter (and applies on every fabric). Set
+	// Faults.Jitter directly instead.
 	Jitter time.Duration
-	// JitterSeed seeds the jitter generator (0 uses a fixed default).
+	// JitterSeed seeds the jitter generator.
+	//
+	// Deprecated: maps onto Faults.Seed; set that instead.
 	JitterSeed int64
 	// ScheduleSeed, when non-zero, makes the simulated fabric pick among
 	// simultaneously runnable processes pseudo-randomly (reproducibly for
@@ -98,13 +113,47 @@ func (c *Config) normalize() error {
 	if c.Procs <= 0 {
 		return fmt.Errorf("transport: config needs Procs >= 1, got %d", c.Procs)
 	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("transport: config needs Jitter >= 0, got %v", c.Jitter)
+	}
+	if c.Deadline < 0 {
+		return fmt.Errorf("transport: config needs Deadline >= 0, got %v", c.Deadline)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("transport: bad fault plan: %w", err)
+	}
 	if c.ProcsPerNode <= 0 {
 		c.ProcsPerNode = 1
 	}
 	if c.Trace == nil {
 		c.Trace = trace.New()
 	}
+	// Fold the deprecated jitter knobs into the fault plan.
+	if c.Jitter > 0 && c.Faults.Jitter == 0 {
+		c.Faults.Jitter = c.Jitter
+		if c.Faults.Seed == 0 {
+			c.Faults.Seed = c.JitterSeed
+		}
+	}
 	return nil
+}
+
+// newPipeline builds the shared send/receive pipeline of one fabric
+// instance. chargeModel selects whether the cost-model stage is active
+// (send/recv overheads and wire latency): the simulated fabric always
+// charges, the channel fabric only under latency injection, the TCP
+// fabric never (it measures real socket costs).
+func (c *Config) newPipeline(space *shmem.Space, chargeModel bool) *pipeline.Pipeline {
+	return pipeline.New(pipeline.Config{
+		Params:      c.Model,
+		ChargeModel: chargeModel,
+		Faults:      c.Faults,
+		Stats:       c.Trace,
+		Metrics:     c.Metrics,
+		Local: func(src, dst msg.Addr) bool {
+			return endpointNode(space, src) == endpointNode(space, dst)
+		},
+	})
 }
 
 // nodeMap returns the rank→node assignment of the config.
@@ -136,35 +185,6 @@ type Fabric interface {
 	// Run executes all registered actors to completion of the user
 	// processes and returns the first error (panic, deadlock, deadline).
 	Run() error
-}
-
-// fifoStamp tracks the per-(src,dst) pipe occupancy so that message
-// arrival times are monotonic per pair: a later message on the same pipe
-// never arrives before an earlier one, even if it is smaller.
-type fifoStamp struct {
-	last map[[2]msg.Addr]time.Duration
-}
-
-func newFifoStamp() *fifoStamp {
-	return &fifoStamp{last: make(map[[2]msg.Addr]time.Duration)}
-}
-
-// arrival computes the delivery time of a message sent at now from src to
-// dst with the given wire time, and records it.
-func (f *fifoStamp) arrival(src, dst msg.Addr, now, wire time.Duration) time.Duration {
-	key := [2]msg.Addr{src, dst}
-	at := now + wire
-	if prev := f.last[key]; at < prev {
-		at = prev
-	}
-	f.last[key] = at
-	return at
-}
-
-// wireTime computes the modeled wire time of m between the endpoints.
-func wireTime(p model.Params, space *shmem.Space, src, dst msg.Addr, m *msg.Message) time.Duration {
-	srcNode, dstNode := endpointNode(space, src), endpointNode(space, dst)
-	return p.WireTime(m.PayloadBytes(), srcNode == dstNode)
 }
 
 // endpointNode returns the node an endpoint lives on. Server-class

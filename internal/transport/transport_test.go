@@ -8,25 +8,9 @@ import (
 
 	"armci/internal/model"
 	"armci/internal/msg"
+	"armci/internal/pipeline"
 	"armci/internal/trace"
 )
-
-func TestFifoStampMonotonicPerPair(t *testing.T) {
-	f := newFifoStamp()
-	a, b := msg.User(0), msg.User(1)
-	// A big message followed by a small one: the small one's raw arrival
-	// would be earlier; the stamp must push it after the big one.
-	t1 := f.arrival(a, b, 0, 100*time.Microsecond)
-	t2 := f.arrival(a, b, 1*time.Microsecond, 10*time.Microsecond)
-	if t2 < t1 {
-		t.Fatalf("pipe reordered: %v then %v", t1, t2)
-	}
-	// A different pair is independent.
-	t3 := f.arrival(b, a, 1*time.Microsecond, 10*time.Microsecond)
-	if t3 != 11*time.Microsecond {
-		t.Fatalf("independent pair delayed: %v", t3)
-	}
-}
 
 func TestConfigValidation(t *testing.T) {
 	if _, err := NewSim(Config{Procs: 0}); err == nil {
@@ -37,6 +21,44 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := NewTCP(Config{}); err == nil {
 		t.Fatal("zero config accepted")
+	}
+}
+
+// TestConfigRejectsBadKnobs: normalize must reject nonsensical values with
+// a descriptive error rather than silently misbehaving later.
+func TestConfigRejectsBadKnobs(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error
+	}{
+		{"negative jitter", Config{Procs: 2, Jitter: -time.Microsecond}, "Jitter >= 0"},
+		{"negative deadline", Config{Procs: 2, Deadline: -time.Second}, "Deadline >= 0"},
+		{"negative fault jitter", Config{Procs: 2, Faults: pipeline.Faults{Jitter: -1}}, "fault plan"},
+		{"negative spike delay", Config{Procs: 2, Faults: pipeline.Faults{SpikeDelay: -time.Millisecond, SpikeProb: 0.1}}, "fault plan"},
+		{"spike prob above 1", Config{Procs: 2, Faults: pipeline.Faults{SpikeProb: 1.5}}, "fault plan"},
+		{"negative dup prob", Config{Procs: 2, Faults: pipeline.Faults{DupProb: -0.1}}, "fault plan"},
+		{"negative dup cap", Config{Procs: 2, Faults: pipeline.Faults{MaxDupsPerPair: -1}}, "fault plan"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			err := cfg.normalize()
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// And the deprecated Jitter knob must still fold into the fault plan.
+	cfg := Config{Procs: 2, Jitter: 5 * time.Microsecond, JitterSeed: 9}
+	if err := cfg.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Faults.Jitter != 5*time.Microsecond || cfg.Faults.Seed != 9 {
+		t.Fatalf("deprecated Jitter not folded: %+v", cfg.Faults)
 	}
 }
 
@@ -519,6 +541,65 @@ func TestJitterPreservesPerPairFIFO(t *testing.T) {
 		if v != i {
 			t.Fatalf("jitter reordered the pipe: %v", got)
 		}
+	}
+}
+
+// TestFaultSeedDeterminismAcrossFabrics: fault decisions are pure
+// functions of (seed, pair, sequence), so a causally serialized workload
+// — ping-pong, where the global send order is forced by the protocol —
+// produces the identical fault-annotated trace fingerprint on the
+// simulated and the channel fabric, and different seeds diverge.
+func TestFaultSeedDeterminismAcrossFabrics(t *testing.T) {
+	const rounds = 30
+	run := func(mk func(Config) (Fabric, error), seed int64) string {
+		stats := trace.New()
+		stats.SetCapture(true)
+		f, err := mk(Config{
+			Procs: 2,
+			Trace: stats,
+			Faults: pipeline.Faults{
+				Seed:       seed,
+				Jitter:     100 * time.Microsecond,
+				SpikeProb:  0.3,
+				SpikeDelay: 500 * time.Microsecond,
+				DupProb:    0.4,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.SpawnUser(0, func(env Env) {
+			for i := 0; i < rounds; i++ {
+				env.Send(msg.User(1), &msg.Message{Kind: msg.KindSend, Tag: i})
+				env.Recv(msg.MatchSrcTag(msg.KindSend, msg.User(1), i))
+			}
+		})
+		f.SpawnUser(1, func(env Env) {
+			for i := 0; i < rounds; i++ {
+				env.Recv(msg.MatchSrcTag(msg.KindSend, msg.User(0), i))
+				env.Send(msg.User(0), &msg.Message{Kind: msg.KindSend, Tag: i})
+			}
+		})
+		if err := f.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Fingerprint()
+	}
+	mkSim := func(c Config) (Fabric, error) { return NewSim(c) }
+	mkChan := func(c Config) (Fabric, error) { return NewChan(c) }
+
+	simFP := run(mkSim, 7)
+	if run(mkSim, 7) != simFP {
+		t.Fatal("simulated fabric did not replay the fault pattern")
+	}
+	if chanFP := run(mkChan, 7); chanFP != simFP {
+		t.Fatalf("fault pattern diverges across fabrics for one seed:\nsim:  %s\nchan: %s", simFP, chanFP)
+	}
+	if run(mkSim, 8) == simFP {
+		t.Fatal("different fault seeds produced identical traces")
+	}
+	if !strings.Contains(simFP, ":f") || !strings.Contains(simFP, ":dup") {
+		t.Fatalf("fingerprint carries no fault annotations: %s", simFP)
 	}
 }
 

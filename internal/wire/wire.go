@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"armci/internal/msg"
 	"armci/internal/shmem"
@@ -42,14 +43,21 @@ func DecodeHello(body []byte) (msg.Addr, error) {
 }
 
 // Encode serializes m into a ready-to-write frame (length prefix
-// included). The Arrival field is not transmitted; it is fabric-local.
+// included). The pipeline stamps Seq, Sent and Arrival before a send,
+// and the receive side needs all three (duplicate suppression, latency
+// metrics, enforcing fault-injected arrival times), so they are carried
+// on the wire. Dup and FaultDelay are sender-local diagnostics and are
+// not transmitted.
 func Encode(m *msg.Message) []byte {
-	b := make([]byte, 0, 96+len(m.Data))
+	b := make([]byte, 0, 120+len(m.Data))
 	b = append(b, byte(m.Kind))
 	b = appendAddr(b, m.Src)
 	b = appendAddr(b, m.Dst)
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(m.Origin)))
 	b = binary.LittleEndian.AppendUint64(b, m.Token)
+	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Sent)))
+	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Arrival)))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Tag)))
 	b = appendPtr(b, m.Ptr)
 	b = appendStride(b, m.Stride)
@@ -78,6 +86,9 @@ func Decode(body []byte) (*msg.Message, error) {
 	m.Dst = d.addr()
 	m.Origin = int(int32(d.u32()))
 	m.Token = d.u64()
+	m.Seq = d.u64()
+	m.Sent = time.Duration(int64(d.u64()))
+	m.Arrival = time.Duration(int64(d.u64()))
 	m.Tag = int(int64(d.u64()))
 	m.Ptr = d.ptr()
 	m.Stride = d.stride()

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"armci/internal/msg"
 	"armci/internal/shmem"
@@ -23,6 +24,11 @@ func randomMessage(r *rand.Rand) *msg.Message {
 		Op:     uint8(r.Intn(9)),
 		Scale:  r.NormFloat64(),
 		N:      r.Intn(1 << 20),
+		Seq:    r.Uint64(),
+		Sent:   time.Duration(r.Int63n(1 << 40)),
+	}
+	if r.Intn(2) == 0 {
+		m.Arrival = time.Duration(r.Int63n(1 << 40))
 	}
 	if r.Intn(2) == 0 {
 		m.Ptr = shmem.Ptr{
@@ -64,7 +70,8 @@ func randomMessage(r *rand.Rand) *msg.Message {
 func messagesEquivalent(a, b *msg.Message) bool {
 	if a.Kind != b.Kind || a.Src != b.Src || a.Dst != b.Dst || a.Origin != b.Origin ||
 		a.Token != b.Token || a.Tag != b.Tag || a.Ptr != b.Ptr || a.N != b.N ||
-		a.Op != b.Op || a.Operands != b.Operands || !bytes.Equal(a.Data, b.Data) {
+		a.Op != b.Op || a.Operands != b.Operands || !bytes.Equal(a.Data, b.Data) ||
+		a.Seq != b.Seq || a.Sent != b.Sent || a.Arrival != b.Arrival {
 		return false
 	}
 	if a.Scale != b.Scale && !(math.IsNaN(a.Scale) && math.IsNaN(b.Scale)) {
