@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test check bench soak
 
 build:
 	$(GO) build ./...
@@ -15,3 +15,9 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# The reliability soak: every lock and barrier algorithm on every fabric
+# under bursty packet loss, with the race detector on. check's race pass
+# skips these (-short); this target runs them in full.
+soak:
+	$(GO) test -race -run 'Soak' -v -timeout 15m .

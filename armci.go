@@ -57,12 +57,39 @@ const (
 )
 
 // Faults configures deterministic fault injection on any fabric: uniform
-// jitter, per-pair latency spikes and bounded duplicate delivery, all
-// derived from a seed so a fault pattern replays identically across runs
-// and fabrics. Per-pair FIFO order is preserved and duplicates are
-// suppressed at the receiver, so protocol code still observes reliable
-// exactly-once delivery. The zero value disables faults.
+// jitter, per-pair latency spikes, bounded duplicate delivery, message
+// loss recovered by the ack/retransmit reliability stage (LossProb,
+// LossBurst, RetryBudget, RTO, RTOCap), and fail-stop rank crashes
+// (CrashRank, CrashAfterSends) — all derived from a seed so a fault
+// pattern replays identically across runs and fabrics. Per-pair FIFO
+// order is preserved, duplicates are suppressed at the receiver and lost
+// messages are retransmitted, so protocol code still observes reliable
+// exactly-once delivery; a run that cannot (retry budget exhausted, rank
+// crashed) fails fast with a *FaultError. The zero value disables faults.
 type Faults = pipeline.Faults
+
+// FaultError is the structured, rank-attributed error a run returns when
+// an injected fault could not be masked: a crash, an exhausted
+// retransmission budget, or a per-operation timeout. Inspect it with
+// errors.As:
+//
+//	var fe *armci.FaultError
+//	if errors.As(err, &fe) { ... fe.Rank, fe.Op, fe.Kind ... }
+type FaultError = pipeline.FaultError
+
+// FaultKind classifies a FaultError.
+type FaultKind = pipeline.FaultKind
+
+// FaultError kinds.
+const (
+	// FaultCrash: an injected Crash fault fail-stopped the rank.
+	FaultCrash = pipeline.FaultCrash
+	// FaultRetryExhausted: a message stayed lost through the whole
+	// retransmission budget.
+	FaultRetryExhausted = pipeline.FaultRetryExhausted
+	// FaultOpTimeout: one blocking operation exceeded Options.OpDeadline.
+	FaultOpTimeout = pipeline.FaultOpTimeout
+)
 
 // Metrics collects per-kind and per-pair message latency histograms,
 // fault counters and (optionally) a delivery timeline from the transport
@@ -209,6 +236,51 @@ type Options struct {
 	// Deadline bounds the run (virtual time for FabricSim, wall time
 	// otherwise); 0 uses the fabric default.
 	Deadline time.Duration
+	// OpDeadline bounds every single blocking operation — one message
+	// receive by a user process, or one memory wait by any actor — as
+	// opposed to Deadline, which bounds the whole run. An operation that
+	// exceeds it fails the run fast with a rank-attributed *FaultError
+	// (FaultOpTimeout), which is how a rank wedged by a crashed or
+	// unreachable peer is detected without waiting out the run deadline.
+	// Virtual time on FabricSim, wall time otherwise; 0 disables the
+	// bound.
+	OpDeadline time.Duration
+}
+
+// normalize validates the options and resolves the cost preset,
+// mirroring transport.Config.normalize for the knobs owned by this
+// layer. It rejects invalid loss/crash/retry plans (negative or >1
+// probabilities, negative retry budgets, crash ranks out of range)
+// before the fabric is built, so callers get one descriptive error
+// instead of a partially constructed cluster.
+func (o *Options) normalize() (model.Params, error) {
+	if o.Procs <= 0 {
+		return model.Params{}, fmt.Errorf("armci: Options.Procs must be positive, got %d", o.Procs)
+	}
+	if o.LockHomes != nil && len(o.LockHomes) != o.NumMutexes {
+		return model.Params{}, fmt.Errorf("armci: %d lock homes for %d mutexes", len(o.LockHomes), o.NumMutexes)
+	}
+	for i, h := range o.LockHomes {
+		if h < 0 || h >= o.Procs {
+			return model.Params{}, fmt.Errorf("armci: LockHomes[%d] = %d out of range [0,%d)", i, h, o.Procs)
+		}
+	}
+	if o.Jitter < 0 {
+		return model.Params{}, fmt.Errorf("armci: Options.Jitter must be >= 0, got %v", o.Jitter)
+	}
+	if o.Deadline < 0 {
+		return model.Params{}, fmt.Errorf("armci: Options.Deadline must be >= 0, got %v", o.Deadline)
+	}
+	if o.OpDeadline < 0 {
+		return model.Params{}, fmt.Errorf("armci: Options.OpDeadline must be >= 0, got %v", o.OpDeadline)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return model.Params{}, fmt.Errorf("armci: bad fault plan: %w", err)
+	}
+	if o.Faults.CrashAfterSends > 0 && o.Faults.CrashRank >= o.Procs {
+		return model.Params{}, fmt.Errorf("armci: Faults.CrashRank %d out of range [0,%d)", o.Faults.CrashRank, o.Procs)
+	}
+	return o.Preset.params()
 }
 
 // Report summarizes a completed run.
@@ -227,14 +299,13 @@ type Report struct {
 // on the real fabrics, deterministically interleaved on the simulated
 // one), and tears everything down. The body receives the rank's Proc
 // handle, which is valid only until body returns.
+//
+// When the run fails — in particular when an injected fault aborts it
+// with a *FaultError — Run returns the partial Report (trace and metrics
+// up to the failure) alongside the error; only option/setup errors yield
+// a nil Report.
 func Run(opt Options, body func(p *Proc)) (*Report, error) {
-	if opt.Procs <= 0 {
-		return nil, fmt.Errorf("armci: Options.Procs must be positive, got %d", opt.Procs)
-	}
-	if opt.LockHomes != nil && len(opt.LockHomes) != opt.NumMutexes {
-		return nil, fmt.Errorf("armci: %d lock homes for %d mutexes", len(opt.LockHomes), opt.NumMutexes)
-	}
-	params, err := opt.Preset.params()
+	params, err := opt.normalize()
 	if err != nil {
 		return nil, err
 	}
@@ -251,6 +322,7 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 		JitterSeed:   opt.JitterSeed,
 		ScheduleSeed: opt.ScheduleSeed,
 		Deadline:     opt.Deadline,
+		OpDeadline:   opt.OpDeadline,
 	}
 
 	var fabric transport.Fabric
@@ -318,14 +390,18 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 	}
 
 	start := time.Now()
-	if err := fabric.Run(); err != nil {
-		return nil, err
-	}
+	runErr := fabric.Run()
 	rep := &Report{Stats: stats, Metrics: opt.Metrics}
 	if simF != nil {
 		rep.Elapsed = simF.Now()
 	} else {
 		rep.Elapsed = time.Since(start)
+	}
+	if runErr != nil {
+		// Surface the partial report alongside the error: on a fault
+		// abort (see FaultError) the trace and metrics collected up to
+		// the failure are exactly what a caller wants to inspect.
+		return rep, runErr
 	}
 	return rep, nil
 }

@@ -20,7 +20,6 @@ import (
 	"os"
 	"strconv"
 	"strings"
-	"time"
 
 	"armci"
 	"armci/internal/bench"
@@ -39,7 +38,7 @@ func main() {
 		iters    = flag.Int("iters", 0, "lock iterations per process (default 200)")
 		format   = flag.String("format", "table", "output format: table or csv (figs 7, 8, crossover)")
 		timeline = flag.String("timeline", "", "write a per-message CSV timeline of one sync to this file and exit")
-		faultsF  = flag.String("faults", "", "fault-injection plan, e.g. jitter=500us,spike=2ms@0.05,dup=0.02,seed=7")
+		faultsF  = flag.String("faults", "", "fault-injection plan, e.g. jitter=500us,spike=2ms@0.05,dup=0.02,loss=0.05@2,rto=200us@4ms,retry=6,crash=2@40,seed=7")
 		hist     = flag.Bool("hist", false, "print per-kind message latency histograms after the experiment")
 	)
 	flag.Parse()
@@ -118,70 +117,13 @@ func main() {
 	}
 }
 
-// parseFaults parses the -faults plan: comma-separated knobs
-//
-//	jitter=<dur>         uniform extra delay in [0, dur) per message
-//	spike=<dur>@<prob>   latency spike of dur with probability prob
-//	dup=<prob>[@<dur>]   duplicate delivery with probability prob,
-//	                     the copy trailing by dur (default small)
-//	seed=<int>           fault pattern seed
+// parseFaults parses the -faults plan (see armci.ParseFaults for the
+// grammar: jitter, spike, dup, loss, rto, retry, crash, seed; each knob
+// at most once), wrapping errors with the flag name.
 func parseFaults(s string) (armci.Faults, error) {
-	var f armci.Faults
-	if s == "" {
-		return f, nil
-	}
-	for _, part := range strings.Split(s, ",") {
-		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
-		if !ok {
-			return f, fmt.Errorf("bad -faults entry %q (want key=value)", part)
-		}
-		switch key {
-		case "jitter":
-			d, err := time.ParseDuration(val)
-			if err != nil {
-				return f, fmt.Errorf("bad -faults jitter %q: %v", val, err)
-			}
-			f.Jitter = d
-		case "spike":
-			dv, pv, ok := strings.Cut(val, "@")
-			if !ok {
-				return f, fmt.Errorf("bad -faults spike %q (want <dur>@<prob>)", val)
-			}
-			d, err := time.ParseDuration(dv)
-			if err != nil {
-				return f, fmt.Errorf("bad -faults spike delay %q: %v", dv, err)
-			}
-			p, err := strconv.ParseFloat(pv, 64)
-			if err != nil {
-				return f, fmt.Errorf("bad -faults spike probability %q: %v", pv, err)
-			}
-			f.SpikeDelay, f.SpikeProb = d, p
-		case "dup":
-			pv, dv, hasDelay := strings.Cut(val, "@")
-			p, err := strconv.ParseFloat(pv, 64)
-			if err != nil {
-				return f, fmt.Errorf("bad -faults dup probability %q: %v", pv, err)
-			}
-			f.DupProb = p
-			if hasDelay {
-				d, err := time.ParseDuration(dv)
-				if err != nil {
-					return f, fmt.Errorf("bad -faults dup delay %q: %v", dv, err)
-				}
-				f.DupDelay = d
-			}
-		case "seed":
-			n, err := strconv.ParseInt(val, 10, 64)
-			if err != nil {
-				return f, fmt.Errorf("bad -faults seed %q: %v", val, err)
-			}
-			f.Seed = n
-		default:
-			return f, fmt.Errorf("unknown -faults knob %q", key)
-		}
-	}
-	if err := f.Validate(); err != nil {
-		return f, err
+	f, err := armci.ParseFaults(s)
+	if err != nil {
+		return f, fmt.Errorf("-faults: %w", err)
 	}
 	return f, nil
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"armci"
+)
+
+func TestParseFaultsGrammar(t *testing.T) {
+	got, err := parseFaults("jitter=500us,spike=2ms@0.05,dup=0.02,loss=0.1@3,rto=200us@4ms,retry=6,crash=2@40,seed=7")
+	if err != nil {
+		t.Fatalf("full plan rejected: %v", err)
+	}
+	want := armci.Faults{
+		Seed:            7,
+		Jitter:          500 * time.Microsecond,
+		SpikeProb:       0.05,
+		SpikeDelay:      2 * time.Millisecond,
+		DupProb:         0.02,
+		LossProb:        0.1,
+		LossBurst:       3,
+		RTO:             200 * time.Microsecond,
+		RTOCap:          4 * time.Millisecond,
+		RetryBudget:     6,
+		CrashRank:       2,
+		CrashAfterSends: 40,
+	}
+	if got != want {
+		t.Fatalf("parsed %+v,\nwant %+v", got, want)
+	}
+	if empty, err := parseFaults(""); err != nil || empty != (armci.Faults{}) {
+		t.Fatalf("empty plan: %+v, %v", empty, err)
+	}
+}
+
+func TestParseFaultsRejectsDuplicateKnobs(t *testing.T) {
+	for _, plan := range []string{
+		"jitter=1ms,jitter=2ms",
+		"loss=0.1,loss=0.2",
+		"seed=1,jitter=1ms,seed=2",
+	} {
+		_, err := parseFaults(plan)
+		if err == nil {
+			t.Fatalf("duplicate-knob plan %q accepted", plan)
+		}
+		if !strings.Contains(err.Error(), "duplicate faults knob") {
+			t.Fatalf("plan %q: error %q does not name the duplicate knob", plan, err)
+		}
+	}
+}
+
+func TestParseFaultsRejectsBadValues(t *testing.T) {
+	for _, plan := range []string{
+		"bogus=1",
+		"jitter",
+		"jitter=xyz",
+		"spike=2ms",
+		"loss=1.5",
+		"loss=-0.1",
+		"loss=0.1@0",
+		"rto=abc",
+		"retry=0",
+		"retry=-1",
+		"crash=2",
+		"crash=-1@5",
+		"crash=2@0",
+	} {
+		if _, err := parseFaults(plan); err == nil {
+			t.Fatalf("bad plan %q accepted", plan)
+		}
+	}
+}

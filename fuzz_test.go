@@ -270,3 +270,46 @@ func TestFuzzScheduleExploration(t *testing.T) {
 		t.Fatalf("8 seeds produced %d distinct schedules — shuffle ineffective", len(fingerprints))
 	}
 }
+
+// FuzzParseFaults: any plan ParseFaults accepts must round-trip —
+// FormatFaults renders it canonically and re-parsing the rendering
+// yields the identical struct. This pins the grammar and the formatter
+// to each other (including float formatting and duration rendering) and
+// exercises the parser's rejection paths on arbitrary input.
+func FuzzParseFaults(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"jitter=500us",
+		"jitter=500us,spike=2ms@0.05,dup=0.02,seed=7",
+		"dup=0.25@3ms",
+		"loss=0.1@3,rto=200us@4ms,retry=6,crash=2@40,seed=-9",
+		"loss=1",
+		"rto=1h",
+		"spike=0s@1",
+		"retry=1,crash=0@1",
+		"jitter=1ms,jitter=2ms",
+		"loss=0.5@0",
+		"seed=9223372036854775807",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, plan string) {
+		parsed, err := armci.ParseFaults(plan)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		rendered := armci.FormatFaults(parsed)
+		reparsed, err := armci.ParseFaults(rendered)
+		if err != nil {
+			t.Fatalf("plan %q: canonical form %q rejected: %v", plan, rendered, err)
+		}
+		if reparsed != parsed {
+			t.Fatalf("plan %q: round-trip mismatch:\nparsed   %+v\nrendered %q\nreparsed %+v",
+				plan, parsed, rendered, reparsed)
+		}
+		// The canonical form is a fixed point.
+		if again := armci.FormatFaults(reparsed); again != rendered {
+			t.Fatalf("plan %q: formatter not canonical: %q then %q", plan, rendered, again)
+		}
+	})
+}

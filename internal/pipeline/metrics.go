@@ -102,6 +102,17 @@ type FaultCounts struct {
 	DupsInjected int
 	// DupsSuppressed counts duplicates dropped by receive-side dedup.
 	DupsSuppressed int
+	// Dropped counts message copies lost on the wire (including copies
+	// of messages that later exhausted their retry budget).
+	Dropped int
+	// Retransmits counts retransmissions performed by the reliability
+	// stage.
+	Retransmits int
+	// RetryExhausted counts messages that stayed lost through the whole
+	// retransmission budget and failed the send.
+	RetryExhausted int
+	// Crashes counts injected fail-stop crashes (at most one per run).
+	Crashes int
 }
 
 // Metrics collects per-kind and per-pair latency histograms, fault
@@ -161,7 +172,7 @@ func (x *Metrics) observe(m *msg.Message) {
 	}
 }
 
-func (x *Metrics) countSend(jittered, spiked, dup bool) {
+func (x *Metrics) countSend(jittered, spiked, dup bool, retransmits int) {
 	if x == nil {
 		return
 	}
@@ -175,6 +186,30 @@ func (x *Metrics) countSend(jittered, spiked, dup bool) {
 	if dup {
 		x.faults.DupsInjected++
 	}
+	// Every drop of a successfully delivered message triggered exactly
+	// one retransmission.
+	x.faults.Dropped += retransmits
+	x.faults.Retransmits += retransmits
+	x.mu.Unlock()
+}
+
+func (x *Metrics) countRetryExhausted(dropped, retransmits int) {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	x.faults.Dropped += dropped
+	x.faults.Retransmits += retransmits
+	x.faults.RetryExhausted++
+	x.mu.Unlock()
+}
+
+func (x *Metrics) countCrash(first bool) {
+	if x == nil || !first {
+		return
+	}
+	x.mu.Lock()
+	x.faults.Crashes++
 	x.mu.Unlock()
 }
 
@@ -294,6 +329,10 @@ func (x *Metrics) String() string {
 	if f.Jittered+f.Spiked+f.DupsInjected > 0 {
 		fmt.Fprintf(&b, "; faults: jittered=%d spiked=%d dups=%d/%d suppressed",
 			f.Jittered, f.Spiked, f.DupsSuppressed, f.DupsInjected)
+	}
+	if f.Dropped+f.Retransmits+f.RetryExhausted+f.Crashes > 0 {
+		fmt.Fprintf(&b, "; reliability: dropped=%d retransmits=%d exhausted=%d crashes=%d",
+			f.Dropped, f.Retransmits, f.RetryExhausted, f.Crashes)
 	}
 	b.WriteString("):\n")
 	for _, k := range x.sortedKindsLocked() {

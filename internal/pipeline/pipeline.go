@@ -14,20 +14,35 @@
 //  3. fault injection — seeded, deterministic extra delay (uniform
 //     jitter and latency spikes) plus bounded duplicate delivery; the
 //     per-pair FIFO stamp keeps arrivals monotonic per pipe throughout;
-//  4. trace/metrics — record the send (and any duplicate) in the trace
-//     collector and the fault counters.
+//  4. reliability — when loss injection is on, replay the ack/retransmit
+//     exchange of the message: each transmission copy is dropped with
+//     LossProb (plus burst extension), every drop costs one retransmit
+//     timeout of exponentially backed-off RTO, and a message that is
+//     still undelivered after RetryBudget retransmissions fails the send
+//     with a rank-attributed *FaultError instead of hanging the
+//     receiver. An injected Crash fault fail-stops a rank at its N-th
+//     send the same way;
+//  5. trace/metrics — record the send (and any duplicate) in the trace
+//     collector and the fault counters (including drops/retransmits).
 //
 // On the receive side, Inbound applies the mirror stages: duplicate
 // suppression by sequence number (the transport stays exactly-once even
 // under injected duplication), arrival stamping (so trace.Event.Arrival
 // is populated on every fabric, including TCP where the arrival is only
 // known at the receiver), trace back-annotation and latency metrics.
+// Dedup deliberately sits after the reliability stage: retransmitted
+// copies keep their original sequence number and resolve to exactly one
+// delivery before the FIFO stamp, so the only copies dedup ever sees are
+// genuine injected duplicates — running it earlier would mistake a
+// retransmission for a replay and break the exactly-once contract.
 //
-// Fault decisions are pure functions of (seed, src, dst, sequence), not
-// of wall-clock timing or scheduling order, so the same seed injects the
-// identical fault pattern on the deterministic simulated fabric and on
-// the concurrent fabrics — that is what makes cross-fabric determinism
-// tests possible.
+// Fault decisions — including every per-attempt loss decision of the
+// reliability stage — are pure functions of (seed, src, dst, sequence),
+// not of wall-clock timing or scheduling order, so the same seed injects
+// the identical fault pattern on the deterministic simulated fabric and
+// on the concurrent fabrics — that is what makes cross-fabric
+// determinism tests possible: identical retransmit counts and trace
+// fingerprints for a given seed and workload.
 package pipeline
 
 import (
@@ -73,14 +88,47 @@ type Faults struct {
 	// rather than global so that it is independent of cross-pair
 	// scheduling order.
 	MaxDupsPerPair int
+	// LossProb is the per-transmission probability that a message copy
+	// is dropped on the wire. A dropped copy is recovered by the
+	// reliability stage: the sender retransmits after an exponentially
+	// backed-off timeout until a copy gets through or RetryBudget is
+	// exhausted. Each retransmission re-rolls the loss decision
+	// independently, so the effective per-message failure probability is
+	// LossProb^(RetryBudget+1).
+	LossProb float64
+	// LossBurst stretches each loss event over a run of consecutive
+	// messages: a loss anchored at sequence s also drops the first copy
+	// of the next LossBurst-1 messages on the same pair, modeling a
+	// transient outage rather than independent single drops. 0 or 1
+	// means single-message losses.
+	LossBurst int
+	// RetryBudget bounds how many retransmissions the reliability stage
+	// attempts per message before the send fails with a
+	// FaultRetryExhausted error (0 selects the default of 8).
+	RetryBudget int
+	// RTO is the initial retransmit timeout; it doubles after every
+	// drop up to RTOCap. 0 selects the default of 500µs.
+	RTO time.Duration
+	// RTOCap caps the exponential backoff. 0 selects 16×RTO.
+	RTOCap time.Duration
+	// CrashRank selects the user rank fail-stopped by the crash fault
+	// (used only when CrashAfterSends > 0).
+	CrashRank int
+	// CrashAfterSends, when > 0, crashes CrashRank at its
+	// CrashAfterSends-th send: that send and every later one from the
+	// rank fails with a FaultCrash error. 0 disables the crash fault.
+	CrashAfterSends int
 }
 
 // Enabled reports whether any fault is configured.
 func (f Faults) Enabled() bool {
-	return f.Jitter > 0 || (f.SpikeProb > 0 && f.SpikeDelay > 0) || f.DupProb > 0
+	return f.Jitter > 0 || (f.SpikeProb > 0 && f.SpikeDelay > 0) || f.DupProb > 0 ||
+		f.LossProb > 0 || f.CrashAfterSends > 0
 }
 
 // Validate rejects nonsensical fault plans with a descriptive error.
+// Probability checks are written in the negated form so that NaN (which
+// fails every comparison) is rejected too.
 func (f Faults) Validate() error {
 	switch {
 	case f.Jitter < 0:
@@ -89,14 +137,94 @@ func (f Faults) Validate() error {
 		return fmt.Errorf("pipeline: Faults.SpikeDelay must be >= 0, got %v", f.SpikeDelay)
 	case f.DupDelay < 0:
 		return fmt.Errorf("pipeline: Faults.DupDelay must be >= 0, got %v", f.DupDelay)
-	case f.SpikeProb < 0 || f.SpikeProb > 1:
+	case !(f.SpikeProb >= 0 && f.SpikeProb <= 1):
 		return fmt.Errorf("pipeline: Faults.SpikeProb must be in [0,1], got %g", f.SpikeProb)
-	case f.DupProb < 0 || f.DupProb > 1:
+	case !(f.DupProb >= 0 && f.DupProb <= 1):
 		return fmt.Errorf("pipeline: Faults.DupProb must be in [0,1], got %g", f.DupProb)
 	case f.MaxDupsPerPair < 0:
 		return fmt.Errorf("pipeline: Faults.MaxDupsPerPair must be >= 0, got %d", f.MaxDupsPerPair)
+	case !(f.LossProb >= 0 && f.LossProb <= 1):
+		return fmt.Errorf("pipeline: Faults.LossProb must be in [0,1], got %g", f.LossProb)
+	case f.LossBurst < 0:
+		return fmt.Errorf("pipeline: Faults.LossBurst must be >= 0, got %d", f.LossBurst)
+	case f.RetryBudget < 0:
+		return fmt.Errorf("pipeline: Faults.RetryBudget must be >= 1 (0 selects the default of %d), got %d", defaultRetryBudget, f.RetryBudget)
+	case f.RTO < 0:
+		return fmt.Errorf("pipeline: Faults.RTO must be >= 0, got %v", f.RTO)
+	case f.RTOCap < 0:
+		return fmt.Errorf("pipeline: Faults.RTOCap must be >= 0, got %v", f.RTOCap)
+	case f.CrashRank < 0:
+		return fmt.Errorf("pipeline: Faults.CrashRank must be >= 0, got %d", f.CrashRank)
+	case f.CrashAfterSends < 0:
+		return fmt.Errorf("pipeline: Faults.CrashAfterSends must be >= 0, got %d", f.CrashAfterSends)
 	}
 	return nil
+}
+
+// FaultKind classifies a structured fault failure.
+type FaultKind int
+
+const (
+	// FaultCrash: an injected Crash fault fail-stopped the rank.
+	FaultCrash FaultKind = iota
+	// FaultRetryExhausted: a message stayed lost through the whole
+	// retransmission budget.
+	FaultRetryExhausted
+	// FaultOpTimeout: a single operation exceeded the per-op deadline.
+	FaultOpTimeout
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultRetryExhausted:
+		return "retry budget exhausted"
+	case FaultOpTimeout:
+		return "operation deadline exceeded"
+	}
+	return fmt.Sprintf("FaultKind(%d)", int(k))
+}
+
+// FaultError is the structured, rank-attributed failure a fault produces.
+// Runs fail fast with one of these instead of hanging until the global
+// deadline.
+type FaultError struct {
+	// Rank is the user rank the failure is attributed to. When Server
+	// is set and the fault happened on a server→user pipe, it is the
+	// user rank the server was acting for; for a fault local to a
+	// server (e.g. a per-op timeout in its own wait), it is the
+	// server/agent index.
+	Rank int
+	// Server is true when the failing endpoint was a data server acting
+	// on behalf of Rank rather than the rank itself.
+	Server bool
+	// Op names the operation in flight (a message kind, or a wait
+	// label for per-op timeouts).
+	Op string
+	// Kind classifies the failure.
+	Kind FaultKind
+}
+
+func (e *FaultError) Error() string {
+	who := fmt.Sprintf("rank %d", e.Rank)
+	if e.Server {
+		who += " (server side)"
+	}
+	return fmt.Sprintf("fault: %s: %s during %s", who, e.Kind, e.Op)
+}
+
+// attrRank attributes a fault on the src→dst pipe to a user rank: faults
+// at a user endpoint belong to that rank; faults at a server endpoint are
+// charged to the user rank it was talking to.
+func attrRank(src, dst msg.Addr) (rank int, server bool) {
+	if !src.Server {
+		return src.ID, false
+	}
+	if !dst.Server {
+		return dst.ID, true
+	}
+	return src.ID, true
 }
 
 // Hash salts, one per independent fault decision.
@@ -104,6 +232,13 @@ const (
 	saltJitter = 0x9e3779b97f4a7c15
 	saltSpike  = 0xbf58476d1ce4e5b9
 	saltDup    = 0x94d049bb133111eb
+	saltLoss   = 0xd6e8feb86659fd93
+	saltRetry  = 0xa0761d6478bd642f
+)
+
+const (
+	defaultRetryBudget = 8
+	defaultRTO         = 500 * time.Microsecond
 )
 
 // roll derives a 64-bit pseudo-random value for one decision about one
@@ -186,6 +321,101 @@ func (f Faults) maxDupsPerPair() int {
 	return 8
 }
 
+func (f Faults) retryBudget() int {
+	if f.RetryBudget > 0 {
+		return f.RetryBudget
+	}
+	return defaultRetryBudget
+}
+
+func (f Faults) rto() time.Duration {
+	if f.RTO > 0 {
+		return f.RTO
+	}
+	return defaultRTO
+}
+
+func (f Faults) rtoCap() time.Duration {
+	if f.RTOCap > 0 {
+		return f.RTOCap
+	}
+	return 16 * f.rto()
+}
+
+func (f Faults) lossBurst() int {
+	if f.LossBurst > 1 {
+		return f.LossBurst
+	}
+	return 1
+}
+
+// backoff returns the retransmit timeout after the i-th drop of one
+// message: RTO doubled i times, capped at RTOCap.
+func (f Faults) backoff(i int) time.Duration {
+	d, cap := f.rto(), f.rtoCap()
+	for ; i > 0 && d < cap; i-- {
+		d *= 2
+	}
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// firstCopyLost reports whether the original transmission of message seq
+// is dropped. A loss event anchored at sequence s drops the first copy
+// of messages s .. s+LossBurst-1 on the pair, so bursts model transient
+// outages while remaining a pure function of (seed, pair, seq).
+func (f Faults) firstCopyLost(src, dst msg.Addr, seq uint64) bool {
+	if f.LossProb <= 0 {
+		return false
+	}
+	for b := 0; b < f.lossBurst(); b++ {
+		s := seq - uint64(b)
+		if s < 1 || s > seq { // ran past the first message on the pair
+			break
+		}
+		if hit(f.roll(src, dst, s, saltLoss), f.LossProb) {
+			return true
+		}
+	}
+	return false
+}
+
+// retransLost reports whether retransmission attempt a (1-based) of
+// message seq is dropped. Each attempt rolls independently.
+func (f Faults) retransLost(src, dst msg.Addr, seq uint64, a int) bool {
+	return hit(f.roll(src, dst, seq, saltRetry^mix64(uint64(a))), f.LossProb)
+}
+
+// lossAttempts replays the ack/retransmit exchange of message seq
+// analytically: it returns how many copies were dropped, the total
+// retransmit-timer delay the exchange cost (the sum of the backed-off
+// timeouts, folded into the message's arrival), and whether the retry
+// budget was exhausted with no copy delivered. Because every per-attempt
+// decision is a pure hash of (seed, pair, seq, attempt), the outcome is
+// identical on every fabric.
+func (f Faults) lossAttempts(src, dst msg.Addr, seq uint64) (drops int, delay time.Duration, exhausted bool) {
+	if f.LossProb <= 0 {
+		return 0, 0, false
+	}
+	budget := f.retryBudget()
+	for a := 0; a <= budget; a++ {
+		var lost bool
+		if a == 0 {
+			lost = f.firstCopyLost(src, dst, seq)
+		} else {
+			lost = f.retransLost(src, dst, seq, a)
+		}
+		if !lost {
+			return drops, delay, false
+		}
+		drops++
+		delay += f.backoff(a)
+	}
+	return drops, delay, true
+}
+
 // Config assembles one pipeline.
 type Config struct {
 	// Params is the cost model.
@@ -225,21 +455,24 @@ type Delivery struct {
 type Pipeline struct {
 	cfg Config
 
-	mu   sync.Mutex
-	fifo map[Pair]time.Duration // last stamped arrival per pipe
-	seq  map[Pair]uint64        // last assigned sequence number per pipe
-	seen map[Pair]uint64        // last admitted sequence number per pipe
-	dups map[Pair]int           // duplicates injected per pipe
+	mu           sync.Mutex
+	fifo         map[Pair]time.Duration // last stamped arrival per pipe
+	seq          map[Pair]uint64        // last assigned sequence number per pipe
+	seen         map[Pair]uint64        // last admitted sequence number per pipe
+	dups         map[Pair]int           // duplicates injected per pipe
+	sends        map[msg.Addr]uint64    // total sends per source (crash fault)
+	crashCounted bool                   // the crash was counted in metrics
 }
 
 // New builds a pipeline for one fabric instance.
 func New(cfg Config) *Pipeline {
 	return &Pipeline{
-		cfg:  cfg,
-		fifo: make(map[Pair]time.Duration),
-		seq:  make(map[Pair]uint64),
-		seen: make(map[Pair]uint64),
-		dups: make(map[Pair]int),
+		cfg:   cfg,
+		fifo:  make(map[Pair]time.Duration),
+		seq:   make(map[Pair]uint64),
+		seen:  make(map[Pair]uint64),
+		dups:  make(map[Pair]int),
+		sends: make(map[msg.Addr]uint64),
 	}
 }
 
@@ -248,19 +481,30 @@ func (p *Pipeline) Faults() Faults { return p.cfg.Faults }
 
 // Send runs the outbound stage chain for m from src to dst: it charges
 // the modeled send overhead through charge (when the cost model is
-// active), stamps identity, sequence number, send time and arrival, and
-// records the send. clock is read after the overhead charge so arrivals
-// account for the time spent injecting. The returned deliveries — the
-// original plus any injected duplicate, in arrival order — must each be
-// handed to the destination via the fabric's own delivery mechanism and
-// passed through Inbound at the destination side.
-func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Duration, charge func(time.Duration)) []Delivery {
+// active), stamps identity, sequence number, send time and arrival,
+// replays the reliability stage's ack/retransmit exchange, and records
+// the send. clock is read after the overhead charge so arrivals account
+// for the time spent injecting. The returned deliveries — the original
+// plus any injected duplicate, in arrival order — must each be handed to
+// the destination via the fabric's own delivery mechanism and passed
+// through Inbound at the destination side.
+//
+// A non-nil error is always a *FaultError — the sender's rank crashed
+// (fail-stop) or the message exhausted its retransmission budget — and
+// means no delivery was produced; the fabric must abort the failing
+// actor with it rather than hang the destination.
+func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Duration, charge func(time.Duration)) ([]Delivery, error) {
 	if p.cfg.ChargeModel && charge != nil {
 		charge(p.cfg.Params.SendOverhead)
 	}
 	now := clock()
 
 	p.mu.Lock()
+	if err := p.crashCheckLocked(src, m); err != nil {
+		p.mu.Unlock()
+		p.cfg.Metrics.countCrash(err.crashCounted)
+		return nil, err.FaultError
+	}
 	pair := Pair{src, dst}
 	p.seq[pair]++
 	seq := p.seq[pair]
@@ -268,12 +512,22 @@ func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Dur
 	m.Seq, m.Sent = seq, now
 	m.Dup, m.FaultDelay = false, 0
 
+	drops, retransDelay, exhausted := p.cfg.Faults.lossAttempts(src, dst, seq)
+	if exhausted {
+		p.mu.Unlock()
+		rank, server := attrRank(src, dst)
+		p.cfg.Metrics.countRetryExhausted(drops, drops-1)
+		return nil, &FaultError{Rank: rank, Server: server, Op: m.Kind.String(), Kind: FaultRetryExhausted}
+	}
+
 	var wire time.Duration
 	if p.cfg.ChargeModel {
 		local := p.cfg.Local != nil && p.cfg.Local(src, dst)
 		wire = p.cfg.Params.WireTime(m.PayloadBytes(), local)
 	}
 	extra, spiked := p.cfg.Faults.extra(src, dst, seq)
+	jittered := extra > 0 && p.cfg.Faults.Jitter > 0
+	extra += retransDelay
 	m.FaultDelay = extra
 	at := p.arrivalLocked(pair, now, wire+extra)
 	m.Arrival = at
@@ -294,8 +548,35 @@ func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Dur
 	if dup != nil {
 		p.cfg.Stats.RecordSend(dup)
 	}
-	p.cfg.Metrics.countSend(extra > 0 && p.cfg.Faults.Jitter > 0, spiked, dup != nil)
-	return deliveries
+	p.cfg.Metrics.countSend(jittered, spiked, dup != nil, drops)
+	return deliveries, nil
+}
+
+// crashError pairs the fault with whether this call was the first to
+// observe the crash (so metrics count it exactly once).
+type crashError struct {
+	*FaultError
+	crashCounted bool
+}
+
+// crashCheckLocked applies the fail-stop crash fault: when src is the
+// crash rank, its CrashAfterSends-th send — and every later one — fails.
+// Callers hold p.mu.
+func (p *Pipeline) crashCheckLocked(src msg.Addr, m *msg.Message) *crashError {
+	f := p.cfg.Faults
+	if f.CrashAfterSends <= 0 || src.Server || src.ID != f.CrashRank {
+		return nil
+	}
+	p.sends[src]++
+	if p.sends[src] < uint64(f.CrashAfterSends) {
+		return nil
+	}
+	first := !p.crashCounted
+	p.crashCounted = true
+	return &crashError{
+		FaultError:   &FaultError{Rank: src.ID, Op: m.Kind.String(), Kind: FaultCrash},
+		crashCounted: first,
+	}
 }
 
 // arrivalLocked computes the delivery time of a message sent at now with

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -22,13 +24,13 @@ func TestArrivalMonotonicPerPair(t *testing.T) {
 	// would be earlier; the FIFO stamp must push it after the big one.
 	big := &msg.Message{Kind: msg.KindSend, Data: make([]byte, 64<<10)}
 	small := &msg.Message{Kind: msg.KindSend}
-	d1 := p.Send(a, b, big, clk.now, nil)
-	d2 := p.Send(a, b, small, clk.now, nil)
+	d1, _ := p.Send(a, b, big, clk.now, nil)
+	d2, _ := p.Send(a, b, small, clk.now, nil)
 	if d2[0].At < d1[0].At {
 		t.Fatalf("pipe reordered: %v then %v", d1[0].At, d2[0].At)
 	}
 	// A different pair is independent of the loaded one.
-	d3 := p.Send(b, a, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+	d3, _ := p.Send(b, a, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
 	if d3[0].At >= d1[0].At {
 		t.Fatalf("independent pair delayed behind big transfer: %v >= %v", d3[0].At, d1[0].At)
 	}
@@ -146,7 +148,7 @@ func TestDuplicateInjectionBoundedPerPair(t *testing.T) {
 	clk := &vclock{}
 	total := 0
 	for i := 0; i < 20; i++ {
-		ds := p.Send(a, b, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+		ds, _ := p.Send(a, b, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
 		for _, d := range ds {
 			if d.Dup {
 				total++
@@ -163,7 +165,7 @@ func TestDuplicateInjectionBoundedPerPair(t *testing.T) {
 		t.Fatalf("injected %d duplicates, want the per-pair bound 2", total)
 	}
 	// The bound is per pair: a different pipe gets its own allowance.
-	ds := p.Send(b, a, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+	ds, _ := p.Send(b, a, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
 	if len(ds) != 2 {
 		t.Fatalf("fresh pair got %d deliveries, want original+dup", len(ds))
 	}
@@ -184,6 +186,17 @@ func TestFaultsValidate(t *testing.T) {
 		{"spike prob above 1", Faults{SpikeProb: 1.5}, false},
 		{"dup prob above 1", Faults{DupProb: 2}, false},
 		{"negative dup cap", Faults{MaxDupsPerPair: -3}, false},
+		{"loss plan", Faults{Seed: 2, LossProb: 0.1, LossBurst: 3, RetryBudget: 4, RTO: time.Millisecond, RTOCap: 8 * time.Millisecond}, true},
+		{"crash plan", Faults{CrashRank: 1, CrashAfterSends: 5}, true},
+		{"loss prob below 0", Faults{LossProb: -0.1}, false},
+		{"loss prob above 1", Faults{LossProb: 1.5}, false},
+		{"loss prob NaN", Faults{LossProb: math.NaN()}, false},
+		{"negative loss burst", Faults{LossBurst: -1}, false},
+		{"negative retry budget", Faults{RetryBudget: -1}, false},
+		{"negative rto", Faults{RTO: -1}, false},
+		{"negative rto cap", Faults{RTOCap: -1}, false},
+		{"negative crash rank", Faults{CrashRank: -1}, false},
+		{"negative crash send count", Faults{CrashAfterSends: -2}, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -228,7 +241,8 @@ func TestMetricsObserveAndExport(t *testing.T) {
 	a, b := msg.User(0), msg.User(1)
 	clk := &vclock{}
 	for i := 0; i < 4; i++ {
-		for _, d := range p.Send(a, b, &msg.Message{Kind: msg.KindSend, Tag: i}, clk.now, nil) {
+		ds, _ := p.Send(a, b, &msg.Message{Kind: msg.KindSend, Tag: i}, clk.now, nil)
+		for _, d := range ds {
 			p.Inbound(d.Msg, d.At)
 		}
 		clk.t += 100 * time.Microsecond
@@ -265,7 +279,199 @@ func TestMetricsObserveAndExport(t *testing.T) {
 func TestNilMetricsAndStatsAreSafe(t *testing.T) {
 	p := New(Config{Faults: Faults{Seed: 1, Jitter: time.Microsecond, DupProb: 1}})
 	clk := &vclock{}
-	for _, d := range p.Send(msg.User(0), msg.User(1), &msg.Message{Kind: msg.KindSend}, clk.now, nil) {
+	ds, _ := p.Send(msg.User(0), msg.User(1), &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+	for _, d := range ds {
 		p.Inbound(d.Msg, d.At)
+	}
+}
+
+func TestLossAttemptsDeterministicAndBackedOff(t *testing.T) {
+	f := Faults{Seed: 11, LossProb: 0.5, RTO: 100 * time.Microsecond, RTOCap: 400 * time.Microsecond, RetryBudget: 6}
+	a, b := msg.User(0), msg.User(1)
+	sawDrop := false
+	for seq := uint64(1); seq <= 500; seq++ {
+		d1, t1, e1 := f.lossAttempts(a, b, seq)
+		d2, t2, e2 := f.lossAttempts(a, b, seq)
+		if d1 != d2 || t1 != t2 || e1 != e2 {
+			t.Fatalf("loss replay unstable at seq %d", seq)
+		}
+		if e1 {
+			continue
+		}
+		if d1 > 0 {
+			sawDrop = true
+			// The delay is the sum of the exponentially backed-off,
+			// capped timeouts of each drop.
+			var want time.Duration
+			for i := 0; i < d1; i++ {
+				want += f.backoff(i)
+			}
+			if t1 != want {
+				t.Fatalf("seq %d: %d drops delayed %v, want %v", seq, d1, t1, want)
+			}
+		}
+	}
+	if !sawDrop {
+		t.Fatal("500 messages at 50% loss produced no recovered drop")
+	}
+	if got := f.backoff(10); got != f.RTOCap {
+		t.Fatalf("backoff not capped: %v", got)
+	}
+	if f.backoff(0) != f.RTO || f.backoff(1) != 2*f.RTO {
+		t.Fatalf("backoff base/doubling wrong: %v, %v", f.backoff(0), f.backoff(1))
+	}
+}
+
+func TestLossBurstExtendsDrops(t *testing.T) {
+	a, b := msg.User(0), msg.User(1)
+	single := Faults{Seed: 5, LossProb: 0.1}
+	burst := Faults{Seed: 5, LossProb: 0.1, LossBurst: 4}
+	const n = 2000
+	count := func(f Faults) int {
+		c := 0
+		for seq := uint64(1); seq <= n; seq++ {
+			if f.firstCopyLost(a, b, seq) {
+				c++
+			}
+		}
+		return c
+	}
+	ns, nb := count(single), count(burst)
+	if nb <= ns {
+		t.Fatalf("burst plan dropped %d first copies, single-loss plan %d; burst should drop more", nb, ns)
+	}
+	// Every single-loss drop anchors a run of burst consecutive drops.
+	for seq := uint64(1); seq <= n-4; seq++ {
+		if single.firstCopyLost(a, b, seq) {
+			for off := uint64(0); off < 4; off++ {
+				if !burst.firstCopyLost(a, b, seq+off) {
+					t.Fatalf("burst hole: anchor %d, offset %d not dropped", seq, off)
+				}
+			}
+		}
+	}
+}
+
+func TestRetryExhaustionFailsSendWithCounters(t *testing.T) {
+	mx := NewMetrics()
+	p := New(Config{
+		Faults:  Faults{Seed: 1, LossProb: 1, RetryBudget: 2},
+		Metrics: mx,
+	})
+	clk := &vclock{}
+	ds, err := p.Send(msg.User(3), msg.ServerOf(0), &msg.Message{Kind: msg.KindPut}, clk.now, nil)
+	if ds != nil {
+		t.Fatalf("exhausted send still produced deliveries: %v", ds)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v is not a *FaultError", err)
+	}
+	if fe.Kind != FaultRetryExhausted || fe.Rank != 3 || fe.Server || fe.Op != msg.KindPut.String() {
+		t.Fatalf("wrong attribution: %+v", fe)
+	}
+	f := mx.Faults()
+	// Budget 2: original + 2 retransmissions all dropped.
+	if f.Dropped != 3 || f.Retransmits != 2 || f.RetryExhausted != 1 {
+		t.Fatalf("counters: %+v", f)
+	}
+}
+
+func TestRetryExhaustionAttributesServerSends(t *testing.T) {
+	p := New(Config{Faults: Faults{Seed: 1, LossProb: 1, RetryBudget: 1}})
+	clk := &vclock{}
+	_, err := p.Send(msg.ServerOf(0), msg.User(2), &msg.Message{Kind: msg.KindGetResp}, clk.now, nil)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v is not a *FaultError", err)
+	}
+	if fe.Rank != 2 || !fe.Server {
+		t.Fatalf("server reply fault not attributed to destination rank: %+v", fe)
+	}
+}
+
+func TestRecoveredLossDelaysArrivalAndCounts(t *testing.T) {
+	mx := NewMetrics()
+	base := Faults{Seed: 11, LossProb: 0.25, RTO: 100 * time.Microsecond, RetryBudget: 8}
+	p := New(Config{Faults: base, Metrics: mx})
+	clean := New(Config{})
+	a, b := msg.User(0), msg.User(1)
+	clk := &vclock{}
+	for seq := uint64(1); seq <= 200; seq++ {
+		drops, delay, exhausted := base.lossAttempts(a, b, seq)
+		if exhausted {
+			t.Fatalf("seq %d exhausted at budget 8", seq)
+		}
+		ds, err := p.Send(a, b, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+		if err != nil {
+			t.Fatalf("seq %d: %v", seq, err)
+		}
+		ref, _ := clean.Send(a, b, &msg.Message{Kind: msg.KindSend}, clk.now, nil)
+		if drops > 0 {
+			if ds[0].Msg.FaultDelay < delay {
+				t.Fatalf("seq %d: retransmit delay %v not folded into FaultDelay %v", seq, delay, ds[0].Msg.FaultDelay)
+			}
+			if ds[0].At < ref[0].At+delay {
+				t.Fatalf("seq %d: arrival %v not delayed by %v", seq, ds[0].At, delay)
+			}
+		}
+	}
+	f := mx.Faults()
+	if f.Dropped == 0 || f.Retransmits == 0 {
+		t.Fatalf("no retransmit activity recorded: %+v", f)
+	}
+	if f.Dropped != f.Retransmits {
+		t.Fatalf("without exhaustion every drop is one retransmit: %+v", f)
+	}
+	if f.RetryExhausted != 0 || f.Crashes != 0 {
+		t.Fatalf("spurious failures: %+v", f)
+	}
+}
+
+func TestCrashFailsNthSend(t *testing.T) {
+	mx := NewMetrics()
+	p := New(Config{
+		Faults:  Faults{CrashRank: 2, CrashAfterSends: 3},
+		Metrics: mx,
+	})
+	clk := &vclock{}
+	crasher, other := msg.User(2), msg.User(0)
+	dst := msg.ServerOf(0)
+	for i := 1; i <= 2; i++ {
+		if _, err := p.Send(crasher, dst, &msg.Message{Kind: msg.KindPut}, clk.now, nil); err != nil {
+			t.Fatalf("send %d before crash failed: %v", i, err)
+		}
+	}
+	_, err := p.Send(crasher, dst, &msg.Message{Kind: msg.KindLockReq}, clk.now, nil)
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("3rd send error %v is not a *FaultError", err)
+	}
+	if fe.Kind != FaultCrash || fe.Rank != 2 || fe.Server || fe.Op != msg.KindLockReq.String() {
+		t.Fatalf("wrong crash attribution: %+v", fe)
+	}
+	// The crashed rank stays dead; other ranks are unaffected.
+	if _, err := p.Send(crasher, dst, &msg.Message{Kind: msg.KindPut}, clk.now, nil); err == nil {
+		t.Fatal("crashed rank sent again")
+	}
+	if _, err := p.Send(other, dst, &msg.Message{Kind: msg.KindPut}, clk.now, nil); err != nil {
+		t.Fatalf("unrelated rank affected by crash: %v", err)
+	}
+	if got := mx.Faults().Crashes; got != 1 {
+		t.Fatalf("Crashes = %d, want exactly 1", got)
+	}
+}
+
+func TestFaultErrorStrings(t *testing.T) {
+	e := &FaultError{Rank: 4, Op: "put", Kind: FaultRetryExhausted}
+	if s := e.Error(); !strings.Contains(s, "rank 4") || !strings.Contains(s, "retry budget exhausted") || !strings.Contains(s, "put") {
+		t.Fatalf("error text: %q", s)
+	}
+	se := &FaultError{Rank: 1, Server: true, Op: "get-resp", Kind: FaultCrash}
+	if s := se.Error(); !strings.Contains(s, "server side") {
+		t.Fatalf("server-side error text: %q", s)
+	}
+	if FaultOpTimeout.String() != "operation deadline exceeded" {
+		t.Fatalf("FaultOpTimeout.String() = %q", FaultOpTimeout.String())
 	}
 }

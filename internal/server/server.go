@@ -102,7 +102,14 @@ func NewAgent(env transport.Env, lay *proc.Layout, opt Options) *Server {
 }
 
 // Serve processes requests until the fabric shuts the cluster down (Recv
-// returns nil).
+// returns nil). The loop is crash-aware: when a fault — an injected
+// crash, an exhausted retry budget, or a per-op timeout — aborts a rank
+// elsewhere in the cluster, the fabric flags shutdown and the server
+// drains its mailbox and exits cleanly instead of wedging in Recv; a
+// fault during one of the server's own reply sends aborts the server
+// with the rank-attributed error (fabrics surface it from Run). Server
+// Recvs are deliberately exempt from the per-op deadline: an idle server
+// is the normal state, not a stuck one.
 func (s *Server) Serve() {
 	for {
 		m := s.env.Recv(msg.MatchAny)
@@ -155,17 +162,19 @@ func (s *Server) HandleOne(m *msg.Message) {
 			data = append(data, space.Get(seg.Ptr, seg.N)...)
 		}
 		s.env.Send(msg.User(m.Origin), &msg.Message{
-			Kind:  msg.KindGetResp,
-			Token: m.Token,
-			Data:  data,
+			Kind:   msg.KindGetResp,
+			Origin: m.Origin,
+			Token:  m.Token,
+			Data:   data,
 		})
 	case msg.KindGet:
 		s.env.Charge(p.ServiceTime(m.N))
 		data := s.env.Space().PackFrom(m.Ptr, m.Stride)
 		s.env.Send(msg.User(m.Origin), &msg.Message{
-			Kind:  msg.KindGetResp,
-			Token: m.Token,
-			Data:  data,
+			Kind:   msg.KindGetResp,
+			Origin: m.Origin,
+			Token:  m.Token,
+			Data:   data,
 		})
 	case msg.KindRmw:
 		s.handleRmw(m)
@@ -175,8 +184,9 @@ func (s *Server) HandleOne(m *msg.Message) {
 		// drain the NIC DMA engine (ServiceFence) to confirm.
 		s.env.Charge(p.ServiceSmall + p.ServiceFence)
 		s.env.Send(msg.User(m.Origin), &msg.Message{
-			Kind:  msg.KindFenceAck,
-			Token: m.Token,
+			Kind:   msg.KindFenceAck,
+			Origin: m.Origin,
+			Token:  m.Token,
 		})
 	case msg.KindLockReq:
 		s.handleLockReq(m)
@@ -195,7 +205,7 @@ func (s *Server) completeStore(m *msg.Message) {
 	s.env.Space().FetchAdd(s.lay.OpDone[s.node], 1)
 	s.env.Space().FetchAdd(s.lay.PerOrigin[s.node].Add(int64(m.Origin)), 1)
 	if s.opt.FenceMode == proc.FenceAck {
-		s.env.Send(msg.User(m.Origin), &msg.Message{Kind: msg.KindPutAck})
+		s.env.Send(msg.User(m.Origin), &msg.Message{Kind: msg.KindPutAck, Origin: m.Origin})
 	}
 }
 
@@ -217,8 +227,9 @@ func (s *Server) handleOneNIC(m *msg.Message) {
 			return s.env.Space().Load(cell) >= want
 		})
 		s.env.Send(msg.User(m.Origin), &msg.Message{
-			Kind:  msg.KindFenceAck,
-			Token: m.Token,
+			Kind:   msg.KindFenceAck,
+			Origin: m.Origin,
+			Token:  m.Token,
 		})
 	default:
 		panic(fmt.Sprintf("server: NIC agent %d received unexpected %v", s.node, m))
@@ -269,6 +280,7 @@ func (s *Server) handleRmw(m *msg.Message) {
 	if reply {
 		s.env.Send(msg.User(m.Origin), &msg.Message{
 			Kind:     msg.KindRmwResp,
+			Origin:   m.Origin,
 			Token:    m.Token,
 			Operands: out,
 		})
@@ -320,8 +332,9 @@ func (s *Server) handleUnlock(m *msg.Message) {
 // grant notifies origin that it now holds lock idx.
 func (s *Server) grant(idx, origin int, token uint64) {
 	s.env.Send(msg.User(origin), &msg.Message{
-		Kind:  msg.KindLockGrant,
-		Token: token,
-		Tag:   idx,
+		Kind:   msg.KindLockGrant,
+		Origin: origin,
+		Token:  token,
+		Tag:    idx,
 	})
 }

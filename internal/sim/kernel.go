@@ -219,13 +219,23 @@ func (k *Kernel) step(p *Proc) {
 	<-k.baton // p (or its completion path) hands the baton back
 }
 
+// Abort is a panic value a process may raise to terminate the whole
+// simulation with a structured error: Run returns Err verbatim instead
+// of wrapping it in a generic panic message, so callers can inspect it
+// with errors.As.
+type Abort struct{ Err error }
+
 // procMain is the goroutine body wrapping a process function.
 func (k *Kernel) procMain(p *Proc) {
 	<-p.resume
 	defer func() {
 		if r := recover(); r != nil {
 			if k.failure == nil {
-				k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				if a, ok := r.(Abort); ok && a.Err != nil {
+					k.failure = a.Err
+				} else {
+					k.failure = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
 			}
 		}
 		p.state = stateDone

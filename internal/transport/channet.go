@@ -91,7 +91,11 @@ func (f *ChanFabric) Run() error {
 		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
-				f.panics <- fmt.Errorf("channet: actor %v panicked: %v", spec.addr, r)
+				if a, ok := r.(abort); ok && a.err != nil {
+					f.panics <- a.err // structured fault, propagate verbatim
+				} else {
+					f.panics <- fmt.Errorf("channet: actor %v panicked: %v", spec.addr, r)
+				}
 				f.mu.Lock()
 				f.shutdown = true // unwedge everyone else
 				f.cond.Broadcast()
@@ -180,8 +184,11 @@ func (e *chanEnv) Charge(d time.Duration) {
 }
 
 func (e *chanEnv) Send(to msg.Addr, m *msg.Message) {
-	deliveries := e.f.pipe.Send(e.addr, to, m,
+	deliveries, err := e.f.pipe.Send(e.addr, to, m,
 		func() time.Duration { return time.Since(e.f.start) }, e.Charge)
+	if err != nil {
+		panic(abort{err}) // crash / retry exhaustion: abort this actor
+	}
 	e.f.mu.Lock()
 	q, ok := e.f.mailboxes[to]
 	if !ok {
@@ -202,6 +209,12 @@ func (e *chanEnv) Send(to msg.Addr, m *msg.Message) {
 
 func (e *chanEnv) Recv(match msg.Match) *msg.Message {
 	q := e.f.mailboxes[e.addr]
+	// Bound user-process Recvs by the per-op deadline: a timer broadcast
+	// wakes the cond loop, which then fails the actor with a structured
+	// op-timeout fault. Servers are exempt (idling is their job).
+	tag := "recv@" + e.addr.String()
+	expired, stop := e.opTimer(e.addr.Server)
+	defer stop()
 	e.f.mu.Lock()
 	for {
 		if m := q.TryPop(match); m != nil {
@@ -217,17 +230,45 @@ func (e *chanEnv) Recv(match msg.Match) *msg.Message {
 			e.f.mu.Unlock()
 			return nil
 		}
+		if expired() {
+			e.f.mu.Unlock()
+			panic(opTimeout(e.addr, tag))
+		}
 		e.f.cond.Wait()
 	}
 }
 
 func (e *chanEnv) WaitUntil(tag string, pred func() bool) {
+	expired, stop := e.opTimer(false)
+	defer stop()
 	e.f.mu.Lock()
 	for !pred() {
 		if e.f.shutdown && e.addr.Server {
 			break
 		}
+		if expired() {
+			e.f.mu.Unlock()
+			panic(opTimeout(e.addr, tag))
+		}
 		e.f.cond.Wait()
 	}
 	e.f.mu.Unlock()
+}
+
+// opTimer arms the per-op deadline for one blocking operation: expired
+// reports whether it has elapsed (always false when disabled or exempt),
+// and the timer broadcast wakes the fabric cond so the waiting loop
+// re-checks. stop releases the timer.
+func (e *chanEnv) opTimer(exempt bool) (expired func() bool, stop func()) {
+	od := e.f.cfg.OpDeadline
+	if od <= 0 || exempt {
+		return func() bool { return false }, func() {}
+	}
+	deadline := time.Now().Add(od)
+	t := time.AfterFunc(od, func() {
+		e.f.mu.Lock()
+		e.f.cond.Broadcast()
+		e.f.mu.Unlock()
+	})
+	return func() bool { return !time.Now().Before(deadline) }, func() { t.Stop() }
 }

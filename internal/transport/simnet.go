@@ -151,7 +151,13 @@ func (e *simEnv) Send(to msg.Addr, m *msg.Message) {
 	if !ok {
 		panic(fmt.Sprintf("simnet: send to unknown endpoint %v", to))
 	}
-	for _, d := range e.f.pipe.Send(e.addr, to, m, e.p.Now, e.Charge) {
+	deliveries, err := e.f.pipe.Send(e.addr, to, m, e.p.Now, e.Charge)
+	if err != nil {
+		// A crash or retry exhaustion fails the whole run with the
+		// structured error, not a generic panic message.
+		panic(sim.Abort{Err: err})
+	}
+	for _, d := range deliveries {
 		d := d
 		e.p.Kernel().At(d.At, func() {
 			if e.f.pipe.Inbound(d.Msg, e.f.kernel.Now()) {
@@ -164,7 +170,15 @@ func (e *simEnv) Send(to msg.Addr, m *msg.Message) {
 func (e *simEnv) Recv(match msg.Match) *msg.Message {
 	q := e.f.mailboxes[e.addr]
 	var got *msg.Message
-	e.p.WaitUntil("recv@"+e.addr.String(), func() bool {
+	// Bound user-process Recvs by the per-op deadline via a virtual-time
+	// timer flag re-checked by the wait predicate. Servers are exempt:
+	// idling in the serve loop is their normal state.
+	timedOut := false
+	if od := e.f.cfg.OpDeadline; od > 0 && !e.addr.Server {
+		e.p.Kernel().After(od, func() { timedOut = true })
+	}
+	tag := "recv@" + e.addr.String()
+	e.p.WaitUntil(tag, func() bool {
 		if e.addr.Server && e.f.shutdown && q.Len() == 0 {
 			return true // drained and cluster is shutting down
 		}
@@ -172,8 +186,11 @@ func (e *simEnv) Recv(match msg.Match) *msg.Message {
 			got = m
 			return true
 		}
-		return false
+		return timedOut
 	})
+	if got == nil && timedOut {
+		panic(sim.Abort{Err: opTimeout(e.addr, tag).err})
+	}
 	if got != nil {
 		e.f.pipe.RecvCharge(e.Charge)
 	}
@@ -181,7 +198,18 @@ func (e *simEnv) Recv(match msg.Match) *msg.Message {
 }
 
 func (e *simEnv) WaitUntil(tag string, pred func() bool) {
-	e.p.WaitUntil(tag, pred)
+	timedOut := false
+	if od := e.f.cfg.OpDeadline; od > 0 {
+		e.p.Kernel().After(od, func() { timedOut = true })
+	}
+	done := false
+	e.p.WaitUntil(tag, func() bool {
+		done = pred()
+		return done || timedOut
+	})
+	if !done && timedOut {
+		panic(sim.Abort{Err: opTimeout(e.addr, tag).err})
+	}
 	if g := e.f.cfg.Model.PollGap; g > 0 {
 		// Model the detection delay between the memory write and the
 		// spinning process noticing it.

@@ -135,7 +135,11 @@ func (f *TCPFabric) Run() (err error) {
 		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
-				f.panics <- fmt.Errorf("tcpnet: actor %v panicked: %v", spec.addr, r)
+				if a, ok := r.(abort); ok && a.err != nil {
+					f.panics <- a.err // structured fault, propagate verbatim
+				} else {
+					f.panics <- fmt.Errorf("tcpnet: actor %v panicked: %v", spec.addr, r)
+				}
 				f.mu.Lock()
 				f.shutdown = true
 				f.cond.Broadcast()
@@ -334,8 +338,11 @@ func (e *tcpEnv) Send(to msg.Addr, m *msg.Message) {
 	if ec == nil {
 		panic(fmt.Sprintf("tcpnet: send from unknown endpoint %v", e.addr))
 	}
-	deliveries := e.f.pipe.Send(e.addr, to, m,
+	deliveries, err := e.f.pipe.Send(e.addr, to, m,
 		func() time.Duration { return time.Since(e.f.start) }, nil)
+	if err != nil {
+		panic(abort{err}) // crash / retry exhaustion: abort this actor
+	}
 	for _, d := range deliveries {
 		if err := ec.writeFrame(wire.Encode(d.Msg)); err != nil {
 			panic(fmt.Sprintf("tcpnet: send %v -> %v: %v", e.addr, to, err))
@@ -345,6 +352,9 @@ func (e *tcpEnv) Send(to msg.Addr, m *msg.Message) {
 
 func (e *tcpEnv) Recv(match msg.Match) *msg.Message {
 	q := e.f.mailboxes[e.addr]
+	tag := "recv@" + e.addr.String()
+	expired, stop := e.opTimer(e.addr.Server)
+	defer stop()
 	e.f.mu.Lock()
 	for {
 		if m := q.TryPop(match); m != nil {
@@ -361,17 +371,43 @@ func (e *tcpEnv) Recv(match msg.Match) *msg.Message {
 			e.f.mu.Unlock()
 			return nil
 		}
+		if expired() {
+			e.f.mu.Unlock()
+			panic(opTimeout(e.addr, tag))
+		}
 		e.f.cond.Wait()
 	}
 }
 
 func (e *tcpEnv) WaitUntil(tag string, pred func() bool) {
+	expired, stop := e.opTimer(false)
+	defer stop()
 	e.f.mu.Lock()
 	for !pred() {
 		if e.f.shutdown && e.addr.Server {
 			break
 		}
+		if expired() {
+			e.f.mu.Unlock()
+			panic(opTimeout(e.addr, tag))
+		}
 		e.f.cond.Wait()
 	}
 	e.f.mu.Unlock()
+}
+
+// opTimer arms the per-op deadline for one blocking operation, mirroring
+// the channel fabric's helper.
+func (e *tcpEnv) opTimer(exempt bool) (expired func() bool, stop func()) {
+	od := e.f.cfg.OpDeadline
+	if od <= 0 || exempt {
+		return func() bool { return false }, func() {}
+	}
+	deadline := time.Now().Add(od)
+	t := time.AfterFunc(od, func() {
+		e.f.mu.Lock()
+		e.f.cond.Broadcast()
+		e.f.mu.Unlock()
+	})
+	return func() bool { return !time.Now().Before(deadline) }, func() { t.Stop() }
 }

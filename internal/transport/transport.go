@@ -107,6 +107,15 @@ type Config struct {
 	ScheduleSeed int64
 	// Deadline bounds a fabric run; 0 means the fabric default.
 	Deadline time.Duration
+	// OpDeadline bounds a single blocking operation — one user-process
+	// Recv or one WaitUntil — as opposed to Deadline, which bounds the
+	// whole run. An operation that exceeds it aborts the run with a
+	// rank-attributed *pipeline.FaultError (FaultOpTimeout), so a rank
+	// wedged by a crashed peer fails fast instead of hanging until the
+	// run deadline. Virtual time on the simulated fabric, wall time on
+	// the concurrent ones; 0 disables the bound. Server Recvs are
+	// exempt: a data server idling in its serve loop is not an error.
+	OpDeadline time.Duration
 }
 
 func (c *Config) normalize() error {
@@ -119,8 +128,14 @@ func (c *Config) normalize() error {
 	if c.Deadline < 0 {
 		return fmt.Errorf("transport: config needs Deadline >= 0, got %v", c.Deadline)
 	}
+	if c.OpDeadline < 0 {
+		return fmt.Errorf("transport: config needs OpDeadline >= 0, got %v", c.OpDeadline)
+	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("transport: bad fault plan: %w", err)
+	}
+	if c.Faults.CrashAfterSends > 0 && c.Faults.CrashRank >= c.Procs {
+		return fmt.Errorf("transport: Faults.CrashRank %d out of range [0,%d)", c.Faults.CrashRank, c.Procs)
 	}
 	if c.ProcsPerNode <= 0 {
 		c.ProcsPerNode = 1
@@ -185,6 +200,18 @@ type Fabric interface {
 	// Run executes all registered actors to completion of the user
 	// processes and returns the first error (panic, deadlock, deadline).
 	Run() error
+}
+
+// abort is the panic value the concurrent fabrics use to terminate an
+// actor with a structured error: runActor recovery propagates err
+// verbatim (the simulated fabric uses sim.Abort for the same purpose).
+type abort struct{ err error }
+
+// opTimeout builds the abort raised when one operation of the actor at a
+// exceeds Config.OpDeadline.
+func opTimeout(a msg.Addr, op string) abort {
+	rank, server := a.ID, a.Server
+	return abort{err: &pipeline.FaultError{Rank: rank, Server: server, Op: op, Kind: pipeline.FaultOpTimeout}}
 }
 
 // endpointNode returns the node an endpoint lives on. Server-class

@@ -3,6 +3,7 @@ package armci_test
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"testing"
 	"time"
 
@@ -17,11 +18,51 @@ func TestOptionsValidation(t *testing.T) {
 		{Procs: 2, NumMutexes: 2, LockHomes: []int{0}},       // length mismatch
 		{Procs: 2, Fabric: armci.FabricKind(99)},             // unknown fabric
 		{Procs: 2, NumMutexes: 0, LockHomes: []int{0, 1, 2}}, // homes without mutexes
+		{Procs: 2, NumMutexes: 1, LockHomes: []int{5}},       // home out of range
+		{Procs: 2, Deadline: -time.Second},
+		{Procs: 2, OpDeadline: -time.Millisecond},
 	}
 	for i, opt := range cases {
 		if _, err := armci.Run(opt, func(p *armci.Proc) {}); err == nil {
 			t.Errorf("case %d: invalid options accepted: %+v", i, opt)
 		}
+	}
+}
+
+// TestOptionsRejectBadFaultPlans: normalize surfaces every invalid
+// loss/crash/retry plan as a descriptive error before the fabric runs.
+func TestOptionsRejectBadFaultPlans(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults armci.Faults
+		want   string // substring of the expected error
+	}{
+		{"negative loss prob", armci.Faults{LossProb: -0.1}, "LossProb"},
+		{"loss prob above 1", armci.Faults{LossProb: 1.5}, "LossProb"},
+		{"NaN loss prob", armci.Faults{LossProb: math.NaN()}, "LossProb"},
+		{"negative loss burst", armci.Faults{LossBurst: -1}, "LossBurst"},
+		{"negative retry budget", armci.Faults{RetryBudget: -2}, "RetryBudget"},
+		{"negative rto", armci.Faults{RTO: -time.Millisecond}, "RTO"},
+		{"negative rto cap", armci.Faults{RTOCap: -time.Millisecond}, "RTOCap"},
+		{"negative crash rank", armci.Faults{CrashRank: -1}, "CrashRank"},
+		{"negative crash send count", armci.Faults{CrashAfterSends: -1}, "CrashAfterSends"},
+		{"crash rank == procs", armci.Faults{CrashRank: 2, CrashAfterSends: 1}, "out of range"},
+		{"crash rank beyond procs", armci.Faults{CrashRank: 7, CrashAfterSends: 3}, "out of range"},
+		{"negative spike prob", armci.Faults{SpikeProb: -0.5}, "SpikeProb"},
+		{"dup prob above 1", armci.Faults{DupProb: 2}, "DupProb"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := armci.Run(armci.Options{Procs: 2, Faults: tc.faults}, func(p *armci.Proc) {
+				t.Error("body ran despite invalid fault plan")
+			})
+			if err == nil {
+				t.Fatalf("invalid plan %+v accepted", tc.faults)
+			}
+			if !contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
 	}
 }
 

@@ -11,3 +11,7 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/...
+# The reliability suite (loss, retransmission, crash, op deadlines) under
+# the race detector; -short keeps the long soak out of this pass — run it
+# with `make soak`.
+go test -race -short -run 'Fault|Loss|Crash' .
