@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench soak
+.PHONY: build test check bench soak explore
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,17 @@ bench:
 # skips these (-short); this target runs them in full.
 soak:
 	$(GO) test -race -run 'Soak' -v -timeout 15m .
+
+# The full conformance exploration (internal/check): a deep seed sweep
+# of every lock algorithm and sync variant on the simulated fabric, a
+# spot-check on the concurrent fabrics, the same sweep under loss /
+# duplication / latency-spike fault plans, and the mutation self-test
+# proving the oracles catch deliberately broken variants. `go test
+# ./internal/check` runs a shorter version of the same matrix.
+explore:
+	$(GO) run ./cmd/armci-check -seeds 256
+	$(GO) run ./cmd/armci-check -fabrics chan,tcp -seeds 4
+	$(GO) run ./cmd/armci-check -algs queue,hybrid -syncs barrier,sync-old \
+		-faults 'loss=0.15,retry=12;dup=0.2;loss=0.1,dup=0.1,retry=12;spike=1ms@0.2;jitter=200us' \
+		-seeds 64
+	$(GO) run ./cmd/armci-check -mutations -seeds 64

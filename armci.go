@@ -231,7 +231,9 @@ type Options struct {
 	JitterSeed int64
 	// ScheduleSeed, when non-zero, randomizes (reproducibly) which of the
 	// simultaneously runnable simulated processes runs next on FabricSim —
-	// schedule exploration for protocol testing.
+	// schedule exploration for protocol testing. Seed 0 is the FIFO
+	// baseline: processes run in arrival order, the schedule every other
+	// test sees. Must be >= 0; ignored by FabricChan and FabricTCP.
 	ScheduleSeed int64
 	// Deadline bounds the run (virtual time for FabricSim, wall time
 	// otherwise); 0 uses the fabric default.
@@ -273,6 +275,9 @@ func (o *Options) normalize() (model.Params, error) {
 	}
 	if o.OpDeadline < 0 {
 		return model.Params{}, fmt.Errorf("armci: Options.OpDeadline must be >= 0, got %v", o.OpDeadline)
+	}
+	if o.ScheduleSeed < 0 {
+		return model.Params{}, fmt.Errorf("armci: Options.ScheduleSeed must be >= 0, got %d", o.ScheduleSeed)
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return model.Params{}, fmt.Errorf("armci: bad fault plan: %w", err)

@@ -1,0 +1,154 @@
+// Command armci-check runs the schedule-exploration conformance harness
+// (internal/check): every selected lock algorithm × synchronization
+// variant × fault plan across a sweep of kernel shuffle seeds and
+// fabrics, with the run's protocol-level event history validated against
+// the invariant oracles (mutual exclusion, FIFO hand-off, fence
+// completion, per-pair exactly-once delivery, state, liveness). Any
+// violation prints a minimal reproducer tuple that re-runs the exact
+// failing schedule.
+//
+// Usage:
+//
+//	armci-check                              # sim fabric, all algorithms, both syncs, 64 seeds
+//	armci-check -seeds 256 -v                # deeper sweep, per-case progress
+//	armci-check -fabrics sim,chan,tcp        # add the concurrent fabrics
+//	armci-check -faults 'loss=0.15,retry=12;dup=0.2;spike=1ms@0.2'
+//	armci-check -mutations                   # oracle self-test: broken variants must be caught
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"armci"
+	"armci/internal/check"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("armci-check: ")
+
+	var (
+		fabricsF  = flag.String("fabrics", "sim", "comma-separated fabrics: sim, chan, tcp")
+		algsF     = flag.String("algs", "queue,hybrid,ticket,queue-nocas", "comma-separated lock algorithms (empty entry = no lock phase)")
+		syncsF    = flag.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
+		faultsF   = flag.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
+		procs     = flag.Int("procs", 6, "user processes")
+		ppn       = flag.Int("ppn", 2, "processes per node (ticket forces ppn=procs)")
+		seeds     = flag.Int64("seeds", 64, "number of schedule-shuffle seeds to sweep")
+		seedStart = flag.Int64("seed-start", 1, "first seed of the sweep (0 = FIFO baseline)")
+		iters     = flag.Int("iters", 0, "critical sections per rank (0 = default)")
+		rounds    = flag.Int("rounds", 0, "put+sync rounds (0 = default)")
+		preset    = flag.String("preset", "", "cost model: myrinet2000, low-latency, zero (empty = default)")
+		mutations = flag.Bool("mutations", false, "run the mutation self-test instead of the sweep: every deliberately broken variant must be detected")
+		verbose   = flag.Bool("v", false, "print one line per case")
+	)
+	flag.Parse()
+
+	if *mutations {
+		os.Exit(runMutations(*seedStart, *seedStart+*seeds-1, *verbose))
+	}
+
+	fabrics, err := parseFabrics(*fabricsF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cases := check.Matrix(fabrics, splitList(*algsF), splitList(*syncsF),
+		splitPlans(*faultsF), *procs, *ppn, *seedStart, *seedStart+*seeds-1)
+	for i := range cases {
+		cases[i].Iters = *iters
+		cases[i].Rounds = *rounds
+		cases[i].Preset = armci.CostPreset(*preset)
+	}
+
+	fmt.Printf("sweeping %d cases (%d seeds from %d)\n", len(cases), *seeds, *seedStart)
+	s := check.RunAll(cases, func(r check.Result) {
+		switch {
+		case r.Err != nil:
+			fmt.Printf("ERROR %s: %v\n", r.Case.Reproducer(), r.Err)
+		case len(r.Violations) > 0:
+			for _, v := range r.Violations {
+				fmt.Printf("FAIL  %s\n", v)
+			}
+		case *verbose:
+			fmt.Printf("ok    %s (%d events)\n", r.Case.Reproducer(), r.Events)
+		}
+	})
+	fmt.Printf("%d cases, %d protocol events, %d violations, %d errors\n",
+		s.Cases, s.Events, len(s.Violations), len(s.Errs))
+	if len(s.Violations) > 0 || len(s.Errs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runMutations is the oracle self-test: sweep each deliberately broken
+// algorithm variant until an oracle catches it, and fail if any bug
+// survives the whole seed range — that would mean the oracles are blind
+// to a bug class they exist to detect.
+func runMutations(seedLo, seedHi int64, verbose bool) int {
+	code := 0
+	for _, name := range check.Mutations() {
+		r, ok := check.DetectMutation(name, seedLo, seedHi)
+		if !ok {
+			fmt.Printf("BLIND %s: no seed in [%d,%d] exposed the bug\n", name, seedLo, seedHi)
+			code = 1
+			continue
+		}
+		fmt.Printf("caught %s at seed %d: %s\n", name, r.Case.Seed, r.Violations[0])
+		if verbose {
+			for _, v := range r.Violations[1:] {
+				fmt.Printf("       also: %s\n", v)
+			}
+		}
+	}
+	return code
+}
+
+func parseFabrics(s string) ([]armci.FabricKind, error) {
+	var out []armci.FabricKind
+	for _, f := range splitList(s) {
+		switch f {
+		case "sim":
+			out = append(out, armci.FabricSim)
+		case "chan":
+			out = append(out, armci.FabricChan)
+		case "tcp":
+			out = append(out, armci.FabricTCP)
+		default:
+			return nil, fmt.Errorf("unknown fabric %q (want sim, chan or tcp)", f)
+		}
+	}
+	if len(out) == 0 {
+		out = []armci.FabricKind{armci.FabricSim}
+	}
+	return out, nil
+}
+
+// splitList splits a comma-separated flag, trimming blanks but keeping
+// an explicit empty entry (",x" = default variant plus x).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// splitPlans splits the -faults flag on ';': fault plans themselves
+// contain commas.
+func splitPlans(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ";")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}

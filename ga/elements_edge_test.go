@@ -1,0 +1,137 @@
+package ga_test
+
+import (
+	"fmt"
+	"testing"
+
+	"armci"
+	"armci/ga"
+)
+
+// TestGatherScatterEdgeShapes is the table of element-op shapes that
+// break owner-grouping code first: the empty list, a single element,
+// repeated reads of one element, a whole row and column crossing every
+// block boundary — each at one rank, a non-power-of-two count, and a
+// square count.
+func TestGatherScatterEdgeShapes(t *testing.T) {
+	for _, procs := range []int{1, 3, 4, 6} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			const n = 8
+			runGA(t, procs, func(p *armci.Proc) {
+				a, err := ga.Create(p, "edge", n, n)
+				if err != nil {
+					panic(err)
+				}
+				a.Fill(0)
+
+				// Empty element list: legal no-op on every rank.
+				if got := a.Gather(nil); len(got) != 0 {
+					panic(fmt.Sprintf("gather of no elements returned %v", got))
+				}
+				a.Scatter(nil, nil)
+
+				if p.Rank() == 0 {
+					// Single element, repeated element, and a full
+					// boundary-crossing row and column in one scatter.
+					elems := []ga.Elem{{R: 3, C: 5}}
+					for c := 0; c < n; c++ {
+						elems = append(elems, ga.Elem{R: 6, C: c})
+					}
+					for r := 0; r < n; r++ {
+						elems = append(elems, ga.Elem{R: r, C: 1})
+					}
+					vals := make([]float64, len(elems))
+					for i, e := range elems {
+						vals[i] = float64(10*e.R + e.C + 1)
+					}
+					a.Scatter(elems, vals)
+				}
+				a.Sync()
+
+				last := p.Size() - 1
+				if p.Rank() == last {
+					probe := []ga.Elem{{R: 3, C: 5}, {R: 3, C: 5}, {R: 6, C: 0}, {R: 6, C: 7}, {R: 0, C: 1}, {R: 7, C: 1}, {R: 5, C: 5}}
+					want := []float64{36, 36, 61, 68, 2, 72, 0}
+					got := a.Gather(probe)
+					for i := range probe {
+						if got[i] != want[i] {
+							panic(fmt.Sprintf("element %v = %v, want %v", probe[i], got[i], want[i]))
+						}
+					}
+				}
+				a.Sync()
+			})
+		})
+	}
+}
+
+// TestScatterLengthMismatchPanics pins the documented contract: a
+// scatter whose element and value lists disagree must refuse loudly.
+func TestScatterLengthMismatchPanics(t *testing.T) {
+	runGA(t, 2, func(p *armci.Proc) {
+		a, err := ga.Create(p, "mismatch", 4, 4)
+		if err != nil {
+			panic(err)
+		}
+		if p.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					panic("scatter accepted 2 elements with 1 value")
+				}
+			}()
+			a.Scatter([]ga.Elem{{R: 0, C: 0}, {R: 1, C: 1}}, []float64{1})
+		}
+	})
+}
+
+// TestCounterEdgeIncrements exercises NGA_Read_inc at one rank and at
+// non-power-of-two sizes, with zero and negative increments mixed in:
+// the claimed intervals must tile exactly with no slot double-claimed.
+func TestCounterEdgeIncrements(t *testing.T) {
+	for _, procs := range []int{1, 3, 5} {
+		procs := procs
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			runGA(t, procs, func(p *armci.Proc) {
+				home := p.Size() - 1
+				c := ga.NewCounter(p, home)
+
+				// A zero increment is a pure read and must not perturb.
+				_ = c.ReadInc(0)
+
+				const claims = 5
+				got := make([]int64, claims)
+				for i := range got {
+					got[i] = c.ReadInc(2)
+				}
+				p.Barrier()
+				// Every rank claimed disjoint stride-2 intervals; the final
+				// value is the total.
+				if p.Rank() == home {
+					if v := c.Value(); v != int64(2*claims*p.Size()) {
+						panic(fmt.Sprintf("counter = %d, want %d", v, 2*claims*p.Size()))
+					}
+				}
+				seen := make(map[int64]bool)
+				for _, v := range got {
+					if v%2 != 0 || seen[v] {
+						panic(fmt.Sprintf("rank %d claimed overlapping or misaligned interval at %d (claims %v)", p.Rank(), v, got))
+					}
+					seen[v] = true
+				}
+				p.Barrier()
+
+				// Negative increments roll the counter back down to zero.
+				for i := 0; i < claims; i++ {
+					c.ReadInc(-2)
+				}
+				p.Barrier()
+				if p.Rank() == 0 {
+					if v := c.Value(); v != 0 {
+						panic(fmt.Sprintf("counter after rollback = %d, want 0", v))
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,297 @@
+// Package check is the schedule-exploration conformance harness: it runs
+// a workload — a lock algorithm exercising a shared counter plus put
+// rounds separated by a global synchronization variant — across a sweep
+// of kernel shuffle seeds and fabrics, captures the protocol-level event
+// history (trace.OpEvent) the instrumented algorithms record, and
+// validates the history against invariant oracles:
+//
+//   - mutual exclusion: at most one rank holds a lock between its
+//     acquire and release records;
+//   - FIFO hand-off: MCS acquires chain through their predecessor ranks
+//     (QueueLock), ticket-ordered algorithms grant in strictly
+//     increasing ticket order (Hybrid, Ticket); QueueLockNoCAS is
+//     exempt — the paper's swap-release legitimately trades FIFO away;
+//   - fence completion: no rank exits a global synchronization while a
+//     fence-counted operation issued before any rank's matching entry is
+//     still incomplete, and no rank exits before every rank has entered;
+//   - delivery: per directed (src, dst) pair, admitted messages carry
+//     strictly increasing pipeline sequence numbers — per-pair FIFO and
+//     exactly-once after duplicate suppression, including under loss and
+//     duplication fault plans;
+//   - state: the workload's own end-to-end assertions (critical-section
+//     counter total, put-round read-back);
+//   - liveness: the run finished without a deadlock, fault abort, or
+//     deadline.
+//
+// A violation reports the minimal reproducer {fabric, procs, ppn, alg,
+// faults, seed} that re-runs the exact failing schedule. The package
+// also ships deliberately broken algorithm variants (mutations.go) whose
+// detection proves the oracles can catch the bugs they exist to find.
+package check
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"armci"
+)
+
+// Case is one conformance scenario: a workload under one configuration.
+// The zero value of optional fields is filled by withDefaults.
+type Case struct {
+	// Fabric is the execution substrate (sim/chan/tcp).
+	Fabric armci.FabricKind
+	// Procs is the number of user processes (default 6).
+	Procs int
+	// PPN is how many consecutive ranks share a node (default 2; forced
+	// to Procs for the ticket algorithm, which is single-node only).
+	PPN int
+	// Alg is the lock algorithm exercised by the critical-section phase:
+	// "queue", "hybrid", "ticket", "queue-nocas", or "" for no lock
+	// phase.
+	Alg string
+	// Sync is the global synchronization variant: "barrier" (the paper's
+	// combined ARMCI_Barrier, the default), "sync-old" (serialized
+	// AllFence + MPI_Barrier) or "sync-old-pipelined".
+	Sync string
+	// Faults is a fault plan in the armci.ParseFaults grammar ("" = no
+	// faults). A plan without an explicit seed= knob is seeded with Seed,
+	// so a seed sweep also sweeps fault patterns.
+	Faults string
+	// Seed is the kernel schedule-shuffle seed (sim fabric; 0 = FIFO
+	// baseline) and the default fault seed.
+	Seed int64
+	// Iters is the number of lock/unlock critical sections per rank
+	// (default 3).
+	Iters int
+	// Rounds is the number of put+sync rounds (default 2).
+	Rounds int
+	// Preset is the cost model (default the paper's Myrinet 2000, so
+	// stores have an in-flight window the fence oracles can observe).
+	Preset armci.CostPreset
+	// Mutation selects a deliberately broken algorithm variant (see
+	// mutations.go); "" runs the real algorithms.
+	Mutation string
+	// OpDeadline bounds every blocking operation; 0 means none on the
+	// simulated fabric (its deadlock detector fails fast) and a generous
+	// wall-clock bound on the concurrent fabrics.
+	OpDeadline time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Case) withDefaults() Case {
+	if c.Procs <= 0 {
+		c.Procs = 6
+	}
+	if c.PPN <= 0 {
+		c.PPN = 2
+	}
+	if c.Alg == "ticket" {
+		// The pure ticket lock requires every rank on the lock's home
+		// node.
+		c.PPN = c.Procs
+	}
+	if c.Sync == "" {
+		c.Sync = "barrier"
+	}
+	if c.Iters <= 0 {
+		c.Iters = 3
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.Preset == "" {
+		c.Preset = armci.PresetMyrinet2000
+	}
+	if c.OpDeadline == 0 && c.Fabric != armci.FabricSim {
+		c.OpDeadline = 30 * time.Second
+	}
+	return c
+}
+
+// Reproducer renders the minimal reproducer of the case: the tuple that
+// re-runs the exact failing schedule.
+func (c Case) Reproducer() string {
+	s := fmt.Sprintf("{fabric=%s procs=%d ppn=%d alg=%s/%s faults=%q seed=%d",
+		c.Fabric, c.Procs, c.PPN, c.Alg, c.Sync, c.Faults, c.Seed)
+	if c.Mutation != "" {
+		s += " mutation=" + c.Mutation
+	}
+	return s + "}"
+}
+
+// Violation is one invariant breach found in a run.
+type Violation struct {
+	// Oracle names the invariant: "mutual-exclusion", "fifo", "fence",
+	// "delivery", "state" or "liveness".
+	Oracle string
+	// Detail describes the breach, referencing op-event sequence numbers
+	// where applicable.
+	Detail string
+	// Case is the configuration that produced it.
+	Case Case
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violation: %s; reproducer %s", v.Oracle, v.Detail, v.Case.Reproducer())
+}
+
+// Result is the outcome of one case.
+type Result struct {
+	Case       Case
+	Violations []Violation
+	// Events is the number of protocol-level events the run recorded.
+	Events int
+	// Err is a setup error (bad case), not an oracle finding.
+	Err error
+}
+
+// Passed reports whether the case ran and every oracle held.
+func (r Result) Passed() bool { return r.Err == nil && len(r.Violations) == 0 }
+
+// collector gathers state-level assertion failures from inside workload
+// bodies (which run concurrently on the chan/tcp fabrics).
+type collector struct {
+	mu     sync.Mutex
+	faults []string
+}
+
+func (c *collector) addf(format string, args ...any) {
+	c.mu.Lock()
+	c.faults = append(c.faults, fmt.Sprintf(format, args...))
+	c.mu.Unlock()
+}
+
+func (c *collector) take() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.faults
+	c.faults = nil
+	return out
+}
+
+// RunCase executes one case and validates its history against every
+// oracle.
+func RunCase(c Case) Result {
+	c = c.withDefaults()
+	if err := validateCase(c); err != nil {
+		return Result{Case: c, Err: err}
+	}
+	faults, err := armci.ParseFaults(c.Faults)
+	if err != nil {
+		return Result{Case: c, Err: fmt.Errorf("check: bad fault plan %q: %w", c.Faults, err)}
+	}
+	if faults.Enabled() && faults.Seed == 0 {
+		faults.Seed = c.Seed
+	}
+	col := &collector{}
+	rep, runErr := armci.Run(armci.Options{
+		Procs:        c.Procs,
+		ProcsPerNode: c.PPN,
+		Fabric:       c.Fabric,
+		Preset:       c.Preset,
+		NumMutexes:   1,
+		ScheduleSeed: c.Seed,
+		CaptureTrace: true,
+		Faults:       faults,
+		OpDeadline:   c.OpDeadline,
+	}, workloadBody(c, col))
+
+	r := Result{Case: c}
+	if runErr != nil {
+		// A run that deadlocks, trips a fault abort, or exceeds a
+		// deadline did not preserve liveness under this schedule.
+		r.Violations = append(r.Violations, Violation{
+			Oracle: "liveness", Detail: runErr.Error(), Case: c,
+		})
+	}
+	for _, f := range col.take() {
+		r.Violations = append(r.Violations, Violation{Oracle: "state", Detail: f, Case: c})
+	}
+	if rep != nil {
+		events := rep.Stats.OpEvents()
+		r.Events = len(events)
+		r.Violations = append(r.Violations, checkHistory(events, c)...)
+	}
+	return r
+}
+
+// validateCase rejects unknown algorithm / sync / mutation names before
+// spending a run on them.
+func validateCase(c Case) error {
+	switch c.Alg {
+	case "", "queue", "hybrid", "ticket", "queue-nocas":
+	default:
+		return fmt.Errorf("check: unknown lock algorithm %q", c.Alg)
+	}
+	switch c.Sync {
+	case "barrier", "sync-old", "sync-old-pipelined":
+	default:
+		return fmt.Errorf("check: unknown sync variant %q", c.Sync)
+	}
+	if c.Mutation != "" {
+		if _, ok := mutationSpecs[c.Mutation]; !ok {
+			return fmt.Errorf("check: unknown mutation %q", c.Mutation)
+		}
+	}
+	return nil
+}
+
+// Matrix expands the cross product of fabrics × lock algorithms × sync
+// variants × fault plans × seeds [seedLo, seedHi] into cases. Dimension
+// slices may be empty to mean their single default ("" alg / "barrier" /
+// no faults).
+func Matrix(fabrics []armci.FabricKind, algs, syncs, faults []string, procs, ppn int, seedLo, seedHi int64) []Case {
+	if len(algs) == 0 {
+		algs = []string{""}
+	}
+	if len(syncs) == 0 {
+		syncs = []string{"barrier"}
+	}
+	if len(faults) == 0 {
+		faults = []string{""}
+	}
+	var cases []Case
+	for _, f := range fabrics {
+		for _, alg := range algs {
+			for _, sy := range syncs {
+				for _, fp := range faults {
+					for seed := seedLo; seed <= seedHi; seed++ {
+						cases = append(cases, Case{
+							Fabric: f, Procs: procs, PPN: ppn,
+							Alg: alg, Sync: sy, Faults: fp, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cases
+}
+
+// SweepResult summarizes a RunAll pass.
+type SweepResult struct {
+	Cases      int
+	Events     int
+	Violations []Violation
+	Errs       []error
+}
+
+// RunAll executes every case, invoking onResult (may be nil) after each.
+func RunAll(cases []Case, onResult func(Result)) SweepResult {
+	var s SweepResult
+	for _, c := range cases {
+		r := RunCase(c)
+		s.Cases++
+		s.Events += r.Events
+		s.Violations = append(s.Violations, r.Violations...)
+		if r.Err != nil {
+			s.Errs = append(s.Errs, r.Err)
+		}
+		if onResult != nil {
+			onResult(r)
+		}
+	}
+	return s
+}

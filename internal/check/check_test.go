@@ -1,0 +1,151 @@
+package check
+
+import (
+	"testing"
+
+	"armci"
+)
+
+// sweepAlgs / sweepSyncs are the short-mode conformance matrix: every
+// lock algorithm × both synchronization variants on the simulated
+// fabric, 64 schedule-shuffle seeds each.
+var (
+	sweepAlgs  = []string{"queue", "hybrid", "ticket", "queue-nocas"}
+	sweepSyncs = []string{"barrier", "sync-old"}
+)
+
+// TestShortSweep is the conformance sweep that runs even under -short:
+// 64 seeds × 4 lock algorithms × 2 sync variants on the simulated
+// fabric, every oracle silent.
+func TestShortSweep(t *testing.T) {
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, sweepAlgs, sweepSyncs, nil, 6, 2, 1, 64)
+	runSweep(t, cases)
+}
+
+// TestFaultPlanSweep sweeps a smaller seed range under loss,
+// duplication and latency-spike plans: the delivery oracle must hold
+// exactly-once, per-pair FIFO admission while the pipeline is
+// retransmitting and deduplicating, and the fence oracle must stay
+// silent on the real barriers under the same spikes that expose the
+// mutated ones.
+func TestFaultPlanSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep skipped in -short")
+	}
+	faults := []string{"loss=0.15,retry=12", "dup=0.2", "loss=0.1,dup=0.1,retry=12",
+		"spike=1ms@0.2", "jitter=200us"}
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue", "hybrid"},
+		[]string{"barrier"}, faults, 6, 2, 1, 16)
+	runSweep(t, cases)
+}
+
+// TestConcurrentFabrics spot-checks the same workload on the goroutine
+// and TCP fabrics: the oracles are schedule-agnostic, so they must hold
+// on real concurrency too.
+func TestConcurrentFabrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent fabrics skipped in -short")
+	}
+	for _, f := range []armci.FabricKind{armci.FabricChan, armci.FabricTCP} {
+		for _, alg := range sweepAlgs {
+			r := RunCase(Case{Fabric: f, Alg: alg, Sync: "barrier"})
+			if r.Err != nil {
+				t.Fatalf("%s/%s: %v", f, alg, r.Err)
+			}
+			for _, v := range r.Violations {
+				t.Errorf("%s", v)
+			}
+		}
+	}
+}
+
+func runSweep(t *testing.T, cases []Case) {
+	t.Helper()
+	s := RunAll(cases, func(r Result) {
+		if r.Err != nil {
+			t.Fatalf("case %s failed to run: %v", r.Case.Reproducer(), r.Err)
+		}
+		for _, v := range r.Violations {
+			t.Errorf("%s", v)
+		}
+	})
+	if s.Events == 0 {
+		t.Fatal("sweep recorded no protocol events; instrumentation is dark")
+	}
+	t.Logf("%d cases, %d protocol events, %d violations", s.Cases, s.Events, len(s.Violations))
+}
+
+// TestMutationsDetected proves the oracles catch the bugs they exist to
+// find: every deliberately broken variant must be detected somewhere in
+// a 64-seed sweep, and the violation must carry a minimal reproducer.
+func TestMutationsDetected(t *testing.T) {
+	for _, name := range Mutations() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			r, ok := DetectMutation(name, 1, 64)
+			if !ok {
+				t.Fatalf("mutation %q survived 64 seeds: oracles are blind to this bug class", name)
+			}
+			v := r.Violations[0]
+			if v.Case.Mutation != name {
+				t.Fatalf("violation reproducer names mutation %q, want %q", v.Case.Mutation, name)
+			}
+			t.Logf("caught at seed %d: %s", r.Case.Seed, v)
+		})
+	}
+}
+
+// TestMutationsTargetExpectedOracle pins each mutation to the oracle
+// family that should catch it, so a regression that silently reroutes
+// detection (e.g. the state check catching what the fence oracle
+// missed) is visible.
+func TestMutationsTargetExpectedOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle-attribution sweep skipped in -short")
+	}
+	want := map[string]string{
+		MutQueueSkipLinkWait: "liveness",
+		MutTicketOffByOne:    "mutual-exclusion",
+		MutBarrierSkipStage2: "fence",
+		MutSyncOldSkipFence:  "fence",
+	}
+	for name, oracle := range want {
+		found := false
+	seeds:
+		for seed := int64(1); seed <= 64; seed++ {
+			r := RunCase(MutationCase(name, seed))
+			for _, v := range r.Violations {
+				if v.Oracle == oracle {
+					found = true
+					break seeds
+				}
+			}
+		}
+		if !found {
+			t.Errorf("mutation %q never tripped the %q oracle in 64 seeds", name, oracle)
+		}
+	}
+}
+
+// TestRunCaseRejectsBadConfig covers the validation path.
+func TestRunCaseRejectsBadConfig(t *testing.T) {
+	for _, c := range []Case{
+		{Fabric: armci.FabricSim, Alg: "bogus"},
+		{Fabric: armci.FabricSim, Sync: "bogus"},
+		{Fabric: armci.FabricSim, Mutation: "bogus"},
+		{Fabric: armci.FabricSim, Faults: "loss=notanumber"},
+	} {
+		if r := RunCase(c); r.Err == nil {
+			t.Errorf("case %+v: want setup error, got none", c)
+		}
+	}
+}
+
+// TestSeedZeroIsFIFOBaseline documents the contract: seed 0 runs the
+// kernel in FIFO order and must pass like any other seed.
+func TestSeedZeroIsFIFOBaseline(t *testing.T) {
+	r := RunCase(Case{Fabric: armci.FabricSim, Alg: "queue", Sync: "barrier", Seed: 0})
+	if !r.Passed() {
+		t.Fatalf("FIFO baseline failed: err=%v violations=%v", r.Err, r.Violations)
+	}
+}

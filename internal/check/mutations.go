@@ -1,0 +1,237 @@
+package check
+
+import (
+	"armci"
+	"armci/internal/collective"
+	"armci/internal/proc"
+	"armci/internal/shmem"
+	"armci/internal/trace"
+)
+
+// Mutation self-test: deliberately broken variants of the algorithms
+// under test. Each reintroduces a bug class the oracles exist to catch —
+// a release that races its late-linking successor, an off-by-one ticket
+// gate, a barrier whose fence stage is skipped — and the harness proves
+// itself by detecting every one of them under a seed sweep. The variants
+// are implemented here, against the public Proc surface, rather than in
+// internal/core: production code carries no test-only broken paths.
+
+// Mutation names.
+const (
+	// MutQueueSkipLinkWait: an MCS release that skips the wait for a
+	// late-linking successor — when the compare&swap fails (a requester
+	// swapped in but has not linked yet) it reads the next pointer once
+	// and gives up, orphaning the successor, which spins forever.
+	// Detected as a liveness violation (deadlock). The swap→link window
+	// is narrower than the calibrated network's round trip, so the
+	// mutation's sweep runs under a latency-spike fault plan that can
+	// delay the successor's link store past the releaser's re-read —
+	// the preemption a real machine provides for free.
+	MutQueueSkipLinkWait = "queue-skip-link-wait"
+	// MutTicketOffByOne: a ticket lock whose wait admits ticket t when
+	// the counter reads t-1, so the next waiter enters while the current
+	// holder is still inside. Detected by the mutual-exclusion oracle.
+	MutTicketOffByOne = "ticket-off-by-one"
+	// MutBarrierSkipStage2: a combined barrier that distributes op_init
+	// (stage i) and synchronizes (stage iii) but skips waiting for the
+	// local server's op_done to catch up (stage ii). Outstanding puts
+	// escape the fence. On the calibrated network every put lands well
+	// inside the all-reduce, so the sweep runs under a latency-spike
+	// plan that keeps some puts in flight past the broken exit.
+	// Detected by the fence oracle (and the state-level read-back).
+	MutBarrierSkipStage2 = "barrier-skip-stage2"
+	// MutSyncOldSkipFence: a GA_Sync that performs only the MPI barrier,
+	// skipping AllFence entirely. Detected by the fence oracle.
+	MutSyncOldSkipFence = "sync-old-skip-fence"
+)
+
+// mutationSpec describes one broken variant: which real algorithm the
+// base case names (for the reproducer), plus the broken factory for the
+// component it replaces.
+type mutationSpec struct {
+	alg    string
+	sync   string
+	faults string // fault plan that widens the bug's race window
+	lock   func(p *armci.Proc) armci.Mutex
+	syncFn func(p *armci.Proc, epoch *int) func()
+}
+
+var mutationSpecs = map[string]mutationSpec{
+	MutQueueSkipLinkWait: {alg: "queue", sync: "barrier", faults: "spike=1ms@0.2",
+		lock: func(p *armci.Proc) armci.Mutex { return &brokenQueueLock{p: p, idx: 0} }},
+	MutTicketOffByOne: {alg: "ticket", sync: "barrier",
+		lock: func(p *armci.Proc) armci.Mutex { return &brokenTicket{p: p, idx: 0} }},
+	MutBarrierSkipStage2: {alg: "queue", sync: "barrier", faults: "spike=1ms@0.2", syncFn: brokenBarrier},
+	MutSyncOldSkipFence:  {alg: "queue", sync: "sync-old", syncFn: brokenSyncOld},
+}
+
+// Mutations returns the broken variant names, in a fixed order.
+func Mutations() []string {
+	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2, MutSyncOldSkipFence}
+}
+
+// MutationCase builds the sweep template of one mutation at one seed.
+func MutationCase(name string, seed int64) Case {
+	m := mutationSpecs[name]
+	return Case{
+		Fabric:   armci.FabricSim,
+		Alg:      m.alg,
+		Sync:     m.sync,
+		Faults:   m.faults,
+		Seed:     seed,
+		Iters:    6,
+		Mutation: name,
+	}
+}
+
+// DetectMutation sweeps seeds until the mutation's bug is caught,
+// returning the first violating result. ok is false when no seed in the
+// range exposed the bug — a harness failure.
+func DetectMutation(name string, seedLo, seedHi int64) (Result, bool) {
+	for seed := seedLo; seed <= seedHi; seed++ {
+		r := RunCase(MutationCase(name, seed))
+		if len(r.Violations) > 0 {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// --- trace recording for the mutated variants ---
+
+func recordLockOp(p *armci.Proc, kind trace.OpKind, idx, prev int, ticket int64) {
+	env := p.Env()
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: kind, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: prev, Ticket: ticket, Time: env.Clock().Now(),
+	})
+}
+
+func recordSyncOp(p *armci.Proc, kind trace.OpKind, epoch int) {
+	env := p.Env()
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: kind, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Prev: -1, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
+}
+
+// --- broken MCS queue lock ---
+
+type brokenQueueLock struct {
+	p   *armci.Proc
+	idx int
+}
+
+func (q *brokenQueueLock) table() *proc.LockTable { return q.p.Locks() }
+
+func (q *brokenQueueLock) qnode() shmem.Ptr {
+	return q.table().QNode[q.idx][q.p.Rank()]
+}
+
+// Lock is the correct MCS acquire (the bug is in the release).
+func (q *brokenQueueLock) Lock() {
+	p := q.p
+	env := p.Env()
+	mine := q.qnode()
+	minePacked := shmem.PackPtr(mine)
+
+	p.StorePair(mine.Add(proc.QNodeNextHi), shmem.Pair{})
+	prev := p.SwapPair(q.table().MCS[q.idx], minePacked).UnpackPtr()
+	if prev.IsNil() {
+		recordLockOp(p, trace.OpAcquire, q.idx, -1, -1)
+		return
+	}
+	p.Store(mine.Add(proc.QNodeLocked), 1)
+	p.StorePair(prev.Add(proc.QNodeNextHi), minePacked)
+	locked := mine.Add(proc.QNodeLocked)
+	env.WaitUntil("broken-mcs-acquire", func() bool {
+		return env.Space().Load(locked) == 0
+	})
+	recordLockOp(p, trace.OpAcquire, q.idx, int(prev.Rank), -1)
+}
+
+// Unlock skips the late-link wait: when the compare&swap fails because a
+// requester swapped itself in but has not linked yet, the correct
+// release waits for the link; this one reads the next pointer once and
+// gives up, orphaning the successor on its spin.
+func (q *brokenQueueLock) Unlock() {
+	p := q.p
+	recordLockOp(p, trace.OpRelease, q.idx, -1, -1)
+	mine := q.qnode()
+	minePacked := shmem.PackPtr(mine)
+	nextField := mine.Add(proc.QNodeNextHi)
+
+	next := p.LoadPair(nextField).UnpackPtr()
+	if next.IsNil() {
+		observed := p.CompareAndSwapPair(q.table().MCS[q.idx], minePacked, shmem.Pair{})
+		if observed == minePacked {
+			return
+		}
+		// BUG: should WaitUntil the successor links; gives up instead.
+		next = p.LoadPair(nextField).UnpackPtr()
+		if next.IsNil() {
+			return // successor orphaned: it spins on its flag forever
+		}
+	}
+	p.Store(next.Add(proc.QNodeLocked), 0)
+}
+
+// --- broken ticket lock ---
+
+type brokenTicket struct {
+	p      *armci.Proc
+	idx    int
+	ticket int64
+}
+
+// Lock takes a ticket but admits one position early: counter >= ticket-1
+// instead of == ticket, so the next waiter overlaps the current holder.
+func (l *brokenTicket) Lock() {
+	p := l.p
+	env := p.Env()
+	base := p.Locks().TicketCounter[l.idx]
+	l.ticket = p.FetchAdd(base.Add(proc.TicketWord), 1)
+	counter := base.Add(proc.CounterWord)
+	env.WaitUntil("broken-ticket-lock", func() bool {
+		return env.Space().Load(counter) >= l.ticket-1 // BUG: off by one
+	})
+	recordLockOp(p, trace.OpAcquire, l.idx, -1, l.ticket)
+}
+
+func (l *brokenTicket) Unlock() {
+	p := l.p
+	recordLockOp(p, trace.OpRelease, l.idx, -1, l.ticket)
+	base := p.Locks().TicketCounter[l.idx]
+	p.FetchAdd(base.Add(proc.CounterWord), 1)
+}
+
+// --- broken synchronization variants ---
+
+// brokenBarrier distributes op_init and synchronizes but never waits for
+// the local server's op_done (stage ii skipped), so puts still in flight
+// at entry can land after some rank has already exited.
+func brokenBarrier(p *armci.Proc, epoch *int) func() {
+	return func() {
+		*epoch++
+		recordSyncOp(p, trace.OpSyncEnter, *epoch)
+		sum := make([]int64, p.NumNodes())
+		copy(sum, p.Engine().OpInit())
+		p.Comm().AllReduceSumInt64(sum)
+		// BUG: stage ii — the wait for op_done[myNode] >= sum[myNode] —
+		// is skipped.
+		p.Comm().Barrier(collective.BarrierAuto)
+		recordSyncOp(p, trace.OpSyncExit, *epoch)
+	}
+}
+
+// brokenSyncOld is GA_Sync without the AllFence: a bare MPI barrier
+// carrying none of the fence guarantee.
+func brokenSyncOld(p *armci.Proc, epoch *int) func() {
+	return func() {
+		*epoch++
+		recordSyncOp(p, trace.OpSyncEnter, *epoch)
+		// BUG: AllFence skipped entirely.
+		p.Comm().Barrier(collective.BarrierAuto)
+		recordSyncOp(p, trace.OpSyncExit, *epoch)
+	}
+}

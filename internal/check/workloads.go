@@ -1,0 +1,111 @@
+package check
+
+import (
+	"armci"
+)
+
+// workloadBody builds the per-rank body of one case. The workload has
+// two phases, both oracle-bearing:
+//
+//   - a critical-section phase: Iters times, take the lock, increment a
+//     shared counter homed at rank 0 (remote ranks fence the store
+//     before releasing), release. Exercises the mutual-exclusion and
+//     FIFO oracles; the final counter value is a state-level check that
+//     no increment was lost even if the trace happened to mask an
+//     overlap.
+//   - a put-round phase: Rounds times, every rank stores a round-tagged
+//     value into a rotating peer's slot array, synchronizes with the
+//     case's sync variant, reads its own slots back locally (the fence
+//     guarantee made the remote store visible), and synchronizes again
+//     so verification finishes before the next round overwrites.
+//     Exercises the fence and delivery oracles.
+//
+// Both phases route every global synchronization through the case's sync
+// variant (real or mutated), so a broken barrier is exposed to both the
+// trace-level fence oracle and the state-level read-back.
+func workloadBody(c Case, col *collector) func(p *armci.Proc) {
+	return func(p *armci.Proc) {
+		me, n := p.Rank(), p.Size()
+		counter := p.MallocWords(1)[0] // rank 0's cell
+		slots := p.MallocWords(n)
+		var epoch int
+		syncFn := syncFor(p, c, &epoch)
+
+		if c.Alg != "" {
+			mu := lockFor(p, c)
+			node0 := p.NodeOf(0)
+			for i := 0; i < c.Iters; i++ {
+				mu.Lock()
+				v := p.Load(counter)
+				p.Store(counter, v+1)
+				if node0 != p.MyNode() {
+					// Complete the store before handing off, so the next
+					// holder reads the fresh value.
+					p.Fence(node0)
+				}
+				mu.Unlock()
+			}
+		}
+		syncFn()
+		if me == 0 && c.Alg != "" {
+			want := int64(n * c.Iters)
+			if got := p.Load(counter); got != want {
+				col.addf("critical-section counter = %d, want %d (increments lost)", got, want)
+			}
+		}
+
+		for r := 0; r < c.Rounds; r++ {
+			shift := 1
+			if n > 1 {
+				shift = 1 + r%(n-1)
+			}
+			dst := (me + shift) % n
+			p.Store(slots[dst].Add(int64(me)), roundVal(r, me))
+			syncFn()
+			src := ((me-shift)%n + n) % n
+			if got := p.Load(slots[me].Add(int64(src))); got != roundVal(r, src) {
+				col.addf("put round %d: rank %d read slot[%d] = %d, want %d (store from rank %d escaped the fence)",
+					r+1, me, src, got, roundVal(r, src), src)
+			}
+			syncFn()
+		}
+	}
+}
+
+// roundVal is the value rank src writes in put round r — unique per
+// (round, writer) so a stale or missing store is unambiguous.
+func roundVal(r, src int) int64 { return int64((r+1)*1000 + src + 1) }
+
+// lockFor returns the case's lock 0 handle: the real algorithm, or the
+// mutated variant when the case's mutation targets the lock.
+func lockFor(p *armci.Proc, c Case) armci.Mutex {
+	if m, ok := mutationSpecs[c.Mutation]; ok && m.lock != nil {
+		return m.lock(p)
+	}
+	switch c.Alg {
+	case "queue":
+		return p.Mutex(0, armci.LockQueue)
+	case "hybrid":
+		return p.Mutex(0, armci.LockHybrid)
+	case "queue-nocas":
+		return p.Mutex(0, armci.LockQueueNoCAS)
+	case "ticket":
+		return p.Mutex(0, armci.LockTicket)
+	}
+	panic("check: lockFor called with no lock algorithm")
+}
+
+// syncFor returns the case's global synchronization: the real variant,
+// or the mutated one when the case's mutation targets the sync.
+func syncFor(p *armci.Proc, c Case, epoch *int) func() {
+	if m, ok := mutationSpecs[c.Mutation]; ok && m.syncFn != nil {
+		return m.syncFn(p, epoch)
+	}
+	switch c.Sync {
+	case "sync-old":
+		return p.SyncOld
+	case "sync-old-pipelined":
+		return p.SyncOldPipelined
+	}
+	return p.Barrier
+}

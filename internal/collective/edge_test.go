@@ -1,0 +1,101 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"armci/internal/model"
+	"armci/internal/transport"
+)
+
+// TestAllReduceEdgeShapes drives the reductions through the shapes the
+// tree/dissemination exchanges get wrong first: the empty vector, a
+// single rank, and every non-power-of-two size up to 9 ranks.
+func TestAllReduceEdgeShapes(t *testing.T) {
+	for _, procs := range []int{1, 2, 3, 5, 6, 7, 9} {
+		for _, width := range []int{0, 1, 3} {
+			t.Run(fmt.Sprintf("procs=%d/width=%d", procs, width), func(t *testing.T) {
+				runCluster(t, procs, model.Myrinet2000(), nil, func(env transport.Env, c *Comm) {
+					r := int64(env.Rank())
+					vec := make([]int64, width)
+					for i := range vec {
+						vec[i] = r + int64(i)*100
+					}
+					c.AllReduceSumInt64(vec)
+					// Every rank must hold sum over q of (q + 100*i).
+					base := int64(procs * (procs - 1) / 2)
+					for i := range vec {
+						want := base + int64(i)*100*int64(procs)
+						if vec[i] != want {
+							panic(fmt.Sprintf("rank %d: int64 slot %d = %d, want %d", env.Rank(), i, vec[i], want))
+						}
+					}
+
+					fvec := make([]float64, width)
+					for i := range fvec {
+						fvec[i] = float64(env.Rank()) + float64(i)*0.5
+					}
+					c.AllReduceSumFloat64(fvec)
+					for i := range fvec {
+						want := float64(base) + float64(i)*0.5*float64(procs)
+						if fvec[i] != want {
+							panic(fmt.Sprintf("rank %d: float64 slot %d = %v, want %v", env.Rank(), i, fvec[i], want))
+						}
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestBarrierEdgeSizes runs the size-agnostic barrier algorithms at the
+// degenerate and non-power-of-two sizes (pairwise is power-of-two-only
+// by contract — see TestPairwiseBarrierRejectsOddSizes); the safety
+// property is covered by TestBarrierSafety, so completion alone is the
+// assertion here.
+func TestBarrierEdgeSizes(t *testing.T) {
+	for _, alg := range []BarrierAlg{BarrierDissemination, BarrierCentral, BarrierAuto} {
+		for _, procs := range []int{1, 3, 5, 7} {
+			t.Run(fmt.Sprintf("%v/procs=%d", alg, procs), func(t *testing.T) {
+				runCluster(t, procs, model.Myrinet2000(), nil, func(env transport.Env, c *Comm) {
+					for i := 0; i < 3; i++ {
+						c.Barrier(alg)
+					}
+				})
+			})
+		}
+	}
+}
+
+// TestPairwiseBarrierRejectsOddSizes pins the documented contract: the
+// pairwise exchange is defined only for power-of-two process counts and
+// must refuse loudly, not hang, elsewhere. (Size 1 short-circuits before
+// algorithm selection.)
+func TestPairwiseBarrierRejectsOddSizes(t *testing.T) {
+	runCluster(t, 3, model.Myrinet2000(), nil, func(env transport.Env, c *Comm) {
+		defer func() {
+			if recover() == nil {
+				panic("pairwise barrier accepted 3 processes")
+			}
+		}()
+		c.Barrier(BarrierPairwise)
+	})
+}
+
+// TestSequentialCollectivesKeepTagsDistinct interleaves reductions and
+// barriers on one communicator: the per-call tag sequence must keep a
+// slow rank's phase-k traffic from matching a fast rank's phase-k+1
+// receive.
+func TestSequentialCollectivesKeepTagsDistinct(t *testing.T) {
+	runCluster(t, 5, model.Myrinet2000(), nil, func(env transport.Env, c *Comm) {
+		for round := 1; round <= 4; round++ {
+			vec := []int64{int64(env.Rank() + round)}
+			c.AllReduceSumInt64(vec)
+			want := int64(5*(5-1)/2 + 5*round)
+			if vec[0] != want {
+				panic(fmt.Sprintf("round %d: sum %d, want %d", round, vec[0], want))
+			}
+			c.Barrier(BarrierAuto)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 
 	"armci/internal/collective"
 	"armci/internal/proc"
+	"armci/internal/trace"
 )
 
 // Sync exposes the global synchronization operations of one process. It
@@ -22,6 +23,11 @@ type Sync struct {
 	// BarrierAlg is the stage-3 / MPI_Barrier algorithm; BarrierAuto by
 	// default.
 	BarrierAlg collective.BarrierAlg
+
+	// epoch counts this rank's global synchronizations (Barrier, SyncOld,
+	// SyncOldPipelined), numbering the SyncEnter/SyncExit trace events the
+	// conformance fence oracle pairs up across ranks.
+	epoch int
 }
 
 // NewSync builds the synchronization driver for the calling process.
@@ -45,15 +51,33 @@ func (s *Sync) MPIBarrier() {
 // ARMCI_AllFence — up to 2(N−1) one-way latencies of confirmation round
 // trips — followed by MPI_Barrier.
 func (s *Sync) SyncOld() {
+	s.enter()
 	s.eng.AllFence()
 	s.MPIBarrier()
+	s.exit()
 }
 
 // SyncOldPipelined is the ablation variant of SyncOld with the fence round
 // trips overlapped instead of serialized.
 func (s *Sync) SyncOldPipelined() {
+	s.enter()
 	s.eng.AllFencePipelined()
 	s.MPIBarrier()
+	s.exit()
+}
+
+// enter / exit bracket one global synchronization with trace events. The
+// enter event is recorded before any stage of the operation runs and the
+// exit event after the last stage returns, so the fence oracle can treat
+// everything a rank issued before enter as "must be complete somewhere
+// before anyone's exit of the same epoch".
+func (s *Sync) enter() {
+	s.epoch++
+	recordSync(s.eng.Env(), trace.OpSyncEnter, s.epoch)
+}
+
+func (s *Sync) exit() {
+	recordSync(s.eng.Env(), trace.OpSyncExit, s.epoch)
 }
 
 // Barrier is the new combined operation, ARMCI_Barrier(): semantically
@@ -71,6 +95,7 @@ func (s *Sync) SyncOldPipelined() {
 //     process can have escaped with operations still pending anywhere.
 func (s *Sync) Barrier() {
 	env := s.eng.Env()
+	s.enter()
 
 	// Stage 1: distribute op_init[]. The engine's counters are
 	// cumulative for the life of the run (as are the servers' op_done
@@ -89,4 +114,5 @@ func (s *Sync) Barrier() {
 
 	// Stage 3: barrier synchronization.
 	s.MPIBarrier()
+	s.exit()
 }

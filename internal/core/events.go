@@ -1,0 +1,41 @@
+package core
+
+import (
+	"armci/internal/trace"
+	"armci/internal/transport"
+)
+
+// recordAcquire notes in the trace that the calling rank now holds lock
+// idx. It must be called *after* the algorithm's acquire condition is
+// satisfied and *before* the caller touches protected state, so that in
+// the recorded order the event sits inside the critical section. prev is
+// the rank this acquire queued behind (-1 when unknown or the lock was
+// free); ticket is the ticket number under ticket-ordered algorithms (-1
+// otherwise). The conformance oracles in internal/check consume these.
+func recordAcquire(env transport.Env, idx, prev int, ticket int64) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpAcquire, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: prev, Ticket: ticket, Time: env.Clock().Now(),
+	})
+}
+
+// recordRelease notes that the calling rank is giving up lock idx. It
+// must be called at the *start* of the release, before any hand-off
+// store or unlock message, so the event precedes the successor's acquire
+// in the recorded order.
+func recordRelease(env transport.Env, idx int, ticket int64) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpRelease, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: -1, Ticket: ticket, Time: env.Clock().Now(),
+	})
+}
+
+// recordSync notes barrier entry or exit for the calling rank. epoch
+// numbers the rank's barrier calls from 1; node is the rank's own node
+// (whose completion counter the fence oracle audits).
+func recordSync(env transport.Env, kind trace.OpKind, epoch int) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: kind, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Prev: -1, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
+}

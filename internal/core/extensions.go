@@ -40,11 +40,13 @@ func (l *Ticket) Lock() {
 	env.WaitUntil("ticket-lock", func() bool {
 		return env.Space().Load(counter) == l.ticket
 	})
+	recordAcquire(env, l.idx, -1, l.ticket)
 }
 
 // Unlock advances the counter directly (no server round trip — this is
 // the pure shared-memory algorithm, not ARMCI's hybrid).
 func (l *Ticket) Unlock() {
+	recordRelease(l.eng.Env(), l.idx, l.ticket)
 	base := l.t.TicketCounter[l.idx]
 	l.eng.FetchAdd(base.Add(proc.CounterWord), 1)
 }
@@ -84,6 +86,7 @@ func (q *QueueLockNoCAS) Lock() {
 	space.StorePair(mine.Add(proc.QNodeNextHi), shmem.Pair{})
 	prev := q.eng.SwapPair(q.t.MCS[q.idx], minePacked).UnpackPtr()
 	if prev.IsNil() {
+		recordAcquire(env, q.idx, -1, -1)
 		return
 	}
 	space.Store(mine.Add(proc.QNodeLocked), 1)
@@ -92,11 +95,13 @@ func (q *QueueLockNoCAS) Lock() {
 	env.WaitUntil("mcs-nocas-acquire", func() bool {
 		return space.Load(locked) == 0
 	})
+	recordAcquire(env, q.idx, int(prev.Rank), -1)
 }
 
 // Unlock releases with swap instead of compare&swap.
 func (q *QueueLockNoCAS) Unlock() {
 	env := q.eng.Env()
+	recordRelease(env, q.idx, -1)
 	space := env.Space()
 	mine := q.qnode()
 	nextField := mine.Add(proc.QNodeNextHi)

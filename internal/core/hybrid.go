@@ -63,6 +63,7 @@ func (h *Hybrid) Lock() {
 		env.WaitUntil("hybrid-local-lock", func() bool {
 			return env.Space().Load(counter) == h.ticket
 		})
+		recordAcquire(env, h.idx, -1, h.ticket)
 		return
 	}
 	// Server-based path: one request, one grant (possibly queued).
@@ -73,7 +74,10 @@ func (h *Hybrid) Lock() {
 		Token:  tok,
 		Tag:    h.idx,
 	})
-	env.Recv(msg.MatchToken(msg.KindLockGrant, tok))
+	grant := env.Recv(msg.MatchToken(msg.KindLockGrant, tok))
+	// The grant echoes the ticket the server took on our behalf.
+	h.ticket = grant.Operands[0]
+	recordAcquire(env, h.idx, -1, h.ticket)
 }
 
 // Unlock releases the lock. Whether the lock is local or remote, the
@@ -81,6 +85,7 @@ func (h *Hybrid) Lock() {
 // and wakes the next waiter, queued remotely or polling locally.
 func (h *Hybrid) Unlock() {
 	env := h.eng.Env()
+	recordRelease(env, h.idx, h.ticket)
 	env.Send(msg.ServerOf(h.homeNode()), &msg.Message{
 		Kind:   msg.KindUnlock,
 		Origin: env.Rank(),

@@ -51,7 +51,8 @@ func (q *QueueLock) Lock() {
 	// prev_node = swap(Lock, mynode) — atomic on the lock's home.
 	prev := q.eng.SwapPair(q.t.MCS[q.idx], minePacked).UnpackPtr()
 	if prev.IsNil() {
-		return // lock was free; we hold it
+		recordAcquire(env, q.idx, -1, -1) // lock was free; we hold it
+		return
 	}
 
 	// mynode->locked = TRUE before linking, so the releaser can never
@@ -67,11 +68,15 @@ func (q *QueueLock) Lock() {
 	env.WaitUntil("mcs-acquire", func() bool {
 		return space.Load(locked) == 0
 	})
+	// Queue-nodes live in their owner's memory, so the predecessor node's
+	// Rank is the rank we queued behind (the FIFO oracle's witness).
+	recordAcquire(env, q.idx, int(prev.Rank), -1)
 }
 
 // Unlock releases the lock (Figure 5, release).
 func (q *QueueLock) Unlock() {
 	env := q.eng.Env()
+	recordRelease(env, q.idx, -1)
 	space := env.Space()
 	mine := q.qnode()
 	minePacked := shmem.PackPtr(mine)

@@ -615,6 +615,7 @@ func (p *Pipeline) Inbound(m *msg.Message, now time.Duration) bool {
 		m.Arrival = now
 	}
 	p.cfg.Stats.RecordArrival(m)
+	p.cfg.Stats.RecordDelivery(m, now)
 	p.cfg.Metrics.observe(m)
 	return true
 }

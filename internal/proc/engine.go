@@ -18,6 +18,7 @@ import (
 
 	"armci/internal/msg"
 	"armci/internal/shmem"
+	"armci/internal/trace"
 	"armci/internal/transport"
 )
 
@@ -157,12 +158,18 @@ func (g *Engine) NextToken() uint64 {
 // nextToken is the internal alias of NextToken.
 func (g *Engine) nextToken() uint64 { return g.NextToken() }
 
-// countIssue records one fence-counted operation to node.
+// countIssue records one fence-counted operation to node, both in
+// op_init[] (what the fence algorithms compare) and as an OpIssue trace
+// event (what the conformance fence oracle compares).
 func (g *Engine) countIssue(node int) {
 	g.opInit[node]++
 	if g.mode == FenceAck {
 		g.outstanding[node]++
 	}
+	g.env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpIssue, Rank: g.env.Rank(), Node: node,
+		Prev: -1, Ticket: -1, Time: g.env.Clock().Now(),
+	})
 }
 
 // OpInit returns the engine's op_init[] array (live; callers must not

@@ -25,6 +25,7 @@ import (
 	"armci/internal/msg"
 	"armci/internal/proc"
 	"armci/internal/shmem"
+	"armci/internal/trace"
 	"armci/internal/transport"
 )
 
@@ -200,8 +201,15 @@ func (s *Server) HandleOne(m *msg.Message) {
 
 // completeStore counts a fence-counted store in op_done (aggregate and
 // per-origin) and acknowledges it when the fabric runs in per-put-ack
-// mode.
+// mode. The OpComplete trace event is recorded first — before the
+// counters advance — so that in the recorded order a completion always
+// precedes any barrier exit the fence algorithm justified with it (the
+// invariant the conformance fence oracle checks).
 func (s *Server) completeStore(m *msg.Message) {
+	s.env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpComplete, Rank: m.Origin, Node: s.node,
+		Prev: -1, Ticket: -1, Time: s.env.Clock().Now(),
+	})
 	s.env.Space().FetchAdd(s.lay.OpDone[s.node], 1)
 	s.env.Space().FetchAdd(s.lay.PerOrigin[s.node].Add(int64(m.Origin)), 1)
 	if s.opt.FenceMode == proc.FenceAck {
@@ -302,7 +310,7 @@ func (s *Server) handleLockReq(m *msg.Message) {
 	ticket := space.FetchAdd(base.Add(proc.TicketWord), 1)
 	counter := space.Load(base.Add(proc.CounterWord))
 	if ticket == counter {
-		s.grant(idx, m.Origin, m.Token)
+		s.grant(idx, m.Origin, m.Token, ticket)
 		return
 	}
 	s.lockQueues[idx] = append(s.lockQueues[idx], waiter{origin: m.Origin, ticket: ticket, token: m.Token})
@@ -325,16 +333,20 @@ func (s *Server) handleUnlock(m *msg.Message) {
 	if len(q) > 0 && q[0].ticket == counter {
 		head := q[0]
 		s.lockQueues[idx] = q[1:]
-		s.grant(idx, head.origin, head.token)
+		s.grant(idx, head.origin, head.token, head.ticket)
 	}
 }
 
-// grant notifies origin that it now holds lock idx.
-func (s *Server) grant(idx, origin int, token uint64) {
+// grant notifies origin that it now holds lock idx. The grant echoes the
+// ticket the server took on the requester's behalf so the holder can
+// report it (the conformance FIFO oracle checks grants arrive in ticket
+// order).
+func (s *Server) grant(idx, origin int, token uint64, ticket int64) {
 	s.env.Send(msg.User(origin), &msg.Message{
-		Kind:   msg.KindLockGrant,
-		Origin: origin,
-		Token:  token,
-		Tag:    idx,
+		Kind:     msg.KindLockGrant,
+		Origin:   origin,
+		Token:    token,
+		Tag:      idx,
+		Operands: [4]int64{ticket},
 	})
 }

@@ -24,6 +24,7 @@ type Stats struct {
 	sends    int
 	events   []Event
 	byKey    map[eventKey]int // (src,dst,pairSeq) -> events index, capture mode
+	opEvents []OpEvent
 	capture  bool
 	perPair  map[pair]int
 	disabled bool
@@ -58,6 +59,91 @@ type Event struct {
 	Dup bool
 	// FaultDelay is the extra latency fault injection added.
 	FaultDelay time.Duration
+}
+
+// OpKind classifies a protocol-level operation event. Unlike message
+// Events — which describe the wire — op events describe the *semantic*
+// history of a run: lock hand-offs, fence/barrier crossings, the issue
+// and completion of fence-counted stores, and post-dedup deliveries.
+// They are what the conformance oracles in internal/check consume.
+type OpKind uint8
+
+const (
+	// OpAcquire: a rank acquired a lock (recorded after the acquire
+	// completes, before the critical section begins). Carries Lock,
+	// Rank, and — per algorithm — Prev (MCS predecessor rank, -1 when
+	// the lock was taken free) or Ticket (hybrid/ticket lock number).
+	OpAcquire OpKind = iota + 1
+	// OpRelease: a rank began releasing a lock (recorded before the
+	// release protocol starts).
+	OpRelease
+	// OpSyncEnter: a rank entered a combined fence+barrier operation
+	// (Sync.Barrier, SyncOld, or a harness-provided variant). Carries
+	// Rank and the rank's Epoch (1-based, counted per rank).
+	OpSyncEnter
+	// OpSyncExit: a rank returned from the fence+barrier of Epoch.
+	OpSyncExit
+	// OpIssue: a rank issued one fence-counted operation (put,
+	// accumulate, fire-and-forget store) to a remote node. Carries Rank
+	// (origin) and Node (destination).
+	OpIssue
+	// OpComplete: a node's server completed one fence-counted operation.
+	// Recorded after the memory effect is applied and before the op_done
+	// counter is advanced, so in the recorded order a completion always
+	// precedes any barrier exit that the fence algorithm justified with
+	// it. Carries Rank (origin) and Node.
+	OpComplete
+	// OpDeliver: the transport pipeline admitted a message into the
+	// destination mailbox (after duplicate suppression). Carries Src,
+	// Dst and PairSeq; the per-pair FIFO/exactly-once oracle checks that
+	// PairSeq is strictly increasing per directed pair.
+	OpDeliver
+)
+
+var opKindNames = map[OpKind]string{
+	OpAcquire: "acquire", OpRelease: "release",
+	OpSyncEnter: "sync-enter", OpSyncExit: "sync-exit",
+	OpIssue: "op-issue", OpComplete: "op-complete", OpDeliver: "deliver",
+}
+
+func (k OpKind) String() string {
+	if s, ok := opKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// OpEvent is one recorded protocol-level event (capture mode only). All
+// op events of a run share one global sequence: because every record
+// goes through the collector's mutex at the instant the event happens,
+// the recorded order is consistent with the happens-before order of the
+// run on every fabric — which is what makes the order usable as a
+// linearization witness by the invariant oracles.
+type OpEvent struct {
+	// Seq is the global record order, 1-based, shared by all op events.
+	Seq int
+	// Kind classifies the event.
+	Kind OpKind
+	// Rank is the acting user rank (the origin for OpIssue/OpComplete).
+	Rank int
+	// Node is the destination node of OpIssue/OpComplete.
+	Node int
+	// Lock is the lock index of OpAcquire/OpRelease.
+	Lock int
+	// Prev is the MCS predecessor rank of an OpAcquire (-1: lock was
+	// free; also -1 for non-queue algorithms).
+	Prev int
+	// Ticket is the ticket number of a hybrid/ticket OpAcquire (-1 for
+	// other algorithms).
+	Ticket int64
+	// Epoch is the per-rank sync epoch of OpSyncEnter/OpSyncExit.
+	Epoch int
+	// Src, Dst and PairSeq identify the delivered message of OpDeliver.
+	Src, Dst msg.Addr
+	PairSeq  uint64
+	// Time is the fabric time at the record (virtual on sim, wall
+	// otherwise). Diagnostic only; oracles use Seq.
+	Time time.Duration
 }
 
 // New returns an empty Stats collector.
@@ -128,6 +214,44 @@ func (s *Stats) RecordArrival(m *msg.Message) {
 	}
 }
 
+// RecordOp records one protocol-level event (capture mode only; see
+// OpEvent). Callers fill every field but Seq, which is assigned here.
+// The call must be placed so that the record order witnesses the claim
+// being recorded: acquires after the lock is held, releases before the
+// hand-off starts, completions before they become observable.
+func (s *Stats) RecordOp(e OpEvent) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disabled || !s.capture {
+		return
+	}
+	e.Seq = len(s.opEvents) + 1
+	s.opEvents = append(s.opEvents, e)
+}
+
+// RecordDelivery records the admission of m into the destination mailbox
+// at fabric time now (the pipeline's post-dedup receive stage). Capture
+// mode only.
+func (s *Stats) RecordDelivery(m *msg.Message, now time.Duration) {
+	if s == nil {
+		return
+	}
+	s.RecordOp(OpEvent{
+		Kind: OpDeliver, Rank: -1, Prev: -1, Ticket: -1,
+		Src: m.Src, Dst: m.Dst, PairSeq: m.Seq, Time: now,
+	})
+}
+
+// OpEvents returns a copy of the recorded protocol-level events.
+func (s *Stats) OpEvents() []OpEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]OpEvent(nil), s.opEvents...)
+}
+
 // Sends returns the total number of messages sent.
 func (s *Stats) Sends() int {
 	s.mu.Lock()
@@ -173,6 +297,7 @@ func (s *Stats) Reset() {
 	s.perPair = make(map[pair]int)
 	s.byKey = make(map[eventKey]int)
 	s.events = nil
+	s.opEvents = nil
 }
 
 // Summary formats the per-kind counters, sorted by kind, for reports.
@@ -201,6 +326,17 @@ func (s *Stats) Summary() string {
 // fingerprint identically across fabrics when their send order agrees.
 // Arrival times are deliberately excluded: they are virtual on the
 // simulated fabric and wall-clock on the concurrent ones.
+//
+// Stability guarantee: the fingerprint is a pure function of the global
+// send order and, per message, of (kind, src, dst, payload size,
+// per-pair sequence number, injected fault delay, duplicate marker).
+// It does not depend on the fabric, the clock, the schedule seed, or
+// the op-event stream. Two runs that exchange the same messages in the
+// same global send order therefore fingerprint identically — across
+// fabrics, and across sim schedule seeds for workloads whose message
+// order is data-dependent rather than schedule-dependent. Determinism
+// and replay tests rely on this; changing the digested fields or their
+// encoding is a breaking change to those tests.
 func (s *Stats) Fingerprint() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -103,7 +103,8 @@ type Config struct {
 	// ScheduleSeed, when non-zero, makes the simulated fabric pick among
 	// simultaneously runnable processes pseudo-randomly (reproducibly for
 	// a given seed) instead of FIFO — interleaving exploration for
-	// protocol tests. Ignored by the concurrent fabrics.
+	// protocol tests. Seed 0 is the FIFO baseline schedule. Must be >= 0;
+	// ignored by the concurrent fabrics.
 	ScheduleSeed int64
 	// Deadline bounds a fabric run; 0 means the fabric default.
 	Deadline time.Duration
@@ -130,6 +131,9 @@ func (c *Config) normalize() error {
 	}
 	if c.OpDeadline < 0 {
 		return fmt.Errorf("transport: config needs OpDeadline >= 0, got %v", c.OpDeadline)
+	}
+	if c.ScheduleSeed < 0 {
+		return fmt.Errorf("transport: config needs ScheduleSeed >= 0, got %d", c.ScheduleSeed)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("transport: bad fault plan: %w", err)

@@ -36,6 +36,9 @@ func EncodeHello(a msg.Addr) []byte {
 func DecodeHello(body []byte) (msg.Addr, error) {
 	d := decoder{buf: body}
 	a := d.addr()
+	if d.err == nil && d.pos != len(body) {
+		d.err = fmt.Errorf("wire: %d trailing bytes", len(body)-d.pos)
+	}
 	if d.err != nil {
 		return msg.Addr{}, fmt.Errorf("wire: bad hello: %w", d.err)
 	}
@@ -233,6 +236,9 @@ func (d *decoder) u64() uint64 {
 
 func (d *decoder) addr() msg.Addr {
 	flag := d.u8()
+	if flag > 1 && d.err == nil {
+		d.err = fmt.Errorf("wire: bad endpoint flag %#x", flag)
+	}
 	id := int(int32(d.u32()))
 	return msg.Addr{Server: flag == 1, ID: id}
 }

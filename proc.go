@@ -47,6 +47,16 @@ func (p *Proc) Env() transport.Env { return p.eng.Env() }
 // Engine exposes the underlying ARMCI engine (companion packages only).
 func (p *Proc) Engine() *proc.Engine { return p.eng }
 
+// Comm exposes the rank's collective communicator (companion packages and
+// the conformance harness only). Mutated synchronization variants built
+// by internal/check must reuse this communicator — not build a second one
+// — so collective sequence tags stay globally consistent.
+func (p *Proc) Comm() *collective.Comm { return p.comm }
+
+// Locks exposes the cluster lock table, or nil when the run was
+// configured with NumMutexes == 0 (conformance harness only).
+func (p *Proc) Locks() *proc.LockTable { return p.locks }
+
 // --- memory management ---
 
 // MallocLocal allocates n bytes of remotely accessible memory owned by

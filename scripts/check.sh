@@ -10,7 +10,10 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/...
+# Race pass over every concurrency-bearing package: the internals, the
+# GA and MP layers, and the conformance harness (-short trims its sweep
+# to the sim-fabric matrix).
+go test -race -short ./internal/... ./ga ./mp
 # The reliability suite (loss, retransmission, crash, op deadlines) under
 # the race detector; -short keeps the long soak out of this pass — run it
 # with `make soak`.
