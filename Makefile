@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench soak explore
+.PHONY: build test check bench benchcheck soak explore
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,13 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# The benchmark-regression gate: re-collect the tracked metrics and diff
+# against the newest committed BENCH_<n>.json, failing on any >tolerance
+# regression. Refresh the baseline after an intentional perf change with
+# `go run ./cmd/armci-bench -baseline`.
+benchcheck:
+	sh scripts/benchdiff.sh
 
 # The reliability soak: every lock and barrier algorithm on every fabric
 # under bursty packet loss, with the race detector on. check's race pass

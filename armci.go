@@ -235,6 +235,11 @@ type Options struct {
 	// baseline: processes run in arrival order, the schedule every other
 	// test sees. Must be >= 0; ignored by FabricChan and FabricTCP.
 	ScheduleSeed int64
+	// SimEventPoolHazard arms the simulated kernel's deliberate
+	// event-pool bug (recycling a still-scheduled event). Test-only: the
+	// conformance harness uses it to prove its oracles catch
+	// pooling-induced corruption. Ignored by FabricChan and FabricTCP.
+	SimEventPoolHazard bool
 	// Deadline bounds the run (virtual time for FabricSim, wall time
 	// otherwise); 0 uses the fabric default.
 	Deadline time.Duration
@@ -317,17 +322,18 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 	stats := trace.New()
 	stats.SetCapture(opt.CaptureTrace)
 	cfg := transport.Config{
-		Procs:        opt.Procs,
-		ProcsPerNode: opt.ProcsPerNode,
-		Model:        params,
-		Trace:        stats,
-		Faults:       opt.Faults,
-		Metrics:      opt.Metrics,
-		Jitter:       opt.Jitter,
-		JitterSeed:   opt.JitterSeed,
-		ScheduleSeed: opt.ScheduleSeed,
-		Deadline:     opt.Deadline,
-		OpDeadline:   opt.OpDeadline,
+		Procs:           opt.Procs,
+		ProcsPerNode:    opt.ProcsPerNode,
+		Model:           params,
+		Trace:           stats,
+		Faults:          opt.Faults,
+		Metrics:         opt.Metrics,
+		Jitter:          opt.Jitter,
+		JitterSeed:      opt.JitterSeed,
+		ScheduleSeed:    opt.ScheduleSeed,
+		EventPoolHazard: opt.SimEventPoolHazard,
+		Deadline:        opt.Deadline,
+		OpDeadline:      opt.OpDeadline,
 	}
 
 	var fabric transport.Fabric

@@ -11,6 +11,18 @@
 //	armci-bench -fig 8 -fabric chan       # wall-clock sanity run
 //	armci-bench -fig crossover
 //	armci-bench -fig counts
+//
+// Baseline mode snapshots the repo's performance into a machine-readable
+// BENCH_<n>.json and gates later runs against it:
+//
+//	armci-bench -baseline                 # write the next BENCH_<n>.json
+//	armci-bench -baseline -o BENCH_1.json # explicit output path
+//	armci-bench -compare BENCH_0.json     # fail (exit 1) on >tolerance regression
+//	armci-bench -compare BENCH_0.json -quick   # judge deterministic metrics only (CI)
+//
+// ARMCI_BENCH_HANDICAP (a fraction, e.g. 0.2) inflates every time-valued
+// metric at collection — a test hook that synthesizes a slowdown to prove
+// the gate fails when performance regresses.
 package main
 
 import (
@@ -18,6 +30,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -40,8 +54,16 @@ func main() {
 		timeline = flag.String("timeline", "", "write a per-message CSV timeline of one sync to this file and exit")
 		faultsF  = flag.String("faults", "", "fault-injection plan, e.g. jitter=500us,spike=2ms@0.05,dup=0.02,loss=0.05@2,rto=200us@4ms,retry=6,crash=2@40,seed=7")
 		hist     = flag.Bool("hist", false, "print per-kind message latency histograms after the experiment")
+		baseline = flag.Bool("baseline", false, "collect a performance baseline and write BENCH_<n>.json instead of running an experiment")
+		compare  = flag.String("compare", "", "collect the current metrics and compare against this BENCH_*.json; exit 1 on regression")
+		quick    = flag.Bool("quick", false, "with -compare: judge only deterministic metrics (skip wall-clock ones)")
+		outPath  = flag.String("o", "", "with -baseline: output path (default the next free BENCH_<n>.json)")
 	)
 	flag.Parse()
+
+	if *baseline || *compare != "" {
+		os.Exit(runBaseline(*baseline, *compare, *quick, *outPath))
+	}
 
 	fk, err := parseFabric(*fabric)
 	if err != nil {
@@ -115,6 +137,104 @@ func main() {
 		fmt.Println()
 		fmt.Print(metrics.String())
 	}
+}
+
+// runBaseline handles the -baseline and -compare modes: collect the
+// current metrics (optionally handicapped via ARMCI_BENCH_HANDICAP),
+// then either write the snapshot or judge it against a committed one.
+func runBaseline(write bool, comparePath string, quick bool, outPath string) int {
+	var opts bench.BaselineOpts
+	if h := os.Getenv("ARMCI_BENCH_HANDICAP"); h != "" {
+		v, err := strconv.ParseFloat(h, 64)
+		if err != nil || v < 0 {
+			log.Printf("bad ARMCI_BENCH_HANDICAP %q: want a non-negative fraction", h)
+			return 2
+		}
+		opts.Handicap = v
+		fmt.Printf("handicap: inflating time metrics by %+.0f%% (test hook)\n", 100*v)
+	}
+	opts.Commit = gitCommit()
+
+	fmt.Println("collecting baseline metrics (figures, sweep, hot-path benches)...")
+	cur, err := bench.CollectBaseline(opts)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+
+	if comparePath != "" {
+		base, err := bench.ReadBaseline(comparePath)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		regs, missing := bench.CompareBaselines(base, cur, quick)
+		mode := "full"
+		if quick {
+			mode = "quick"
+		}
+		fmt.Printf("compared against %s (%s mode, commit %s)\n", comparePath, mode, orUnknown(base.Commit))
+		for _, name := range missing {
+			fmt.Printf("MISSING %s: tracked by the baseline but not reported by this build\n", name)
+		}
+		for _, r := range regs {
+			fmt.Printf("REGRESSION %s\n", r)
+		}
+		if len(regs) > 0 || len(missing) > 0 {
+			fmt.Printf("%d regressions, %d missing metrics\n", len(regs), len(missing))
+			return 1
+		}
+		fmt.Printf("all %d tracked metrics within tolerance\n", len(base.Metrics))
+		return 0
+	}
+
+	path := outPath
+	if path == "" {
+		path = nextBaselinePath()
+	}
+	if err := bench.WriteBaseline(cur, path); err != nil {
+		log.Print(err)
+		return 2
+	}
+	names := make([]string, 0, len(cur.Metrics))
+	for name := range cur.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := cur.Metrics[name]
+		fmt.Printf("  %-42s %12.4g %s\n", name, m.Value, m.Unit)
+	}
+	fmt.Printf("baseline (%d metrics, commit %s) written to %s\n", len(cur.Metrics), orUnknown(cur.Commit), path)
+	return 0
+}
+
+// nextBaselinePath returns the first free BENCH_<n>.json in the current
+// directory.
+func nextBaselinePath() string {
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path
+		}
+	}
+}
+
+// gitCommit best-effort resolves the working tree's revision for the
+// baseline metadata; missing git or a non-repo directory yields "".
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return s
 }
 
 // parseFaults parses the -faults plan (see armci.ParseFaults for the

@@ -7,10 +7,15 @@
 // violation prints a minimal reproducer tuple that re-runs the exact
 // failing schedule.
 //
+// Cases run on a bounded worker pool (-j, default GOMAXPROCS); each
+// case owns its kernel and seed, and results are emitted in case order,
+// so the output is byte-identical at any -j.
+//
 // Usage:
 //
 //	armci-check                              # sim fabric, all algorithms, both syncs, 64 seeds
 //	armci-check -seeds 256 -v                # deeper sweep, per-case progress
+//	armci-check -j 8                         # eight concurrent case workers
 //	armci-check -fabrics sim,chan,tcp        # add the concurrent fabrics
 //	armci-check -faults 'loss=0.15,retry=12;dup=0.2;spike=1ms@0.2'
 //	armci-check -mutations                   # oracle self-test: broken variants must be caught
@@ -19,8 +24,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"armci"
@@ -30,31 +37,41 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("armci-check: ")
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
 
+// run is main with its process surface factored out for tests: args are
+// the command-line flags, output goes to out, and the exit code is
+// returned instead of passed to os.Exit.
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("armci-check", flag.ExitOnError)
 	var (
-		fabricsF  = flag.String("fabrics", "sim", "comma-separated fabrics: sim, chan, tcp")
-		algsF     = flag.String("algs", "queue,hybrid,ticket,queue-nocas", "comma-separated lock algorithms (empty entry = no lock phase)")
-		syncsF    = flag.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
-		faultsF   = flag.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
-		procs     = flag.Int("procs", 6, "user processes")
-		ppn       = flag.Int("ppn", 2, "processes per node (ticket forces ppn=procs)")
-		seeds     = flag.Int64("seeds", 64, "number of schedule-shuffle seeds to sweep")
-		seedStart = flag.Int64("seed-start", 1, "first seed of the sweep (0 = FIFO baseline)")
-		iters     = flag.Int("iters", 0, "critical sections per rank (0 = default)")
-		rounds    = flag.Int("rounds", 0, "put+sync rounds (0 = default)")
-		preset    = flag.String("preset", "", "cost model: myrinet2000, low-latency, zero (empty = default)")
-		mutations = flag.Bool("mutations", false, "run the mutation self-test instead of the sweep: every deliberately broken variant must be detected")
-		verbose   = flag.Bool("v", false, "print one line per case")
+		fabricsF  = fs.String("fabrics", "sim", "comma-separated fabrics: sim, chan, tcp")
+		algsF     = fs.String("algs", "queue,hybrid,ticket,queue-nocas", "comma-separated lock algorithms (empty entry = no lock phase)")
+		syncsF    = fs.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
+		faultsF   = fs.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
+		procs     = fs.Int("procs", 6, "user processes")
+		ppn       = fs.Int("ppn", 2, "processes per node (ticket forces ppn=procs)")
+		seeds     = fs.Int64("seeds", 64, "number of schedule-shuffle seeds to sweep")
+		seedStart = fs.Int64("seed-start", 1, "first seed of the sweep (0 = FIFO baseline)")
+		iters     = fs.Int("iters", 0, "critical sections per rank (0 = default)")
+		rounds    = fs.Int("rounds", 0, "put+sync rounds (0 = default)")
+		preset    = fs.String("preset", "", "cost model: myrinet2000, low-latency, zero (empty = default)")
+		mutation  = fs.String("mutation", "", "run every case under this broken variant (replays a 'mutation=' reproducer)")
+		workers   = fs.Int("j", runtime.GOMAXPROCS(0), "concurrent case workers (output is identical at any -j)")
+		mutations = fs.Bool("mutations", false, "run the mutation self-test instead of the sweep: every deliberately broken variant must be detected")
+		verbose   = fs.Bool("v", false, "print one line per case")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	if *mutations {
-		os.Exit(runMutations(*seedStart, *seedStart+*seeds-1, *verbose))
+		return runMutations(out, *seedStart, *seedStart+*seeds-1, *verbose)
 	}
 
 	fabrics, err := parseFabrics(*fabricsF)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 2
 	}
 	cases := check.Matrix(fabrics, splitList(*algsF), splitList(*syncsF),
 		splitPlans(*faultsF), *procs, *ppn, *seedStart, *seedStart+*seeds-1)
@@ -62,45 +79,49 @@ func main() {
 		cases[i].Iters = *iters
 		cases[i].Rounds = *rounds
 		cases[i].Preset = armci.CostPreset(*preset)
+		cases[i].Mutation = *mutation
 	}
 
-	fmt.Printf("sweeping %d cases (%d seeds from %d)\n", len(cases), *seeds, *seedStart)
-	s := check.RunAll(cases, func(r check.Result) {
+	fmt.Fprintf(out, "sweeping %d cases (%d seeds from %d, %d workers)\n", len(cases), *seeds, *seedStart, *workers)
+	s := check.RunAllParallel(cases, *workers, func(r check.Result) {
 		switch {
+		case r.Panicked:
+			fmt.Fprintf(out, "PANIC %s: %v\n", r.Case.Reproducer(), r.Err)
 		case r.Err != nil:
-			fmt.Printf("ERROR %s: %v\n", r.Case.Reproducer(), r.Err)
+			fmt.Fprintf(out, "ERROR %s: %v\n", r.Case.Reproducer(), r.Err)
 		case len(r.Violations) > 0:
 			for _, v := range r.Violations {
-				fmt.Printf("FAIL  %s\n", v)
+				fmt.Fprintf(out, "FAIL  %s\n", v)
 			}
 		case *verbose:
-			fmt.Printf("ok    %s (%d events)\n", r.Case.Reproducer(), r.Events)
+			fmt.Fprintf(out, "ok    %s (%d events)\n", r.Case.Reproducer(), r.Events)
 		}
 	})
-	fmt.Printf("%d cases, %d protocol events, %d violations, %d errors\n",
-		s.Cases, s.Events, len(s.Violations), len(s.Errs))
-	if len(s.Violations) > 0 || len(s.Errs) > 0 {
-		os.Exit(1)
+	fmt.Fprintf(out, "%d cases, %d protocol events, %d violations, %d errors, %d panics\n",
+		s.Cases, s.Events, len(s.Violations), len(s.Errs), s.Panics)
+	if len(s.Violations) > 0 || len(s.Errs) > 0 || s.Panics > 0 {
+		return 1
 	}
+	return 0
 }
 
 // runMutations is the oracle self-test: sweep each deliberately broken
 // algorithm variant until an oracle catches it, and fail if any bug
 // survives the whole seed range — that would mean the oracles are blind
 // to a bug class they exist to detect.
-func runMutations(seedLo, seedHi int64, verbose bool) int {
+func runMutations(out io.Writer, seedLo, seedHi int64, verbose bool) int {
 	code := 0
 	for _, name := range check.Mutations() {
 		r, ok := check.DetectMutation(name, seedLo, seedHi)
 		if !ok {
-			fmt.Printf("BLIND %s: no seed in [%d,%d] exposed the bug\n", name, seedLo, seedHi)
+			fmt.Fprintf(out, "BLIND %s: no seed in [%d,%d] exposed the bug\n", name, seedLo, seedHi)
 			code = 1
 			continue
 		}
-		fmt.Printf("caught %s at seed %d: %s\n", name, r.Case.Seed, r.Violations[0])
+		fmt.Fprintf(out, "caught %s at seed %d: %s\n", name, r.Case.Seed, r.Violations[0])
 		if verbose {
 			for _, v := range r.Violations[1:] {
-				fmt.Printf("       also: %s\n", v)
+				fmt.Fprintf(out, "       also: %s\n", v)
 			}
 		}
 	}

@@ -1,0 +1,304 @@
+// Baseline mode: a machine-readable snapshot of the repo's performance
+// (BENCH_<n>.json) and the comparison gate that fails the build when a
+// tracked metric regresses past its tolerance. The snapshot mixes two
+// metric classes:
+//
+//   - deterministic metrics — simulated virtual times of the paper's
+//     figures, allocation counts of the pooled hot paths, the protocol
+//     event count of a fixed conformance sweep. These are exactly
+//     reproducible, carry the tight default tolerance, and are the only
+//     metrics a quick (CI) comparison judges.
+//   - noisy metrics — wall-clock ns/op of the hot-path benchmarks and
+//     the sweep's wall time. Machine-dependent; recorded for trend
+//     analysis and judged only in full mode, with a wide tolerance.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"armci"
+	"armci/internal/check"
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/pipeline"
+	"armci/internal/sim"
+	"armci/internal/trace"
+)
+
+// BaselineSchema is the BENCH_*.json schema version.
+const BaselineSchema = 1
+
+// Default tolerances: a deterministic metric fails the gate past 15%
+// (the repo's regression budget); a noisy one only past 60%, and only
+// in full mode. defaultAbs shields near-zero bases (0 allocs/op) from
+// meaningless relative math: the delta must also exceed it.
+const (
+	defaultTol = 0.15
+	noisyTol   = 0.60
+	defaultAbs = 0.75
+)
+
+// Metric is one tracked value in a baseline.
+type Metric struct {
+	// Value is the measurement (lower is better for every metric).
+	Value float64 `json:"value"`
+	// Unit is a display unit: "us", "ns/op", "allocs/op", "events",
+	// "ms".
+	Unit string `json:"unit"`
+	// Tol is the relative regression budget (0.15 = +15% fails).
+	Tol float64 `json:"tol"`
+	// Abs is the absolute slack: a regression must exceed both Tol
+	// relatively and Abs absolutely. Keeps 0-alloc budgets comparable.
+	Abs float64 `json:"abs"`
+	// Noisy marks wall-clock metrics, which only full comparisons judge.
+	Noisy bool `json:"noisy,omitempty"`
+}
+
+// Baseline is the BENCH_<n>.json document.
+type Baseline struct {
+	Schema  int               `json:"schema"`
+	Created string            `json:"created,omitempty"`
+	Commit  string            `json:"commit,omitempty"`
+	Go      string            `json:"go"`
+	Preset  string            `json:"preset"`
+	Metrics map[string]Metric `json:"metrics"`
+}
+
+// BaselineOpts configures a collection run.
+type BaselineOpts struct {
+	// Handicap inflates every time-valued metric by the given fraction
+	// (0.2 = +20%) after collection. Test hook: it synthesizes the
+	// slowdown the comparison gate exists to catch, proving the gate
+	// fails when performance regresses. Also reachable via the
+	// ARMCI_BENCH_HANDICAP environment variable in cmd/armci-bench.
+	Handicap float64
+	// Commit is recorded verbatim in the document (typically the git
+	// revision, resolved by the caller).
+	Commit string
+}
+
+// CollectBaseline measures every tracked metric and assembles the
+// document.
+func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
+	b := &Baseline{
+		Schema:  BaselineSchema,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Commit:  opts.Commit,
+		Go:      runtime.Version(),
+		Preset:  string(armci.PresetMyrinet2000),
+		Metrics: map[string]Metric{},
+	}
+	det := func(name string, v float64, unit string) {
+		b.Metrics[name] = Metric{Value: v, Unit: unit, Tol: defaultTol, Abs: defaultAbs}
+	}
+	noisy := func(name string, v float64, unit string) {
+		b.Metrics[name] = Metric{Value: v, Unit: unit, Tol: noisyTol, Abs: defaultAbs, Noisy: true}
+	}
+
+	// Figure 7: GA_Sync virtual time, old and new, per cluster size.
+	f7, err := Fig7(Fig7Opts{ProcCounts: []int{2, 4, 8, 16}})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline fig7: %w", err)
+	}
+	for _, row := range f7.Rows {
+		det(fmt.Sprintf("fig7/old/p%d", row.Procs), row.OldUS, "us")
+		det(fmt.Sprintf("fig7/new/p%d", row.Procs), row.NewUS, "us")
+	}
+
+	// Figure 8: lock request+release virtual time, hybrid and queue.
+	lk, err := Lock(LockOpts{ProcCounts: []int{2, 4, 8}, Iters: 100})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline lock: %w", err)
+	}
+	for _, row := range lk.Rows {
+		det(fmt.Sprintf("fig8/hybrid/p%d", row.Procs), row.Current.TotalUS, "us")
+		det(fmt.Sprintf("fig8/queue/p%d", row.Procs), row.New.TotalUS, "us")
+	}
+
+	// Conformance sweep: a fixed 128-case matrix. The protocol event
+	// count is deterministic; the wall time is the throughput trend.
+	cases := check.Matrix([]armci.FabricKind{armci.FabricSim},
+		[]string{"queue", "hybrid", "ticket", "queue-nocas"},
+		[]string{"barrier", "sync-old"}, nil, 6, 2, 1, 16)
+	start := time.Now()
+	sweep := check.RunAllParallel(cases, 0, nil)
+	wall := time.Since(start)
+	if len(sweep.Violations) > 0 || len(sweep.Errs) > 0 || sweep.Panics > 0 {
+		return nil, fmt.Errorf("bench: baseline sweep not clean: %d violations, %d errors, %d panics",
+			len(sweep.Violations), len(sweep.Errs), sweep.Panics)
+	}
+	det("explore/cases", float64(sweep.Cases), "cases")
+	det("explore/events", float64(sweep.Events), "events")
+	noisy("explore/wall", float64(wall)/float64(time.Millisecond), "ms")
+
+	// Hot-path micro-benchmarks: ns/op is noisy, allocs/op is exact.
+	kernel := testing.Benchmark(benchKernelSchedule)
+	noisy("hotpath/kernel_schedule/ns_op", float64(kernel.NsPerOp()), "ns/op")
+	det("hotpath/kernel_schedule/allocs_op", float64(kernel.AllocsPerOp()), "allocs/op")
+
+	pipe := testing.Benchmark(benchPipelineSendRecv)
+	noisy("hotpath/pipeline_sendrecv/ns_op", float64(pipe.NsPerOp()), "ns/op")
+	det("hotpath/pipeline_sendrecv/allocs_op", float64(pipe.AllocsPerOp()), "allocs/op")
+
+	cb := testing.Benchmark(benchExploreCase)
+	noisy("hotpath/explore_case/ns_op", float64(cb.NsPerOp()), "ns/op")
+
+	if opts.Handicap > 0 {
+		h := 1 + opts.Handicap
+		for name, m := range b.Metrics {
+			switch m.Unit {
+			case "us", "ms", "ns/op":
+				m.Value *= h
+				b.Metrics[name] = m
+			}
+		}
+	}
+	return b, nil
+}
+
+// benchKernelSchedule mirrors sim.BenchmarkKernelSchedule: one Sleep per
+// iteration through the pooled event heap.
+func benchKernelSchedule(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New()
+	k.Spawn("sleeper", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchPipelineSendRecv mirrors pipeline.BenchmarkPipelineSendRecv: one
+// message through SendTo plus Inbound.
+func benchPipelineSendRecv(b *testing.B) {
+	b.ReportAllocs()
+	p := pipeline.New(pipeline.Config{Params: model.Myrinet2000(), ChargeModel: true, Stats: trace.New()})
+	src, dst := msg.User(0), msg.User(1)
+	var now time.Duration
+	clock := func() time.Duration { return now }
+	m := &msg.Message{Kind: msg.KindSend}
+	emit := func(d pipeline.Delivery) {
+		if !p.Inbound(d.Msg, d.At) {
+			b.Fatal("delivery suppressed with no faults configured")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += time.Microsecond
+		if err := p.SendTo(src, dst, m, clock, nil, emit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExploreCase mirrors check.BenchmarkExploreCase: one full
+// conformance case per iteration.
+func benchExploreCase(b *testing.B) {
+	c := check.Case{Fabric: armci.FabricSim, Alg: "queue", Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if r := check.RunCase(c); !r.Passed() {
+			b.Fatalf("baseline case failed: %+v", r)
+		}
+	}
+}
+
+// Regression is one metric that moved past its budget.
+type Regression struct {
+	Name string
+	// Base and Cur are the baseline and current values.
+	Base, Cur float64
+	Unit      string
+	// Rel is Cur/Base - 1 (meaningless when Base is 0; see Abs).
+	Rel float64
+}
+
+func (r Regression) String() string {
+	if r.Base == 0 {
+		return fmt.Sprintf("%s: %.3g -> %.3g %s", r.Name, r.Base, r.Cur, r.Unit)
+	}
+	return fmt.Sprintf("%s: %.4g -> %.4g %s (%+.1f%%)", r.Name, r.Base, r.Cur, r.Unit, 100*r.Rel)
+}
+
+// CompareBaselines judges current against base: every metric tracked by
+// base must exist in current and stay within its budget. quick skips
+// noisy metrics. missing lists baseline metrics current no longer
+// reports — also a gate failure (a silently dropped metric is how
+// regressions go unwatched).
+func CompareBaselines(base, current *Baseline, quick bool) (regressions []Regression, missing []string) {
+	names := make([]string, 0, len(base.Metrics))
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bm := base.Metrics[name]
+		if quick && bm.Noisy {
+			continue
+		}
+		cm, ok := current.Metrics[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		tol, abs := bm.Tol, bm.Abs
+		if tol <= 0 {
+			tol = defaultTol
+		}
+		if abs <= 0 {
+			abs = defaultAbs
+		}
+		delta := cm.Value - bm.Value
+		if delta <= abs {
+			continue
+		}
+		if bm.Value > 0 && delta <= tol*bm.Value {
+			continue
+		}
+		rel := 0.0
+		if bm.Value > 0 {
+			rel = delta / bm.Value
+		}
+		regressions = append(regressions, Regression{
+			Name: name, Base: bm.Value, Cur: cm.Value, Unit: bm.Unit, Rel: rel,
+		})
+	}
+	return regressions, missing
+}
+
+// WriteBaseline marshals the document to path.
+func WriteBaseline(b *Baseline, path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a BENCH_*.json document.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("bench: %s has schema %d, this build understands %d", path, b.Schema, BaselineSchema)
+	}
+	if len(b.Metrics) == 0 {
+		return nil, fmt.Errorf("bench: %s tracks no metrics", path)
+	}
+	return &b, nil
+}

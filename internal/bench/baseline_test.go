@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBaselineRoundTripAndGate is the end-to-end contract of the
+// regression gate: a collected baseline survives the JSON round trip,
+// compares clean against itself, and a synthetic 20% slowdown injected
+// through the Handicap test hook trips the gate — proving the gate
+// would catch a real regression of the same size.
+func TestBaselineRoundTripAndGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline collection skipped in -short")
+	}
+	base, err := CollectBaseline(BaselineOpts{Commit: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig7/old/p16", "fig7/new/p16", "fig8/hybrid/p8", "fig8/queue/p8",
+		"explore/cases", "explore/events", "explore/wall",
+		"hotpath/kernel_schedule/ns_op", "hotpath/kernel_schedule/allocs_op",
+		"hotpath/pipeline_sendrecv/ns_op", "hotpath/pipeline_sendrecv/allocs_op",
+		"hotpath/explore_case/ns_op",
+	} {
+		if _, ok := base.Metrics[name]; !ok {
+			t.Errorf("baseline is missing tracked metric %q", name)
+		}
+	}
+	if got := base.Metrics["hotpath/kernel_schedule/allocs_op"].Value; got > 0 {
+		t.Errorf("kernel schedule allocates %v allocs/op at collection time, want 0", got)
+	}
+	if got := base.Metrics["hotpath/pipeline_sendrecv/allocs_op"].Value; got > 0 {
+		t.Errorf("pipeline send/recv allocates %v allocs/op at collection time, want 0", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteBaseline(base, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-comparison must be clean: deterministic metrics are exactly
+	// equal, and even the noisy ones match because both sides are the
+	// same document.
+	if regs, missing := CompareBaselines(loaded, base, false); len(regs) > 0 || len(missing) > 0 {
+		t.Fatalf("baseline regresses against itself: %v, missing %v", regs, missing)
+	}
+
+	// The synthetic slowdown: +20% on every time metric exceeds the 15%
+	// deterministic budget, so the quick gate must fail on the figure
+	// times while the alloc and event counts stay clean.
+	slow, err := CollectBaseline(BaselineOpts{Handicap: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, _ := CompareBaselines(loaded, slow, true)
+	if len(regs) == 0 {
+		t.Fatal("a 20% handicap produced no regressions: the gate is blind")
+	}
+	for _, r := range regs {
+		if !strings.Contains(r.Name, "fig7/") && !strings.Contains(r.Name, "fig8/") {
+			t.Errorf("handicap tripped unexpected metric %s", r)
+		}
+	}
+}
+
+// TestCompareBaselinesJudgment covers the gate's decision table without
+// any collection: tolerance edges, the absolute slack on zero bases,
+// noisy metrics under quick vs full, and missing-metric detection.
+func TestCompareBaselinesJudgment(t *testing.T) {
+	mk := func(metrics map[string]Metric) *Baseline {
+		return &Baseline{Schema: BaselineSchema, Metrics: metrics}
+	}
+	base := mk(map[string]Metric{
+		"det":       {Value: 100, Unit: "us", Tol: 0.15, Abs: 0.75},
+		"zero":      {Value: 0, Unit: "allocs/op", Tol: 0.15, Abs: 0.75},
+		"wallclock": {Value: 100, Unit: "ns/op", Tol: 0.60, Abs: 0.75, Noisy: true},
+	})
+
+	cur := mk(map[string]Metric{
+		"det":       {Value: 114}, // +14%: inside the 15% budget
+		"zero":      {Value: 0.5}, // below the absolute slack
+		"wallclock": {Value: 150}, // +50%: inside the noisy budget
+	})
+	if regs, missing := CompareBaselines(base, cur, false); len(regs) > 0 || len(missing) > 0 {
+		t.Fatalf("within-budget run flagged: %v, missing %v", regs, missing)
+	}
+
+	cur = mk(map[string]Metric{
+		"det":       {Value: 120}, // +20%: regression
+		"zero":      {Value: 2},   // past the absolute slack on a 0 base
+		"wallclock": {Value: 170}, // +70%: noisy regression
+	})
+	regs, _ := CompareBaselines(base, cur, false)
+	if len(regs) != 3 {
+		t.Fatalf("full comparison found %d regressions, want 3: %v", len(regs), regs)
+	}
+	if regs, _ := CompareBaselines(base, cur, true); len(regs) != 2 {
+		t.Fatalf("quick comparison found %d regressions, want 2 (noisy skipped): %v", len(regs), regs)
+	}
+
+	cur = mk(map[string]Metric{"det": {Value: 100}})
+	if _, missing := CompareBaselines(base, cur, true); len(missing) != 1 || missing[0] != "zero" {
+		t.Fatalf("dropped metric not reported: %v", missing)
+	}
+}
+
+// TestReadBaselineRejectsBadDocuments covers the loader's validation.
+func TestReadBaselineRejectsBadDocuments(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if _, err := ReadBaseline(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := ReadBaseline(write("garbage.json", "{")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadBaseline(write("schema.json", `{"schema":99,"metrics":{"x":{"value":1}}}`)); err == nil {
+		t.Error("future schema accepted")
+	}
+	if _, err := ReadBaseline(write("empty.json", `{"schema":1,"metrics":{}}`)); err == nil {
+		t.Error("metric-free document accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package check
+
+import (
+	"testing"
+
+	"armci"
+)
+
+// BenchmarkExploreCase measures one full conformance case — fabric
+// setup, the two-phase workload, trace capture, every oracle — which is
+// the unit the sweep repeats thousands of times. Allocations here are
+// dominated by per-case setup (kernel, space, trace), bounded and
+// independent of the event count thanks to the pooled hot paths.
+func BenchmarkExploreCase(b *testing.B) {
+	b.ReportAllocs()
+	c := Case{Fabric: armci.FabricSim, Alg: "queue", Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if r := RunCase(c); !r.Passed() {
+			b.Fatalf("baseline case failed: %+v", r)
+		}
+	}
+}

@@ -145,6 +145,9 @@ type Result struct {
 	Events int
 	// Err is a setup error (bad case), not an oracle finding.
 	Err error
+	// Panicked reports that the case's worker panicked mid-run. Err
+	// carries the recovered panic value, attributed to the reproducer.
+	Panicked bool
 }
 
 // Passed reports whether the case ran and every oracle held.
@@ -185,17 +188,22 @@ func RunCase(c Case) Result {
 	if faults.Enabled() && faults.Seed == 0 {
 		faults.Seed = c.Seed
 	}
+	spec := mutationSpecs[c.Mutation]
+	if spec.harnessPanic {
+		panic(fmt.Sprintf("check: deliberate harness panic for case %s", c.Reproducer()))
+	}
 	col := &collector{}
 	rep, runErr := armci.Run(armci.Options{
-		Procs:        c.Procs,
-		ProcsPerNode: c.PPN,
-		Fabric:       c.Fabric,
-		Preset:       c.Preset,
-		NumMutexes:   1,
-		ScheduleSeed: c.Seed,
-		CaptureTrace: true,
-		Faults:       faults,
-		OpDeadline:   c.OpDeadline,
+		Procs:              c.Procs,
+		ProcsPerNode:       c.PPN,
+		Fabric:             c.Fabric,
+		Preset:             c.Preset,
+		NumMutexes:         1,
+		ScheduleSeed:       c.Seed,
+		SimEventPoolHazard: spec.simHazard,
+		CaptureTrace:       true,
+		Faults:             faults,
+		OpDeadline:         c.OpDeadline,
 	}, workloadBody(c, col))
 
 	r := Result{Case: c}
@@ -276,22 +284,14 @@ type SweepResult struct {
 	Events     int
 	Violations []Violation
 	Errs       []error
+	// Panics counts cases whose worker panicked (each also contributes
+	// its recovered error to Errs). A sweep with Panics > 0 must not be
+	// reported as clean.
+	Panics int
 }
 
-// RunAll executes every case, invoking onResult (may be nil) after each.
+// RunAll executes every case sequentially, invoking onResult (may be
+// nil) after each. It is RunAllParallel with one worker.
 func RunAll(cases []Case, onResult func(Result)) SweepResult {
-	var s SweepResult
-	for _, c := range cases {
-		r := RunCase(c)
-		s.Cases++
-		s.Events += r.Events
-		s.Violations = append(s.Violations, r.Violations...)
-		if r.Err != nil {
-			s.Errs = append(s.Errs, r.Err)
-		}
-		if onResult != nil {
-			onResult(r)
-		}
-	}
-	return s
+	return RunAllParallel(cases, 1, onResult)
 }

@@ -108,6 +108,7 @@ func TestMutationsTargetExpectedOracle(t *testing.T) {
 		MutTicketOffByOne:    "mutual-exclusion",
 		MutBarrierSkipStage2: "fence",
 		MutSyncOldSkipFence:  "fence",
+		MutEventPoolRecycle:  "liveness",
 	}
 	for name, oracle := range want {
 		found := false

@@ -43,6 +43,23 @@ const (
 	// MutSyncOldSkipFence: a GA_Sync that performs only the MPI barrier,
 	// skipping AllFence entirely. Detected by the fence oracle.
 	MutSyncOldSkipFence = "sync-old-skip-fence"
+	// MutEventPoolRecycle: the algorithms are untouched — the bug is in
+	// the harness substrate itself. The simulated kernel's event pool
+	// recycles an event that is still sitting in the pending heap
+	// (sim.Kernel.SetEventPoolHazard), so its callback is overwritten and
+	// the original firing is lost or replayed. Lost wakeups strand
+	// waiters; detected as a liveness violation (deadlock/deadline) or,
+	// when a delivery callback is the casualty, by the delivery/state
+	// oracles. Proves the oracles catch pooling-induced corruption, not
+	// just protocol bugs.
+	MutEventPoolRecycle = "event-pool-recycle"
+	// MutPanicCase: not an algorithm bug — the workload panics outright
+	// mid-case, simulating a harness defect. It exists to test that the
+	// sweep runner recovers per case, attributes the panic to its
+	// reproducer tuple, and exits non-zero instead of reporting a clean
+	// sweep. Excluded from Mutations(): DetectMutation proves oracles,
+	// not the runner.
+	MutPanicCase = "panic-case"
 )
 
 // mutationSpec describes one broken variant: which real algorithm the
@@ -54,6 +71,11 @@ type mutationSpec struct {
 	faults string // fault plan that widens the bug's race window
 	lock   func(p *armci.Proc) armci.Mutex
 	syncFn func(p *armci.Proc, epoch *int) func()
+	// simHazard arms the simulated kernel's event-pool bug instead of
+	// mutating an algorithm.
+	simHazard bool
+	// harnessPanic makes RunCase panic mid-case (runner-recovery test).
+	harnessPanic bool
 }
 
 var mutationSpecs = map[string]mutationSpec{
@@ -63,11 +85,14 @@ var mutationSpecs = map[string]mutationSpec{
 		lock: func(p *armci.Proc) armci.Mutex { return &brokenTicket{p: p, idx: 0} }},
 	MutBarrierSkipStage2: {alg: "queue", sync: "barrier", faults: "spike=1ms@0.2", syncFn: brokenBarrier},
 	MutSyncOldSkipFence:  {alg: "queue", sync: "sync-old", syncFn: brokenSyncOld},
+	MutEventPoolRecycle:  {alg: "queue", sync: "barrier", simHazard: true},
+	MutPanicCase:         {alg: "queue", sync: "barrier", harnessPanic: true},
 }
 
 // Mutations returns the broken variant names, in a fixed order.
 func Mutations() []string {
-	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2, MutSyncOldSkipFence}
+	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2,
+		MutSyncOldSkipFence, MutEventPoolRecycle}
 }
 
 // MutationCase builds the sweep template of one mutation at one seed.

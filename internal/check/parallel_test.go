@@ -1,0 +1,102 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"armci"
+)
+
+// renderSweep runs the cases at the given worker count and renders every
+// per-case result plus the aggregate into one string — the exact shape a
+// CLI consumer observes (result order, violation order, counters).
+func renderSweep(t *testing.T, cases []Case, workers int) string {
+	t.Helper()
+	var b strings.Builder
+	s := RunAllParallel(cases, workers, func(r Result) {
+		fmt.Fprintf(&b, "case %s events=%d err=%v panicked=%v\n",
+			r.Case.Reproducer(), r.Events, r.Err, r.Panicked)
+		for _, v := range r.Violations {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+	})
+	fmt.Fprintf(&b, "sweep cases=%d events=%d violations=%d errs=%d panics=%d\n",
+		s.Cases, s.Events, len(s.Violations), len(s.Errs), s.Panics)
+	for _, v := range s.Violations {
+		fmt.Fprintf(&b, "agg %s\n", v)
+	}
+	return b.String()
+}
+
+// TestParallelSweepMatchesSequential is the determinism contract of the
+// parallel runner: over the same short matrix the short sweep test uses,
+// -j 8 and -j 1 must produce byte-identical per-case results, result
+// ordering and aggregate (violations in seed order), because each case
+// owns its kernel and seed and the emitter reorders completions.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	cases := Matrix(
+		[]armci.FabricKind{armci.FabricSim},
+		sweepAlgs, sweepSyncs, nil,
+		6, 2, 0, 31,
+	)
+	if len(cases) != 256 {
+		t.Fatalf("short matrix has %d cases, want 256", len(cases))
+	}
+	// Salt the matrix with mutated cases so both orderings carry real
+	// violations, not just clean passes.
+	for seed := int64(1); seed <= 4; seed++ {
+		cases = append(cases, MutationCase(MutQueueSkipLinkWait, seed))
+	}
+	seq := renderSweep(t, cases, 1)
+	par := renderSweep(t, cases, 8)
+	if seq != par {
+		t.Fatalf("parallel sweep output diverges from sequential:\n-- j=1 --\n%s\n-- j=8 --\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "violation") {
+		t.Fatal("salted matrix produced no violations; determinism check is vacuous")
+	}
+}
+
+// TestParallelSweepRecoversPanics proves a worker panic neither kills
+// the sweep nor vanishes: the panicking case is attributed to its
+// reproducer tuple, counted in Panics, and surfaced through Errs, while
+// every other case still runs.
+func TestParallelSweepRecoversPanics(t *testing.T) {
+	cases := []Case{
+		{Fabric: armci.FabricSim, Alg: "queue", Seed: 1},
+		MutationCase(MutPanicCase, 2),
+		{Fabric: armci.FabricSim, Alg: "queue", Seed: 3},
+	}
+	for _, workers := range []int{1, 4} {
+		s := RunAllParallel(cases, workers, nil)
+		if s.Cases != 3 {
+			t.Fatalf("j=%d: sweep ran %d of 3 cases", workers, s.Cases)
+		}
+		if s.Panics != 1 {
+			t.Fatalf("j=%d: sweep counted %d panics, want 1", workers, s.Panics)
+		}
+		if len(s.Errs) != 1 {
+			t.Fatalf("j=%d: sweep surfaced %d errors, want 1: %v", workers, len(s.Errs), s.Errs)
+		}
+		msg := s.Errs[0].Error()
+		if !strings.Contains(msg, "panicked") || !strings.Contains(msg, "mutation=panic-case") {
+			t.Fatalf("j=%d: panic error lacks reproducer attribution: %v", workers, msg)
+		}
+	}
+}
+
+// TestParallelSweepWorkerClamp covers the edge worker counts: zero
+// (defaults to GOMAXPROCS), more workers than cases, and an empty case
+// list.
+func TestParallelSweepWorkerClamp(t *testing.T) {
+	cases := []Case{{Fabric: armci.FabricSim, Alg: "queue", Seed: 1}}
+	for _, workers := range []int{0, 16} {
+		if s := RunAllParallel(cases, workers, nil); s.Cases != 1 || len(s.Violations) != 0 {
+			t.Fatalf("workers=%d: cases=%d violations=%v", workers, s.Cases, s.Violations)
+		}
+	}
+	if s := RunAllParallel(nil, 4, nil); s.Cases != 0 {
+		t.Fatalf("empty sweep ran %d cases", s.Cases)
+	}
+}

@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/trace"
+)
+
+// BenchmarkPipelineSendRecv measures one message through the full
+// pipeline hot path — SendTo (identity, cost, fault, FIFO stages) plus
+// Inbound (dedup, arrival stamping, trace, metrics) — the per-message
+// cost every fabric pays. With pairState consolidation and the
+// emit-based SendTo this is allocation-free in steady state.
+func BenchmarkPipelineSendRecv(b *testing.B) {
+	b.ReportAllocs()
+	p := New(Config{Params: model.Myrinet2000(), ChargeModel: true, Stats: trace.New()})
+	a, dst := msg.User(0), msg.User(1)
+	clk := &vclock{}
+	m := &msg.Message{Kind: msg.KindSend}
+	emit := func(d Delivery) {
+		if !p.Inbound(d.Msg, d.At) {
+			b.Fatal("delivery suppressed with no faults configured")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.t += time.Microsecond
+		if err := p.SendTo(a, dst, m, clk.now, nil, emit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHotPathAllocBudget pins the pooled send/recv path to zero
+// allocations per message once the per-pair state and trace counters
+// are warm. A regression back to per-send map churn or delivery-slice
+// allocation fails this test directly rather than waiting for someone
+// to notice benchmark drift.
+func TestHotPathAllocBudget(t *testing.T) {
+	p := New(Config{Params: model.Myrinet2000(), ChargeModel: true, Stats: trace.New()})
+	a, dst := msg.User(0), msg.User(1)
+	clk := &vclock{}
+	m := &msg.Message{Kind: msg.KindSend}
+	var sendErr error
+	suppressed := false
+	emit := func(d Delivery) {
+		if !p.Inbound(d.Msg, d.At) {
+			suppressed = true
+		}
+	}
+	send := func() {
+		clk.t += time.Microsecond
+		if err := p.SendTo(a, dst, m, clk.now, nil, emit); err != nil {
+			sendErr = err
+		}
+	}
+	send() // warm the pair state and trace counter entries
+	if avg := testing.AllocsPerRun(200, send); avg > 0 {
+		t.Errorf("warm send/recv path allocates %.2f allocs/msg, budget 0", avg)
+	}
+	if sendErr != nil {
+		t.Fatal(sendErr)
+	}
+	if suppressed {
+		t.Fatal("delivery suppressed with no faults configured")
+	}
+}

@@ -450,30 +450,45 @@ type Delivery struct {
 	Dup bool
 }
 
+// pairState is the per-directed-pipe sequencing state, consolidated into
+// one struct so the send hot path performs a single map lookup instead
+// of four and reuses the same cell for every message on the pipe.
+type pairState struct {
+	fifo time.Duration // last stamped arrival
+	seq  uint64        // last assigned sequence number
+	seen uint64        // last admitted sequence number (receive side)
+	dups int           // duplicates injected
+}
+
 // Pipeline is the shared send/receive path of one fabric instance. All
 // methods are safe for concurrent use.
 type Pipeline struct {
 	cfg Config
 
 	mu           sync.Mutex
-	fifo         map[Pair]time.Duration // last stamped arrival per pipe
-	seq          map[Pair]uint64        // last assigned sequence number per pipe
-	seen         map[Pair]uint64        // last admitted sequence number per pipe
-	dups         map[Pair]int           // duplicates injected per pipe
-	sends        map[msg.Addr]uint64    // total sends per source (crash fault)
-	crashCounted bool                   // the crash was counted in metrics
+	pairs        map[Pair]*pairState // sequencing/FIFO/dedup state per pipe
+	sends        map[msg.Addr]uint64 // total sends per source (crash fault)
+	crashCounted bool                // the crash was counted in metrics
 }
 
 // New builds a pipeline for one fabric instance.
 func New(cfg Config) *Pipeline {
 	return &Pipeline{
 		cfg:   cfg,
-		fifo:  make(map[Pair]time.Duration),
-		seq:   make(map[Pair]uint64),
-		seen:  make(map[Pair]uint64),
-		dups:  make(map[Pair]int),
+		pairs: make(map[Pair]*pairState),
 		sends: make(map[msg.Addr]uint64),
 	}
+}
+
+// pairLocked returns the sequencing state of one directed pipe, creating
+// it on first use. Callers hold p.mu.
+func (p *Pipeline) pairLocked(pr Pair) *pairState {
+	ps := p.pairs[pr]
+	if ps == nil {
+		ps = &pairState{}
+		p.pairs[pr] = ps
+	}
+	return ps
 }
 
 // Faults returns the active fault plan.
@@ -494,6 +509,20 @@ func (p *Pipeline) Faults() Faults { return p.cfg.Faults }
 // means no delivery was produced; the fabric must abort the failing
 // actor with it rather than hang the destination.
 func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Duration, charge func(time.Duration)) ([]Delivery, error) {
+	var ds []Delivery
+	if err := p.SendTo(src, dst, m, clock, charge, func(d Delivery) { ds = append(ds, d) }); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// SendTo is the allocation-free form of Send: instead of returning a
+// delivery slice it invokes emit once per delivery (the original first,
+// then any injected duplicate), in arrival order. The fabrics' hot paths
+// call this directly; with no fault injected the whole send performs
+// zero heap allocations. emit is called outside the pipeline lock, so it
+// may take fabric locks or schedule kernel events freely.
+func (p *Pipeline) SendTo(src, dst msg.Addr, m *msg.Message, clock func() time.Duration, charge func(time.Duration), emit func(Delivery)) error {
 	if p.cfg.ChargeModel && charge != nil {
 		charge(p.cfg.Params.SendOverhead)
 	}
@@ -503,11 +532,11 @@ func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Dur
 	if err := p.crashCheckLocked(src, m); err != nil {
 		p.mu.Unlock()
 		p.cfg.Metrics.countCrash(err.crashCounted)
-		return nil, err.FaultError
+		return err.FaultError
 	}
-	pair := Pair{src, dst}
-	p.seq[pair]++
-	seq := p.seq[pair]
+	ps := p.pairLocked(Pair{src, dst})
+	ps.seq++
+	seq := ps.seq
 	m.Src, m.Dst = src, dst
 	m.Seq, m.Sent = seq, now
 	m.Dup, m.FaultDelay = false, 0
@@ -517,7 +546,7 @@ func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Dur
 		p.mu.Unlock()
 		rank, server := attrRank(src, dst)
 		p.cfg.Metrics.countRetryExhausted(drops, drops-1)
-		return nil, &FaultError{Rank: rank, Server: server, Op: m.Kind.String(), Kind: FaultRetryExhausted}
+		return &FaultError{Rank: rank, Server: server, Op: m.Kind.String(), Kind: FaultRetryExhausted}
 	}
 
 	var wire time.Duration
@@ -529,18 +558,16 @@ func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Dur
 	jittered := extra > 0 && p.cfg.Faults.Jitter > 0
 	extra += retransDelay
 	m.FaultDelay = extra
-	at := p.arrivalLocked(pair, now, wire+extra)
+	at := arrivalLocked(ps, now, wire+extra)
 	m.Arrival = at
-	deliveries := []Delivery{{Msg: m, At: at}}
 
 	var dup *msg.Message
-	if p.cfg.Faults.dup(src, dst, seq) && p.dups[pair] < p.cfg.Faults.maxDupsPerPair() {
-		p.dups[pair]++
+	if p.cfg.Faults.dup(src, dst, seq) && ps.dups < p.cfg.Faults.maxDupsPerPair() {
+		ps.dups++
 		c := *m // shallow copy; payload is read-only in transit
 		c.Dup = true
-		c.Arrival = p.arrivalLocked(pair, now, wire+extra+p.cfg.Faults.dupDelay())
+		c.Arrival = arrivalLocked(ps, now, wire+extra+p.cfg.Faults.dupDelay())
 		dup = &c
-		deliveries = append(deliveries, Delivery{Msg: dup, At: c.Arrival, Dup: true})
 	}
 	p.mu.Unlock()
 
@@ -549,7 +576,11 @@ func (p *Pipeline) Send(src, dst msg.Addr, m *msg.Message, clock func() time.Dur
 		p.cfg.Stats.RecordSend(dup)
 	}
 	p.cfg.Metrics.countSend(jittered, spiked, dup != nil, drops)
-	return deliveries, nil
+	emit(Delivery{Msg: m, At: at})
+	if dup != nil {
+		emit(Delivery{Msg: dup, At: dup.Arrival, Dup: true})
+	}
+	return nil
 }
 
 // crashError pairs the fault with whether this call was the first to
@@ -583,12 +614,12 @@ func (p *Pipeline) crashCheckLocked(src msg.Addr, m *msg.Message) *crashError {
 // the given wire time, keeping arrivals monotonic per pipe: a later
 // message never arrives before an earlier one, even if it is smaller or
 // drew less jitter. Callers hold p.mu.
-func (p *Pipeline) arrivalLocked(pair Pair, now, wire time.Duration) time.Duration {
+func arrivalLocked(ps *pairState, now, wire time.Duration) time.Duration {
 	at := now + wire
-	if prev := p.fifo[pair]; at < prev {
-		at = prev
+	if at < ps.fifo {
+		at = ps.fifo
 	}
-	p.fifo[pair] = at
+	ps.fifo = at
 	return at
 }
 
@@ -601,14 +632,14 @@ func (p *Pipeline) arrivalLocked(pair Pair, now, wire time.Duration) time.Durati
 // observed by the metrics stage.
 func (p *Pipeline) Inbound(m *msg.Message, now time.Duration) bool {
 	if m.Seq != 0 {
-		pair := Pair{m.Src, m.Dst}
 		p.mu.Lock()
-		if m.Seq <= p.seen[pair] {
+		ps := p.pairLocked(Pair{m.Src, m.Dst})
+		if m.Seq <= ps.seen {
 			p.mu.Unlock()
 			p.cfg.Metrics.countDupSuppressed()
 			return false
 		}
-		p.seen[pair] = m.Seq
+		ps.seen = m.Seq
 		p.mu.Unlock()
 	}
 	if m.Arrival < now {

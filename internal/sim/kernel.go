@@ -16,11 +16,11 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -49,12 +49,20 @@ type Kernel struct {
 	// given seed: a cheap way to explore alternative interleavings.
 	shuffle *rand.Rand
 
+	// hazard enables the deliberately broken event-recycling scheme used
+	// by the conformance harness's mutation self-test (see
+	// SetEventPoolHazard). Hazard kernels never touch the shared event
+	// pool, so their corruption cannot leak into healthy kernels.
+	hazard      bool
+	hazardStash *event // still-scheduled event queued for unsafe reuse
+	hazardCount int
+
 	failure error // first panic propagated out of a process
 }
 
 // New returns an empty kernel at virtual time zero.
 func New() *Kernel {
-	return &Kernel{baton: make(chan *Proc)}
+	return &Kernel{baton: make(chan *Proc), events: make(eventHeap, 0, initialHeapCap)}
 }
 
 // Now returns the current virtual time.
@@ -76,19 +84,70 @@ type event struct {
 	fn  func()
 }
 
+// initialHeapCap pre-sizes a kernel's event heap so steady-state
+// scheduling never regrows the slice for typical cluster sizes.
+const initialHeapCap = 128
+
+// eventPool recycles event structs across kernels: the scheduling hot
+// path allocates nothing once the pool is warm. Events are returned with
+// fn cleared so the pool never pins a dead closure. The pop order of the
+// heap is a strict total order on (at, seq), so pooling cannot perturb
+// determinism.
+var eventPool = sync.Pool{New: func() any { return new(event) }}
+
+// eventHeap is a hand-rolled binary min-heap on (at, seq). It replaces
+// container/heap so pushes and pops stay free of the interface{} boxing
+// and indirect calls of the generic implementation — this is the hottest
+// structure in the simulator.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() *event  { return h[0] }
+
+func (h *eventHeap) push(e *event) {
+	*h = append(*h, e)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+}
+
+func (h *eventHeap) pop() *event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = nil // release the reference so pooled events are not pinned
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < n && s.less(l, next) {
+			next = l
+		}
+		if r < n && s.less(r, next) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		s[i], s[next] = s[next], s[i]
+		i = next
+	}
+	return top
+}
+
+func (h eventHeap) peek() *event { return h[0] }
 
 // At schedules fn to run at absolute virtual time at (clamped to now).
 // It may be called from process context or from another event callback.
@@ -97,8 +156,59 @@ func (k *Kernel) At(at time.Duration, fn func()) {
 		at = k.now
 	}
 	k.eventSeq++
-	heap.Push(&k.events, &event{at: at, seq: k.eventSeq, fn: fn})
+	e := k.getEvent()
+	e.at, e.seq, e.fn = at, k.eventSeq, fn
+	k.events.push(e)
+	if k.hazard {
+		k.hazardCount++
+		if k.hazardCount%hazardEvery == 0 {
+			// BUG (deliberate): queue the event for reuse while it is
+			// still sitting in the heap. The next At overwrites its
+			// fields in place, losing this callback and double-firing
+			// the new one.
+			k.hazardStash = e
+		}
+	}
 }
+
+// getEvent takes an event struct for scheduling. Healthy kernels draw
+// from the shared pool; hazard kernels deterministically reuse a
+// still-scheduled event instead (and never touch the shared pool, so the
+// corruption stays confined to this kernel).
+func (k *Kernel) getEvent() *event {
+	if k.hazard {
+		if e := k.hazardStash; e != nil {
+			k.hazardStash = nil
+			return e
+		}
+		return new(event)
+	}
+	return eventPool.Get().(*event)
+}
+
+// putEvent returns a fired event to the pool. Hazard kernels skip the
+// pool entirely: their heap can hold the same pointer twice, and a
+// double-put would leak the corruption to other kernels in the process.
+func (k *Kernel) putEvent(e *event) {
+	if k.hazard {
+		return
+	}
+	e.fn = nil
+	eventPool.Put(e)
+}
+
+// hazardEvery is how often the hazard mode recycles a still-scheduled
+// event: every third scheduled event, frequent enough that any non-empty
+// heap is corrupted within a few message exchanges.
+const hazardEvery = 3
+
+// SetEventPoolHazard enables a deliberately broken event-recycling
+// scheme: every hazardEvery-th scheduled event is recycled while still
+// scheduled, so a later At clobbers its fire time and callback in place.
+// It exists solely as a mutation hook for the conformance harness's
+// oracle self-test (the bug class a correct event pool must not have);
+// never enable it outside tests. Call before Run.
+func (k *Kernel) SetEventPoolHazard(on bool) { k.hazard = on }
 
 // After schedules fn to run d from now.
 func (k *Kernel) After(d time.Duration, fn func()) { k.At(k.now+d, fn) }
@@ -126,6 +236,7 @@ type Proc struct {
 
 	resume chan struct{} // scheduler tells the process to run
 	cond   func() bool   // predicate when blocked in WaitUntil
+	wake   func()        // cached Sleep-timer callback (built once in Spawn)
 
 	wakeAt   time.Duration // diagnostic: time of pending timer, -1 if none
 	blockTag string        // diagnostic: what the process is blocked on
@@ -142,6 +253,13 @@ func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
 		fn:     fn,
 		resume: make(chan struct{}),
 		wakeAt: -1,
+	}
+	// One wake closure per process, reused by every Sleep: a process can
+	// have at most one pending timer, so sharing it is safe and keeps
+	// the Sleep hot path allocation-free.
+	p.wake = func() {
+		p.wakeAt = -1
+		k.markRunnable(p)
 	}
 	k.procs = append(k.procs, p)
 	return p
@@ -204,8 +322,10 @@ func (k *Kernel) Run(deadline time.Duration) error {
 		}
 		k.now = next
 		for len(k.events) > 0 && k.events.peek().at == k.now {
-			e := heap.Pop(&k.events).(*event)
-			e.fn()
+			e := k.events.pop()
+			fn := e.fn
+			k.putEvent(e)
+			fn()
 		}
 		k.recheckConds()
 	}
@@ -265,10 +385,7 @@ func (p *Proc) Sleep(d time.Duration) {
 	p.state = stateBlocked
 	p.blockTag = "sleep"
 	p.wakeAt = p.k.now + d
-	p.k.After(d, func() {
-		p.wakeAt = -1
-		p.k.markRunnable(p)
-	})
+	p.k.After(d, p.wake)
 	p.yield()
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package sim
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Under -race, sync.Pool deliberately drops a random fraction
+// of Puts (to expose reuse races), so allocation-budget tests that rely
+// on pooling cannot hold their budgets and are skipped.
+const raceEnabled = true

@@ -184,27 +184,30 @@ func (e *chanEnv) Charge(d time.Duration) {
 }
 
 func (e *chanEnv) Send(to msg.Addr, m *msg.Message) {
-	deliveries, err := e.f.pipe.Send(e.addr, to, m,
-		func() time.Duration { return time.Since(e.f.start) }, e.Charge)
-	if err != nil {
-		panic(abort{err}) // crash / retry exhaustion: abort this actor
-	}
-	e.f.mu.Lock()
+	// The mailbox map is fixed before any actor starts, so reading it
+	// without f.mu is race-free here.
 	q, ok := e.f.mailboxes[to]
 	if !ok {
-		e.f.mu.Unlock()
 		panic(fmt.Sprintf("channet: send to unknown endpoint %v", to))
 	}
 	// Messages enter the mailbox immediately in send order (injected
 	// duplicates trail their original, where dedup drops them); the
-	// stamped arrival time is enforced on the receive side.
-	for _, d := range deliveries {
-		if e.f.pipe.Inbound(d.Msg, time.Since(e.f.start)) {
-			q.Put(d.Msg)
-		}
+	// stamped arrival time is enforced on the receive side. emit runs
+	// outside the pipeline lock, so taking f.mu here cannot deadlock
+	// against Inbound's pipeline locking.
+	err := e.f.pipe.SendTo(e.addr, to, m,
+		func() time.Duration { return time.Since(e.f.start) }, e.Charge,
+		func(d pipeline.Delivery) {
+			e.f.mu.Lock()
+			if e.f.pipe.Inbound(d.Msg, time.Since(e.f.start)) {
+				q.Put(d.Msg)
+			}
+			e.f.cond.Broadcast()
+			e.f.mu.Unlock()
+		})
+	if err != nil {
+		panic(abort{err}) // crash / retry exhaustion: abort this actor
 	}
-	e.f.cond.Broadcast()
-	e.f.mu.Unlock()
 }
 
 func (e *chanEnv) Recv(match msg.Match) *msg.Message {

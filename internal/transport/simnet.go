@@ -50,6 +50,9 @@ func NewSim(cfg Config) (*SimFabric, error) {
 	if cfg.ScheduleSeed != 0 {
 		f.kernel.SetShuffle(cfg.ScheduleSeed)
 	}
+	if cfg.EventPoolHazard {
+		f.kernel.SetEventPoolHazard(true)
+	}
 	return f, nil
 }
 
@@ -151,19 +154,18 @@ func (e *simEnv) Send(to msg.Addr, m *msg.Message) {
 	if !ok {
 		panic(fmt.Sprintf("simnet: send to unknown endpoint %v", to))
 	}
-	deliveries, err := e.f.pipe.Send(e.addr, to, m, e.p.Now, e.Charge)
+	err := e.f.pipe.SendTo(e.addr, to, m, e.p.Now, e.Charge, func(d pipeline.Delivery) {
+		dm := d.Msg
+		e.p.Kernel().At(d.At, func() {
+			if e.f.pipe.Inbound(dm, e.f.kernel.Now()) {
+				q.Put(dm)
+			}
+		})
+	})
 	if err != nil {
 		// A crash or retry exhaustion fails the whole run with the
 		// structured error, not a generic panic message.
 		panic(sim.Abort{Err: err})
-	}
-	for _, d := range deliveries {
-		d := d
-		e.p.Kernel().At(d.At, func() {
-			if e.f.pipe.Inbound(d.Msg, e.f.kernel.Now()) {
-				q.Put(d.Msg)
-			}
-		})
 	}
 }
 

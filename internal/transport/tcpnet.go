@@ -46,12 +46,22 @@ type TCPFabric struct {
 type endpointConn struct {
 	c       net.Conn
 	writeMu sync.Mutex
+	buf     []byte // reused frame buffer, guarded by writeMu
 }
 
 func (ec *endpointConn) writeFrame(f []byte) error {
 	ec.writeMu.Lock()
 	defer ec.writeMu.Unlock()
 	return wire.WriteFrame(ec.c, f)
+}
+
+// writeMsg encodes m into the connection's reused buffer and writes the
+// frame, so steady-state sends do not allocate a fresh frame each time.
+func (ec *endpointConn) writeMsg(m *msg.Message) error {
+	ec.writeMu.Lock()
+	defer ec.writeMu.Unlock()
+	ec.buf = wire.AppendEncode(ec.buf[:0], m)
+	return wire.WriteFrame(ec.c, ec.buf)
 }
 
 // NewTCP builds a TCP fabric. The router listens on an ephemeral loopback
@@ -257,6 +267,7 @@ func (r *router) serveConn(c net.Conn) {
 	r.conns[addr] = ec
 	r.n++
 	r.mu.Unlock()
+	var fr []byte // reused re-frame buffer; this loop is the only writer
 	for {
 		body, err := wire.ReadFrame(c)
 		if err != nil {
@@ -278,8 +289,7 @@ func (r *router) serveConn(c net.Conn) {
 			continue // destination gone at teardown
 		}
 		// Re-frame and forward.
-		fr := make([]byte, 0, 4+len(body))
-		fr = append(fr, byte(len(body)), byte(len(body)>>8), byte(len(body)>>16), byte(len(body)>>24))
+		fr = append(fr[:0], byte(len(body)), byte(len(body)>>8), byte(len(body)>>16), byte(len(body)>>24))
 		fr = append(fr, body...)
 		if err := out.writeFrame(fr); err != nil {
 			continue
@@ -338,15 +348,15 @@ func (e *tcpEnv) Send(to msg.Addr, m *msg.Message) {
 	if ec == nil {
 		panic(fmt.Sprintf("tcpnet: send from unknown endpoint %v", e.addr))
 	}
-	deliveries, err := e.f.pipe.Send(e.addr, to, m,
-		func() time.Duration { return time.Since(e.f.start) }, nil)
+	err := e.f.pipe.SendTo(e.addr, to, m,
+		func() time.Duration { return time.Since(e.f.start) }, nil,
+		func(d pipeline.Delivery) {
+			if werr := ec.writeMsg(d.Msg); werr != nil {
+				panic(fmt.Sprintf("tcpnet: send %v -> %v: %v", e.addr, to, werr))
+			}
+		})
 	if err != nil {
 		panic(abort{err}) // crash / retry exhaustion: abort this actor
-	}
-	for _, d := range deliveries {
-		if err := ec.writeFrame(wire.Encode(d.Msg)); err != nil {
-			panic(fmt.Sprintf("tcpnet: send %v -> %v: %v", e.addr, to, err))
-		}
 	}
 }
 

@@ -52,7 +52,15 @@ func DecodeHello(body []byte) (msg.Addr, error) {
 // on the wire. Dup and FaultDelay are sender-local diagnostics and are
 // not transmitted.
 func Encode(m *msg.Message) []byte {
-	b := make([]byte, 0, 120+len(m.Data))
+	return AppendEncode(make([]byte, 0, 124+len(m.Data)), m)
+}
+
+// AppendEncode appends m's frame (length prefix included) to b and
+// returns the extended slice. Callers on the hot path pass a reused
+// buffer (b[:0]) so steady-state sends do not allocate per frame.
+func AppendEncode(b []byte, m *msg.Message) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length prefix, backfilled below
 	b = append(b, byte(m.Kind))
 	b = appendAddr(b, m.Src)
 	b = appendAddr(b, m.Dst)
@@ -77,7 +85,8 @@ func Encode(m *msg.Message) []byte {
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(m.Data)))
 	b = append(b, m.Data...)
-	return frame(b)
+	binary.LittleEndian.PutUint32(b[start:], uint32(len(b)-start-4))
+	return b
 }
 
 // Decode parses a frame body produced by Encode.

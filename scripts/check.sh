@@ -18,3 +18,9 @@ go test -race -short ./internal/... ./ga ./mp
 # the race detector; -short keeps the long soak out of this pass — run it
 # with `make soak`.
 go test -race -short -run 'Fault|Loss|Crash' .
+# The benchmark-regression gate against the committed BENCH_*.json
+# baseline. -quick judges only the deterministic metrics (simulated
+# virtual times, allocation budgets, sweep event counts), so this pass
+# cannot flake on a loaded machine; run `make benchcheck` for the full
+# comparison including wall-clock metrics.
+sh scripts/benchdiff.sh -quick
