@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench benchcheck soak explore
+.PHONY: build test check bench benchcheck soak explore procsmoke
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench:
 # `go run ./cmd/armci-bench -baseline`.
 benchcheck:
 	sh scripts/benchdiff.sh
+
+# The multi-process smoke: launch a smoke-sized Fig. 7 point across 4
+# real OS processes via armci-run and require a clean rendezvous, run
+# and drain. check runs this too; this target is the standalone version.
+procsmoke:
+	$(GO) run ./cmd/armci-run -n 4 -workload fig7-small
 
 # The reliability soak: every lock and barrier algorithm on every fabric
 # under bursty packet loss, with the race detector on. check's race pass

@@ -16,7 +16,10 @@
 //   - FabricChan — real goroutines and in-process message queues, for
 //     correctness and stress testing;
 //   - FabricTCP — real goroutines whose every message crosses a loopback
-//     TCP socket, the "emulated over sockets" configuration.
+//     TCP socket, the "emulated over sockets" configuration;
+//   - FabricProc — one SMP node per OS process, rendezvoused and routed
+//     by cmd/armci-run: the multi-process cluster runtime, where every
+//     remote message crosses a real process boundary.
 //
 // The synchronization operations under study are exposed on Proc:
 // AllFence+MPIBarrier (the original GA_Sync path), Barrier (the paper's
@@ -28,6 +31,7 @@ import (
 	"fmt"
 	"time"
 
+	"armci/internal/cluster"
 	"armci/internal/collective"
 	"armci/internal/core"
 	"armci/internal/model"
@@ -89,6 +93,9 @@ const (
 	FaultRetryExhausted = pipeline.FaultRetryExhausted
 	// FaultOpTimeout: one blocking operation exceeded Options.OpDeadline.
 	FaultOpTimeout = pipeline.FaultOpTimeout
+	// FaultPeerLost: a multi-process worker died or went silent; Rank
+	// names the dead worker's first rank (FabricProc only).
+	FaultPeerLost = pipeline.FaultPeerLost
 )
 
 // Metrics collects per-kind and per-pair message latency histograms,
@@ -140,6 +147,11 @@ const (
 	FabricChan
 	// FabricTCP is the concurrent loopback-socket fabric.
 	FabricTCP
+	// FabricProc is the multi-process fabric: this process hosts one SMP
+	// node of a cluster launched by armci-run, and messages cross real
+	// inter-process TCP connections. Requires the cluster worker
+	// environment (see internal/cluster and cmd/armci-run).
+	FabricProc
 )
 
 func (k FabricKind) String() string {
@@ -150,8 +162,26 @@ func (k FabricKind) String() string {
 		return "chan"
 	case FabricTCP:
 		return "tcp"
+	case FabricProc:
+		return "proc"
 	}
 	return fmt.Sprintf("FabricKind(%d)", uint8(k))
+}
+
+// ParseFabric resolves a fabric name — the shared vocabulary of every
+// command-line tool that selects fabrics ("sim", "chan", "tcp", "proc").
+func ParseFabric(s string) (FabricKind, error) {
+	switch s {
+	case "sim":
+		return FabricSim, nil
+	case "chan":
+		return FabricChan, nil
+	case "tcp":
+		return FabricTCP, nil
+	case "proc":
+		return FabricProc, nil
+	}
+	return 0, fmt.Errorf("armci: unknown fabric %q (want sim, chan, tcp or proc)", s)
 }
 
 // CostPreset names a cost model for the simulated fabric.
@@ -346,6 +376,16 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 		fabric, err = transport.NewChan(cfg)
 	case FabricTCP:
 		fabric, err = transport.NewTCP(cfg)
+	case FabricProc:
+		var env cluster.WorkerEnv
+		var ok bool
+		env, ok, err = cluster.FromEnv()
+		if err == nil && !ok {
+			err = fmt.Errorf("armci: FabricProc requires the cluster worker environment (%s etc.); start this program under armci-run, which sets it for every worker", cluster.EnvAddr)
+		}
+		if err == nil {
+			fabric, err = transport.NewProc(cfg, env)
+		}
 	default:
 		err = fmt.Errorf("armci: unknown fabric %v", opt.Fabric)
 	}

@@ -28,6 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
@@ -45,7 +46,7 @@ func main() {
 
 	var (
 		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, crossover, counts, ablate, all")
-		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp")
+		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: -fig 7 only, multi-process)")
 		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
 		procsF   = flag.String("procs", "", "comma-separated process counts (default per experiment)")
 		reps     = flag.Int("reps", 0, "timed repetitions per point (default per experiment)")
@@ -58,8 +59,13 @@ func main() {
 		compare  = flag.String("compare", "", "collect the current metrics and compare against this BENCH_*.json; exit 1 on regression")
 		quick    = flag.Bool("quick", false, "with -compare: judge only deterministic metrics (skip wall-clock ones)")
 		outPath  = flag.String("o", "", "with -baseline: output path (default the next free BENCH_<n>.json)")
+		procWkr  = flag.Bool("proc-fig7-worker", false, "internal: run as one multi-process fig7 worker (set by -fabric proc)")
 	)
 	flag.Parse()
+
+	if *procWkr {
+		os.Exit(runProcFig7Worker(*procsF, *reps))
+	}
 
 	if *baseline || *compare != "" {
 		os.Exit(runBaseline(*baseline, *compare, *quick, *outPath))
@@ -86,6 +92,20 @@ func main() {
 	csv := *format == "csv"
 	if *format != "table" && *format != "csv" {
 		log.Fatalf("unknown -format %q", *format)
+	}
+
+	if fk == armci.FabricProc {
+		// Each proc-fabric point is a separate multi-process launch that
+		// re-executes this binary as the workers; only the Fig. 7 sweep
+		// is wired for that.
+		if *fig != "7" {
+			log.Fatalf("-fabric proc supports only -fig 7; run the other figures on sim, chan or tcp")
+		}
+		if *faultsF != "" || *hist || *timeline != "" {
+			log.Fatal("-fabric proc does not combine with -faults, -hist or -timeline")
+		}
+		runFig7Proc(procCounts, *reps, csv)
+		return
 	}
 
 	if *timeline != "" {
@@ -249,15 +269,7 @@ func parseFaults(s string) (armci.Faults, error) {
 }
 
 func parseFabric(s string) (armci.FabricKind, error) {
-	switch s {
-	case "sim":
-		return armci.FabricSim, nil
-	case "chan":
-		return armci.FabricChan, nil
-	case "tcp":
-		return armci.FabricTCP, nil
-	}
-	return 0, fmt.Errorf("unknown fabric %q (want sim, chan or tcp)", s)
+	return armci.ParseFabric(s)
 }
 
 func parseProcs(s string) ([]int, error) {
@@ -273,6 +285,59 @@ func parseProcs(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+// runProcFig7Worker is the worker-side dispatch of -fabric proc: the
+// launcher re-executes this binary with the hidden flag inside the
+// cluster rendezvous environment.
+func runProcFig7Worker(procsF string, reps int) int {
+	counts, err := parseProcs(procsF)
+	if err != nil || len(counts) != 1 {
+		log.Printf("-proc-fig7-worker wants exactly one -procs value, got %q", procsF)
+		return 2
+	}
+	var opts bench.Fig7Opts
+	opts.Reps = reps
+	if err := bench.RunFig7ProcWorker(opts, counts[0]); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
+}
+
+// runFig7Proc sweeps Figure 7 across real OS processes: one cluster
+// launch per point, re-executing this binary as the workers.
+func runFig7Proc(procCounts []int, reps int, csv bool) {
+	if procCounts == nil {
+		procCounts = []int{2, 4, 8}
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("resolving own binary for self-exec: %v", err)
+	}
+	res := &bench.Fig7Result{Opts: bench.Fig7Opts{ProcCounts: procCounts}}
+	// Header metadata only: the proc fabric measures wall clock, so no
+	// cost preset applies; reps default to the worker-side 10.
+	res.Opts.Opts = bench.Opts{Fabric: armci.FabricProc, Preset: "wall-clock", Reps: reps}
+	if reps <= 0 {
+		res.Opts.Reps = 10
+	}
+	for _, n := range procCounts {
+		row, err := bench.LaunchFig7Proc(bench.Fig7ProcLaunch{
+			Procs:   n,
+			Command: []string{self, "-proc-fig7-worker", "-procs", fmt.Sprint(n), "-reps", fmt.Sprint(reps)},
+			Output:  io.Discard,
+		})
+		if err != nil {
+			log.Fatalf("fig7 proc N=%d: %v", n, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if csv {
+		fmt.Print(bench.CSVFig7(res))
+		return
+	}
+	fmt.Print(bench.FormatFig7(res))
 }
 
 func runFig7(common bench.Opts, procCounts []int, csv bool) {

@@ -46,7 +46,7 @@ func main() {
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("armci-check", flag.ExitOnError)
 	var (
-		fabricsF  = fs.String("fabrics", "sim", "comma-separated fabrics: sim, chan, tcp")
+		fabricsF  = fs.String("fabrics", "sim", "comma-separated in-process fabrics: sim, chan, tcp")
 		algsF     = fs.String("algs", "queue,hybrid,ticket,queue-nocas", "comma-separated lock algorithms (empty entry = no lock phase)")
 		syncsF    = fs.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
 		faultsF   = fs.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
@@ -131,16 +131,17 @@ func runMutations(out io.Writer, seedLo, seedHi int64, verbose bool) int {
 func parseFabrics(s string) ([]armci.FabricKind, error) {
 	var out []armci.FabricKind
 	for _, f := range splitList(s) {
-		switch f {
-		case "sim":
-			out = append(out, armci.FabricSim)
-		case "chan":
-			out = append(out, armci.FabricChan)
-		case "tcp":
-			out = append(out, armci.FabricTCP)
-		default:
-			return nil, fmt.Errorf("unknown fabric %q (want sim, chan or tcp)", f)
+		k, err := armci.ParseFabric(f)
+		if err != nil {
+			return nil, err
 		}
+		if k == armci.FabricProc {
+			// The harness explores schedules by replaying one case many
+			// times inside this process; the proc fabric needs a real
+			// multi-process launch per run and cannot be driven that way.
+			return nil, fmt.Errorf("fabric proc runs across OS processes and is not drivable by the in-process conformance harness; smoke it with armci-run instead")
+		}
+		out = append(out, k)
 	}
 	if len(out) == 0 {
 		out = []armci.FabricKind{armci.FabricSim}

@@ -1,0 +1,178 @@
+// Command armci-run is the mpirun-style launcher for the multi-process
+// proc fabric: it spawns one worker OS process per SMP node, wires the
+// rendezvous through environment variables, streams each worker's
+// output with a per-rank prefix, forwards signals, and aggregates exit
+// statuses. A worker that dies mid-run is detected by the coordinator
+// (connection loss or missed heartbeats) and the launch terminates
+// promptly with the dead worker's rank.
+//
+// Usage:
+//
+//	armci-run -n 8 -- ./myprog -flag …   # external program; it must run
+//	                                     # armci with Fabric: proc
+//	armci-run -n 8 -workload fig7        # built-in Fig. 7 point (self-exec)
+//	armci-run -n 4 -workload fig7-small  # smoke-sized variant for CI
+//
+// With -ppn k, each worker process hosts k consecutive ranks as one SMP
+// node (n must be a multiple of k).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"armci/internal/bench"
+	"armci/internal/cluster"
+	"armci/internal/pipeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("armci-run: ")
+
+	var (
+		n        = flag.Int("n", 4, "total number of ranks (user processes)")
+		ppn      = flag.Int("ppn", 1, "ranks per SMP node; one worker OS process is spawned per node")
+		workload = flag.String("workload", "", "built-in workload instead of an external program: fig7, fig7-small")
+		reps     = flag.Int("reps", 0, "fig7: timed repetitions per point (default per workload)")
+		block    = flag.Int("block", 0, "fig7: per-process block edge in elements (default per workload)")
+		patch    = flag.Int("patch", 0, "fig7: patch edge written to every remote block (default per workload)")
+		timeout  = flag.Duration("timeout", 0, "kill the launch after this long (default 10m)")
+		quiet    = flag.Bool("q", false, "suppress worker output (built-in workloads still print their result)")
+		verbose  = flag.Bool("v", false, "log coordinator diagnostics to stderr")
+		worker   = flag.Bool("worker", false, "internal: run as a spawned workload worker (set by the launcher)")
+	)
+	flag.Parse()
+
+	if *worker {
+		os.Exit(runWorker(*workload, *n, *reps, *block, *patch))
+	}
+
+	if *n <= 0 {
+		log.Fatalf("-n %d: want a positive rank count", *n)
+	}
+	if *ppn <= 0 || *n%*ppn != 0 {
+		log.Fatalf("-ppn %d: rank count %d must be a positive multiple of it", *ppn, *n)
+	}
+	if (*workload == "") == (flag.NArg() == 0) {
+		log.Fatal("want exactly one of -workload <name> or a program after -- (e.g. armci-run -n 8 -- ./myprog)")
+	}
+
+	var logf func(string, ...any)
+	if *verbose {
+		logf = func(format string, args ...any) { log.Printf(format, args...) }
+	}
+
+	if *workload != "" {
+		os.Exit(runWorkload(*workload, *n, *ppn, *reps, *block, *patch, *timeout, *quiet, logf))
+	}
+
+	// External-program mode: the spawned program reads the rendezvous
+	// from the environment when it runs armci with the proc fabric.
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:          *n,
+		ProcsPerNode:   *ppn,
+		Command:        flag.Args(),
+		RunTimeout:     *timeout,
+		ForwardSignals: true,
+		Logf:           logf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Exit(reportOutcome(out))
+}
+
+// reportOutcome prints the launch verdict and maps it to an exit code.
+func reportOutcome(out *cluster.Outcome) int {
+	if out.Err == nil {
+		fmt.Printf("armci-run: all ranks finished cleanly in %v\n", out.Elapsed.Round(time.Millisecond))
+		return 0
+	}
+	if out.Fault != nil {
+		log.Printf("rank %d lost: %v", out.Fault.Rank, out.Err)
+	} else {
+		log.Printf("launch failed: %v", out.Err)
+	}
+	return 1
+}
+
+// runWorkload self-execs this binary as the launch's worker processes,
+// each dispatching into runWorker via the hidden -worker flag.
+func runWorkload(name string, n, ppn, reps, block, patch int, timeout time.Duration, quiet bool, logf func(string, ...any)) int {
+	switch name {
+	case "fig7", "fig7-small":
+	default:
+		log.Printf("unknown -workload %q (want fig7 or fig7-small)", name)
+		return 2
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Printf("resolving own binary for self-exec: %v", err)
+		return 2
+	}
+	argv := []string{self, "-worker", "-workload", name,
+		"-n", fmt.Sprint(n),
+		"-reps", fmt.Sprint(reps),
+		"-block", fmt.Sprint(block),
+		"-patch", fmt.Sprint(patch)}
+	var output io.Writer
+	if quiet {
+		output = io.Discard
+	}
+	row, err := bench.LaunchFig7Proc(bench.Fig7ProcLaunch{
+		Procs:        n,
+		ProcsPerNode: ppn,
+		Command:      argv,
+		Output:       output,
+		RunTimeout:   timeout,
+	})
+	if err != nil {
+		var fe *pipeline.FaultError
+		if errors.As(err, &fe) {
+			log.Printf("rank %d lost: %v", fe.Rank, err)
+		} else {
+			log.Printf("%s: %v", name, err)
+		}
+		return 1
+	}
+	fmt.Printf("fig7 (proc fabric, %d ranks, %d/node): old=%.1fus new=%.1fus factor=%.2f\n",
+		n, ppn, row.OldUS, row.NewUS, row.Factor)
+	return 0
+}
+
+// runWorker is the body of one spawned workload worker. The rendezvous
+// comes from the environment the launcher set.
+func runWorker(name string, n, reps, block, patch int) int {
+	opts := bench.Fig7Opts{BlockDim: block, PatchDim: patch}
+	opts.Reps = reps
+	switch name {
+	case "fig7":
+	case "fig7-small":
+		if opts.BlockDim == 0 {
+			opts.BlockDim = 16
+		}
+		if opts.PatchDim == 0 {
+			opts.PatchDim = 4
+		}
+		if opts.Reps == 0 {
+			opts.Reps = 5
+		}
+	default:
+		log.Printf("worker: unknown workload %q", name)
+		return 2
+	}
+	if err := bench.RunFig7ProcWorker(opts, n); err != nil {
+		// Keep the message on one line: the launcher prefixes and
+		// multiplexes this stream with the other ranks'.
+		log.Printf("worker: %s", strings.ReplaceAll(err.Error(), "\n", "; "))
+		return 1
+	}
+	return 0
+}

@@ -19,11 +19,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"armci"
 	"armci/internal/check"
+	"armci/internal/cluster"
 	"armci/internal/model"
 	"armci/internal/msg"
 	"armci/internal/pipeline"
@@ -149,6 +152,9 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 	cb := testing.Benchmark(benchExploreCase)
 	noisy("hotpath/explore_case/ns_op", float64(cb.NsPerOp()), "ns/op")
 
+	sess := testing.Benchmark(benchSessionSend)
+	noisy("hotpath/procnet_send/ns_op", float64(sess.NsPerOp()), "ns/op")
+
 	if opts.Handicap > 0 {
 		h := 1 + opts.Handicap
 		for name, m := range b.Metrics {
@@ -198,6 +204,63 @@ func benchPipelineSendRecv(b *testing.B) {
 		if err := p.SendTo(src, dst, m, clock, nil, emit); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchSessionSend mirrors cluster.BenchmarkSessionSend: the procnet
+// hot path — encode one small message into the session's reused frame
+// buffer and ship it through the coordinator star to the peer worker.
+// Only the noisy ns/op is tracked: allocs/op would also count whatever
+// slice the concurrent receive side happens to allocate inside the
+// timing window, which is not deterministic.
+func benchSessionSend(b *testing.B) {
+	const cookie = 1
+	co, err := cluster.NewCoordinator(cluster.Config{Procs: 2, Cookie: cookie})
+	if err != nil {
+		b.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+	env := func(node int) cluster.WorkerEnv {
+		return cluster.WorkerEnv{Addr: co.Addr(), Node: node, Procs: 2, ProcsPerNode: 1, Cookie: cookie}
+	}
+	var received atomic.Int64
+	sessions := make([]*cluster.Session, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		var h cluster.Handlers
+		if node == 1 {
+			h.Data = func([]byte) { received.Add(1) }
+		}
+		wg.Add(1)
+		go func(node int, h cluster.Handlers) {
+			defer wg.Done()
+			sessions[node], errs[node] = cluster.Join(env(node), h)
+		}(node, h)
+	}
+	wg.Wait()
+	for node, jerr := range errs {
+		if jerr != nil {
+			b.Fatalf("join node %d: %v", node, jerr)
+		}
+		defer sessions[node].Close()
+	}
+
+	m := &msg.Message{Kind: msg.KindPut, Src: msg.User(0), Dst: msg.User(1), Data: make([]byte, 64)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Seq = uint64(i + 1)
+		if serr := sessions[0].SendMsg(m); serr != nil {
+			b.Fatalf("SendMsg: %v", serr)
+		}
+	}
+	b.StopTimer()
+	// Drain before teardown so the coordinator is not mid-route when the
+	// connections drop.
+	deadline := time.Now().Add(10 * time.Second)
+	for received.Load() < int64(b.N) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
 }
 

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"armci"
+	"armci/ga"
+	"armci/internal/cluster"
+)
+
+// Fig7ProcResultPrefix tags the machine-readable line rank 0 prints at
+// the end of a multi-process Fig. 7 point. The launcher side picks the
+// line out of the worker's output stream; everything else the workers
+// print is passed through untouched.
+const Fig7ProcResultPrefix = "ARMCI_FIG7_RESULT"
+
+// formatFig7ProcResult renders one measured point as the tagged line.
+func formatFig7ProcResult(r Fig7Row) string {
+	return fmt.Sprintf("%s procs=%d old_us=%.6g new_us=%.6g",
+		Fig7ProcResultPrefix, r.Procs, r.OldUS, r.NewUS)
+}
+
+// ParseFig7ProcResult recognizes a tagged result line. The factor is
+// recomputed from the two means so the line stays minimal.
+func ParseFig7ProcResult(line string) (Fig7Row, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, Fig7ProcResultPrefix) {
+		return Fig7Row{}, false
+	}
+	var r Fig7Row
+	for _, field := range strings.Fields(line[len(Fig7ProcResultPrefix):]) {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return Fig7Row{}, false
+		}
+		var err error
+		switch k {
+		case "procs":
+			r.Procs, err = strconv.Atoi(v)
+		case "old_us":
+			r.OldUS, err = strconv.ParseFloat(v, 64)
+		case "new_us":
+			r.NewUS, err = strconv.ParseFloat(v, 64)
+		default:
+			err = fmt.Errorf("unknown field %q", k)
+		}
+		if err != nil {
+			return Fig7Row{}, false
+		}
+	}
+	if r.Procs <= 0 || r.OldUS <= 0 || r.NewUS <= 0 {
+		return Fig7Row{}, false
+	}
+	r.Factor = r.OldUS / r.NewUS
+	return r, true
+}
+
+// RunFig7ProcWorker is the worker-side body of one multi-process Fig. 7
+// point. It must run in a process launched under armci-run (or any
+// cluster.Launch): the proc fabric reads the rendezvous from the
+// environment. One launch supports exactly one rendezvous, so — unlike
+// the in-process sweep, which runs a fresh fabric per (size, mode)
+// point — both sync modes are measured inside a single armci.Run, with
+// ga.SetSyncMode switching implementations between the phases.
+//
+// Per-rank means are combined across the processes with an in-band
+// all-reduce; rank 0 prints the tagged result line for the launcher.
+func RunFig7ProcWorker(opts Fig7Opts, procs int) error {
+	opts.Opts = opts.Opts.withDefaults()
+	if opts.BlockDim <= 0 {
+		opts.BlockDim = 32
+	}
+	if opts.PatchDim <= 0 {
+		opts.PatchDim = 8
+	}
+	if opts.PatchDim > opts.BlockDim {
+		return fmt.Errorf("bench: patch dim %d exceeds block dim %d", opts.PatchDim, opts.BlockDim)
+	}
+	// The SMP grouping comes from the launch environment — the launcher
+	// decides how many ranks each worker hosts, not the workload.
+	we, ok, err := cluster.FromEnv()
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if !ok {
+		return fmt.Errorf("bench: fig7 proc worker needs the cluster environment; start it under armci-run")
+	}
+	if we.Procs != procs {
+		return fmt.Errorf("bench: fig7 worker built for %d procs but launched with %d", procs, we.Procs)
+	}
+	_, err = armci.Run(opts.inject(armci.Options{
+		Procs:        procs,
+		ProcsPerNode: we.ProcsPerNode,
+		Fabric:       armci.FabricProc,
+		Preset:       opts.Preset,
+	}), func(p *armci.Proc) {
+		pr := gridRows(procs)
+		pc := procs / pr
+		a, err := ga.Create(p, "fig7", pr*opts.BlockDim, pc*opts.BlockDim)
+		if err != nil {
+			panic(err)
+		}
+		me := p.Rank()
+		patch := make([]float64, opts.PatchDim*opts.PatchDim)
+		for i := range patch {
+			patch[i] = float64(me + 1)
+		}
+		measure := func(mode ga.SyncMode) float64 {
+			a.SetSyncMode(mode)
+			var sum float64
+			for rep := 0; rep < opts.Warmup+opts.Reps; rep++ {
+				for q := 0; q < procs; q++ {
+					if q == me {
+						continue
+					}
+					rlo, _, clo, _ := a.Distribution(q)
+					a.Put(rlo, rlo+opts.PatchDim, clo, clo+opts.PatchDim, patch)
+				}
+				p.MPIBarrier()
+				t0 := p.Now()
+				a.Sync()
+				dt := p.Now() - t0
+				if rep >= opts.Warmup {
+					sum += us(dt)
+				}
+			}
+			return sum / float64(opts.Reps)
+		}
+		vec := []float64{measure(ga.SyncOld), measure(ga.SyncNew)}
+		// Every rank contributes its mean; the all-reduce leaves the
+		// cluster-wide sums everywhere, and rank 0 reports the average.
+		p.AllReduceSumFloat64(vec)
+		if me == 0 {
+			n := float64(procs)
+			fmt.Println(formatFig7ProcResult(Fig7Row{
+				Procs: procs, OldUS: vec[0] / n, NewUS: vec[1] / n,
+			}))
+		}
+	})
+	return err
+}
+
+// Fig7ProcLaunch describes one launcher-side multi-process Fig. 7 point.
+type Fig7ProcLaunch struct {
+	// Procs is the cluster size (workers are one rank each by default).
+	Procs int
+	// ProcsPerNode groups ranks into SMP nodes (default 1).
+	ProcsPerNode int
+	// Command is the worker argv — typically the calling binary
+	// re-executed with a hidden worker-dispatch flag.
+	Command []string
+	// Output receives the workers' prefixed output (nil: os.Stdout,
+	// io.Discard to silence them).
+	Output io.Writer
+	// RunTimeout bounds the whole point (default cluster.Launch's).
+	RunTimeout time.Duration
+}
+
+// LaunchFig7Proc spawns the point's worker processes, waits for the
+// launch to drain and returns the row parsed from rank 0's tagged
+// result line. A worker death surfaces as the launch's rank-attributed
+// fault error.
+func LaunchFig7Proc(l Fig7ProcLaunch) (Fig7Row, error) {
+	var (
+		mu    sync.Mutex
+		row   Fig7Row
+		found bool
+	)
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:        l.Procs,
+		ProcsPerNode: l.ProcsPerNode,
+		Command:      l.Command,
+		Output:       l.Output,
+		RunTimeout:   l.RunTimeout,
+		OnLine: func(node int, line string) {
+			if r, ok := ParseFig7ProcResult(line); ok {
+				mu.Lock()
+				row, found = r, true
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		return Fig7Row{}, err
+	}
+	if out.Err != nil {
+		return Fig7Row{}, out.Err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !found {
+		return Fig7Row{}, fmt.Errorf("bench: fig7 N=%d launch finished without a %s line", l.Procs, Fig7ProcResultPrefix)
+	}
+	return row, nil
+}

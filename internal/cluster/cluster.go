@@ -1,0 +1,190 @@
+// Package cluster is the multi-process runtime underneath the proc
+// fabric: rendezvous and membership, inter-process message routing, and
+// failure detection for armci workers running as separate OS processes.
+//
+// The topology is a star, mirroring the in-process tcpnet router. A
+// coordinator (owned by the launcher, cmd/armci-run) listens on a TCP
+// address; each worker process hosts one SMP node — that node's user
+// ranks, data server and NIC agent as goroutines — and dials the
+// coordinator exactly once. Admission requires a versioned hello
+// handshake (magic, protocol version, node claim, cluster shape, launch
+// cookie); once all nodes have arrived the coordinator broadcasts the
+// roster and the run begins. Data frames are forwarded by peeking the
+// destination address (wire.PeekDst) without a full decode.
+//
+// Failure detection is two-layered and wall-clock based: a worker whose
+// connection drops (process death — the common, instantaneous signal) or
+// whose heartbeats go silent (a wedged-but-alive process) is declared
+// dead by the coordinator, which broadcasts a fault frame attributing
+// the loss to the dead worker's first rank. Survivors surface it through
+// the existing *pipeline.FaultError taxonomy (FaultPeerLost) so a killed
+// worker fails the whole job fast instead of hanging every blocked peer.
+//
+// Shutdown is a drain protocol: each worker reports when its local user
+// ranks finish; when every node has reported, the coordinator broadcasts
+// a drain frame telling workers to stop their servers and close. A
+// connection lost before the drain is a fault; one lost after it is a
+// normal exit.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"armci/internal/msg"
+	"armci/internal/wire"
+)
+
+// Cluster frame types, carried as the first byte of every frame body on
+// a coordinator⇄worker connection. All frames reuse the wire package's
+// length-prefixed framing.
+const (
+	// frameHello: worker → coordinator; payload is a wire.ClusterHello
+	// body. Must be the first frame on every connection.
+	frameHello byte = iota + 1
+	// frameReject: coordinator → worker; payload is a human-readable
+	// reason. The connection is closed immediately after.
+	frameReject
+	// frameRoster: coordinator → worker, broadcast once all nodes have
+	// joined; payload echoes the cluster shape (procs, ppn, nodes). Its
+	// arrival is the admission acknowledgment and the start signal.
+	frameRoster
+	// frameData: either direction; payload is a complete wire message
+	// frame (inner length prefix + encoded message body). The
+	// coordinator forwards it to the destination endpoint's node.
+	frameData
+	// framePing: worker → coordinator heartbeat; empty payload.
+	framePing
+	// frameUserDone: worker → coordinator; this node's user ranks all
+	// finished. Empty payload.
+	frameUserDone
+	// frameDrain: coordinator → worker, broadcast once every node's
+	// users finished: stop servers and close. Empty payload.
+	frameDrain
+	// frameFault: coordinator → worker, broadcast when a worker is
+	// declared dead; payload is the dead worker's first rank (i32) plus
+	// a reason string.
+	frameFault
+)
+
+// Listen opens the rendezvous TCP listener, retrying transient
+// address-in-use races (a just-released ephemeral port being rebound
+// between repeated test runs) and reporting the address alongside the
+// underlying error — a bare "address already in use" with no address is
+// undiagnosable in CI logs.
+func Listen(addr string) (net.Listener, error) {
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		if !errors.Is(err, syscall.EADDRINUSE) {
+			break // not a bind race; retrying cannot help
+		}
+		time.Sleep(time.Duration(attempt+1) * 20 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("cluster: listen %s: %w", addr, lastErr)
+}
+
+// clusterConn wraps one coordinator⇄worker connection with a write
+// mutex and a reused frame buffer, so concurrent writers interleave
+// whole frames and steady-state sends do not allocate.
+type clusterConn struct {
+	c   net.Conn
+	mu  sync.Mutex
+	buf []byte // reused frame buffer, guarded by mu
+}
+
+// writeFrame writes one [len][type][payload] frame.
+func (cc *clusterConn) writeFrame(typ byte, payload []byte) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	b := binary.LittleEndian.AppendUint32(cc.buf[:0], uint32(1+len(payload)))
+	b = append(b, typ)
+	b = append(b, payload...)
+	cc.buf = b
+	return wire.WriteFrame(cc.c, b)
+}
+
+// writeRaw re-frames and writes an already-read frame body (type byte
+// included) — the coordinator's forwarding path.
+func (cc *clusterConn) writeRaw(body []byte) error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	b := binary.LittleEndian.AppendUint32(cc.buf[:0], uint32(len(body)))
+	b = append(b, body...)
+	cc.buf = b
+	return wire.WriteFrame(cc.c, b)
+}
+
+// dataMsgBody extracts the encoded message body from a data frame's
+// payload (the inner wire frame), validating the inner length prefix.
+func dataMsgBody(payload []byte) ([]byte, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("cluster: data frame of %d bytes lacks an inner message frame", len(payload))
+	}
+	if n := binary.LittleEndian.Uint32(payload); int(n) != len(payload)-4 {
+		return nil, fmt.Errorf("cluster: data frame inner length %d does not match %d payload bytes", n, len(payload)-4)
+	}
+	return payload[4:], nil
+}
+
+// nodeOf maps an endpoint address to the node hosting it: user ranks by
+// the rank→node grouping, server IDs directly, NIC-agent IDs (at or
+// beyond the node count) shifted down — the same convention as
+// transport's endpointNode.
+func nodeOf(a msg.Addr, numNodes, procsPerNode int) int {
+	if a.Server {
+		if a.ID >= numNodes {
+			return a.ID - numNodes
+		}
+		return a.ID
+	}
+	return a.ID / procsPerNode
+}
+
+// rosterPayload encodes the shape echo broadcast in a roster frame.
+func rosterPayload(procs, ppn, nodes int) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(int32(procs)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ppn)))
+	return binary.LittleEndian.AppendUint32(b, uint32(int32(nodes)))
+}
+
+// checkRoster validates the coordinator's shape echo against what the
+// worker was launched with; a mismatch means launcher and worker
+// disagree about the world and must not run.
+func checkRoster(payload []byte, env WorkerEnv) error {
+	if len(payload) != 12 {
+		return fmt.Errorf("cluster: roster frame has %d payload bytes, want 12", len(payload))
+	}
+	procs := int(int32(binary.LittleEndian.Uint32(payload)))
+	ppn := int(int32(binary.LittleEndian.Uint32(payload[4:])))
+	nodes := int(int32(binary.LittleEndian.Uint32(payload[8:])))
+	if procs != env.Procs || ppn != env.ProcsPerNode || nodes != env.NumNodes() {
+		return fmt.Errorf("cluster: roster shape %d procs × %d/node over %d nodes does not match worker env %d procs × %d/node over %d nodes",
+			procs, ppn, nodes, env.Procs, env.ProcsPerNode, env.NumNodes())
+	}
+	return nil
+}
+
+// faultPayload encodes a fault broadcast: dead worker's first rank plus
+// a reason.
+func faultPayload(rank int, reason string) []byte {
+	b := binary.LittleEndian.AppendUint32(nil, uint32(int32(rank)))
+	return append(b, reason...)
+}
+
+// parseFault decodes a fault broadcast payload.
+func parseFault(payload []byte) (rank int, reason string) {
+	if len(payload) < 4 {
+		return -1, "malformed fault frame"
+	}
+	return int(int32(binary.LittleEndian.Uint32(payload))), string(payload[4:])
+}

@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"armci/internal/msg"
+	"armci/internal/pipeline"
+	"armci/internal/wire"
+)
+
+// joinAsync starts a Join in the background; Join blocks until the
+// whole roster assembles, so concurrent joins are the normal shape.
+func joinAsync(env WorkerEnv, h Handlers) chan joinResult {
+	ch := make(chan joinResult, 1)
+	go func() {
+		s, err := Join(env, h)
+		ch <- joinResult{s, err}
+	}()
+	return ch
+}
+
+type joinResult struct {
+	s   *Session
+	err error
+}
+
+func testEnv(co *Coordinator, node int) WorkerEnv {
+	return WorkerEnv{
+		Addr:         co.Addr(),
+		Node:         node,
+		Procs:        co.cfg.Procs,
+		ProcsPerNode: co.cfg.ProcsPerNode,
+		Cookie:       co.cfg.Cookie,
+		JoinTimeout:  5 * time.Second,
+	}
+}
+
+func TestRendezvousRoutingAndDrain(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 2, Cookie: 7})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	got := make(chan *msg.Message, 1)
+	h1 := Handlers{Data: func(body []byte) {
+		m, derr := wire.Decode(body)
+		if derr != nil {
+			t.Errorf("decode routed frame: %v", derr)
+			return
+		}
+		got <- m
+	}}
+	ch0 := joinAsync(testEnv(co, 0), Handlers{})
+	ch1 := joinAsync(testEnv(co, 1), h1)
+	r0, r1 := <-ch0, <-ch1
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("join: node0=%v node1=%v", r0.err, r1.err)
+	}
+	s0, s1 := r0.s, r1.s
+	defer s0.Close()
+	defer s1.Close()
+
+	want := &msg.Message{Kind: msg.KindPut, Src: msg.User(0), Dst: msg.User(1), Seq: 1, Tag: 42, Data: []byte("ring token")}
+	if err := s0.SendMsg(want); err != nil {
+		t.Fatalf("SendMsg: %v", err)
+	}
+	select {
+	case m := <-got:
+		if m.Kind != want.Kind || m.Src != want.Src || m.Dst != want.Dst || m.Tag != want.Tag || string(m.Data) != string(want.Data) {
+			t.Errorf("routed message mutated: got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("routed message never arrived at node 1")
+	}
+
+	// Drain protocol: both nodes report users done, both observe the
+	// drain broadcast, and the coordinator settles cleanly.
+	if err := s0.UserDone(); err != nil {
+		t.Fatalf("UserDone(0): %v", err)
+	}
+	if err := s1.UserDone(); err != nil {
+		t.Fatalf("UserDone(1): %v", err)
+	}
+	for i, s := range []*Session{s0, s1} {
+		select {
+		case <-s.Drained():
+		case <-time.After(5 * time.Second):
+			t.Fatalf("node %d never saw the drain broadcast", i)
+		}
+	}
+	s0.Close()
+	s1.Close()
+	if err := co.Wait(); err != nil {
+		t.Errorf("clean run: coordinator verdict = %v, want nil", err)
+	}
+}
+
+func TestJoinRejectsWrongCookie(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 1, Cookie: 7, JoinTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	env := testEnv(co, 0)
+	env.Cookie = 8
+	if _, err := Join(env, Handlers{}); err == nil || !strings.Contains(err.Error(), "cookie") {
+		t.Errorf("wrong-cookie join error = %v, want a cookie rejection", err)
+	}
+}
+
+// TestRejectsVersionSkew drives the strict negotiation end to end: a
+// hello with a foreign magic is turned away with the decoder's
+// diagnosis, not a silent desync.
+func TestRejectsVersionSkew(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 1, Cookie: 7, JoinTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	conn, err := net.Dial("tcp", co.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	hello := wire.EncodeClusterHello(wire.ClusterHello{Procs: 1, ProcsPerNode: 1, Cookie: 7})[4:]
+	hello[0] ^= 0xff // corrupt the magic
+	cc := &clusterConn{c: conn}
+	if err := cc.writeFrame(frameHello, hello); err != nil {
+		t.Fatalf("write hello: %v", err)
+	}
+	body, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read reject: %v", err)
+	}
+	if len(body) < 1 || body[0] != frameReject {
+		t.Fatalf("coordinator reply %#x, want a reject frame", body)
+	}
+	if reason := string(body[1:]); !strings.Contains(reason, "magic") {
+		t.Errorf("reject reason %q does not name the magic mismatch", reason)
+	}
+}
+
+func TestRejectsDuplicateNode(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 2, Cookie: 7, JoinTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	first := joinAsync(testEnv(co, 0), Handlers{}) // parks waiting for the roster
+	time.Sleep(50 * time.Millisecond)
+	if _, err := Join(testEnv(co, 0), Handlers{}); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate-node join error = %v, want a duplicate rejection", err)
+	}
+	co.Close()
+	<-first
+}
+
+func TestRendezvousTimeout(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 2, Cookie: 7, JoinTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	ch := joinAsync(testEnv(co, 0), Handlers{}) // the only worker to show up
+	werr := co.Wait()
+	if werr == nil || !strings.Contains(werr.Error(), "1 of 2") {
+		t.Errorf("rendezvous timeout verdict = %v, want it to count 1 of 2 workers", werr)
+	}
+	<-ch
+}
+
+// TestConnLossFault kills a worker's connection mid-run and checks both
+// sides of the failure contract: the coordinator's verdict and the
+// surviving worker's fault callback attribute the loss to the dead
+// worker's rank.
+func TestConnLossFault(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 2, Cookie: 7})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	faultCh := make(chan *pipeline.FaultError, 1)
+	ch0 := joinAsync(testEnv(co, 0), Handlers{Fault: func(fe *pipeline.FaultError) { faultCh <- fe }})
+	ch1 := joinAsync(testEnv(co, 1), Handlers{})
+	r0, r1 := <-ch0, <-ch1
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("join: node0=%v node1=%v", r0.err, r1.err)
+	}
+	defer r0.s.Close()
+
+	r1.s.cc.c.Close() // node 1 dies abruptly, without the drain protocol
+
+	werr := co.Wait()
+	fe, ok := werr.(*pipeline.FaultError)
+	if !ok {
+		t.Fatalf("coordinator verdict = %v (%T), want *pipeline.FaultError", werr, werr)
+	}
+	if fe.Rank != 1 || fe.Kind != pipeline.FaultPeerLost {
+		t.Errorf("verdict = %+v, want Rank 1, FaultPeerLost", fe)
+	}
+	select {
+	case sfe := <-faultCh:
+		if sfe.Rank != 1 || sfe.Kind != pipeline.FaultPeerLost {
+			t.Errorf("survivor's fault = %+v, want Rank 1, FaultPeerLost", sfe)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("surviving worker never heard the fault broadcast")
+	}
+}
+
+// TestHeartbeatTimeout wedges one worker (its pings stop, but the
+// connection stays open) and checks the coordinator declares it dead by
+// staleness, attributed to its first rank.
+func TestHeartbeatTimeout(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 2, Cookie: 7, HeartbeatTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	healthy := testEnv(co, 0)
+	healthy.HeartbeatInterval = 50 * time.Millisecond
+	wedged := testEnv(co, 1)
+	wedged.HeartbeatInterval = time.Hour // joins, then never pings
+
+	ch0 := joinAsync(healthy, Handlers{})
+	ch1 := joinAsync(wedged, Handlers{})
+	r0, r1 := <-ch0, <-ch1
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("join: node0=%v node1=%v", r0.err, r1.err)
+	}
+	defer r0.s.Close()
+	defer r1.s.Close()
+
+	werr := co.Wait()
+	fe, ok := werr.(*pipeline.FaultError)
+	if !ok {
+		t.Fatalf("coordinator verdict = %v (%T), want *pipeline.FaultError", werr, werr)
+	}
+	if fe.Rank != 1 || fe.Kind != pipeline.FaultPeerLost {
+		t.Errorf("verdict = %+v, want Rank 1, FaultPeerLost", fe)
+	}
+	if !strings.Contains(fe.Op, "silent") {
+		t.Errorf("verdict op %q does not describe the silence", fe.Op)
+	}
+}
+
+// TestListenReportsAddress pins the listener hygiene contract: a bind
+// failure names the address it tried, and an address-in-use race is
+// retried until the port frees up.
+func TestListenReportsAddress(t *testing.T) {
+	const bad = "203.0.113.1:0" // TEST-NET-3: never bindable locally
+	if _, err := Listen(bad); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Errorf("Listen(%s) error = %v, want it to name the address", bad, err)
+	}
+}
+
+func TestListenRetriesBindRace(t *testing.T) {
+	blocker, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("blocker listen: %v", err)
+	}
+	addr := blocker.Addr().String()
+	time.AfterFunc(25*time.Millisecond, func() { blocker.Close() })
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen did not ride out the bind race on %s: %v", addr, err)
+	}
+	ln.Close()
+}
+
+func TestWorkerEnvRoundTrip(t *testing.T) {
+	want := WorkerEnv{
+		Addr:              "127.0.0.1:9999",
+		Node:              2,
+		Procs:             8,
+		ProcsPerNode:      2,
+		Cookie:            0xfeedface,
+		HeartbeatInterval: 250 * time.Millisecond,
+		JoinTimeout:       9 * time.Second,
+	}
+	for _, kv := range want.Environ() {
+		k, v, _ := strings.Cut(kv, "=")
+		t.Setenv(k, v)
+	}
+	got, ok, err := FromEnv()
+	if err != nil || !ok {
+		t.Fatalf("FromEnv: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Errorf("worker env mutated through the environment: sent %+v got %+v", want, got)
+	}
+}
+
+func TestFromEnvAbsent(t *testing.T) {
+	t.Setenv(EnvAddr, "")
+	if _, ok, err := FromEnv(); ok || err != nil {
+		t.Errorf("FromEnv with no cluster env: ok=%v err=%v, want absent and nil", ok, err)
+	}
+}
+
+func TestFromEnvMalformed(t *testing.T) {
+	t.Setenv(EnvAddr, "127.0.0.1:1")
+	t.Setenv(EnvNode, "zero")
+	if _, ok, err := FromEnv(); !ok || err == nil || !strings.Contains(err.Error(), EnvNode) {
+		t.Errorf("FromEnv with a bad node: ok=%v err=%v, want an error naming %s", ok, err, EnvNode)
+	}
+}
+
+// TestSendMsgConcurrent exercises the shared frame buffer under the
+// race detector: many goroutines sending on one session must interleave
+// whole frames.
+func TestSendMsgConcurrent(t *testing.T) {
+	co, err := NewCoordinator(Config{Procs: 2, Cookie: 7})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	defer co.Close()
+
+	const msgs = 64
+	var mu sync.Mutex
+	seen := 0
+	done := make(chan struct{})
+	h1 := Handlers{Data: func(body []byte) {
+		if _, derr := wire.Decode(body); derr != nil {
+			t.Errorf("interleaved frame corrupt: %v", derr)
+		}
+		mu.Lock()
+		seen++
+		if seen == 2*msgs {
+			close(done)
+		}
+		mu.Unlock()
+	}}
+	ch0 := joinAsync(testEnv(co, 0), Handlers{})
+	ch1 := joinAsync(testEnv(co, 1), h1)
+	r0, r1 := <-ch0, <-ch1
+	if r0.err != nil || r1.err != nil {
+		t.Fatalf("join: node0=%v node1=%v", r0.err, r1.err)
+	}
+	defer r0.s.Close()
+	defer r1.s.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				m := &msg.Message{Kind: msg.KindPut, Src: msg.User(0), Dst: msg.User(1), Seq: uint64(w*msgs + i + 1), Data: []byte("payload")}
+				if err := r0.s.SendMsg(m); err != nil {
+					t.Errorf("SendMsg: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		t.Fatalf("only %d of %d concurrent sends arrived", seen, 2*msgs)
+	}
+}

@@ -1,0 +1,368 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"armci/internal/pipeline"
+	"armci/internal/wire"
+)
+
+// Config describes one coordinator — the rendezvous point and message
+// router of a multi-process launch.
+type Config struct {
+	// Procs is the total user-process (rank) count of the launch.
+	Procs int
+	// ProcsPerNode is how many consecutive ranks one worker process
+	// hosts. Defaults to 1.
+	ProcsPerNode int
+	// Cookie is the per-launch shared secret workers must present.
+	Cookie uint64
+	// Addr is the listen address. Defaults to an ephemeral loopback
+	// port, "127.0.0.1:0".
+	Addr string
+	// JoinTimeout bounds the rendezvous: if not every node has joined
+	// within it, the launch fails listing how many arrived. Defaults to
+	// 30s.
+	JoinTimeout time.Duration
+	// HeartbeatTimeout is how long a worker connection may stay silent
+	// (no pings, no data) before the worker is declared dead. Defaults
+	// to 5s. Workers ping at a fraction of this (see WorkerEnv).
+	HeartbeatTimeout time.Duration
+	// Logf, if non-nil, receives diagnostic log lines (rejections,
+	// fault declarations).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) normalize() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("cluster: config needs Procs >= 1, got %d", c.Procs)
+	}
+	if c.ProcsPerNode <= 0 {
+		c.ProcsPerNode = 1
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.JoinTimeout <= 0 {
+		c.JoinTimeout = 30 * time.Second
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+func (c *Config) numNodes() int { return (c.Procs + c.ProcsPerNode - 1) / c.ProcsPerNode }
+
+// Coordinator accepts worker connections, admits them through the hello
+// handshake, broadcasts the roster, routes data frames between nodes,
+// and watches each worker's liveness. One Coordinator serves one launch.
+type Coordinator struct {
+	cfg Config
+	ln  net.Listener
+
+	mu         sync.Mutex
+	conns      map[int]*clusterConn // node → admitted connection
+	joined     int
+	rosterSent bool
+	usersDone  map[int]bool
+	drainSent  bool
+	finished   int                  // conns closed normally after drain
+	fault      *pipeline.FaultError // first declared fault
+	err        error                // final result, set by finish
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewCoordinator binds the rendezvous listener and starts accepting
+// workers. The returned coordinator runs until Wait returns or Close is
+// called.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	ln, err := Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{
+		cfg:       cfg,
+		ln:        ln,
+		conns:     make(map[int]*clusterConn),
+		usersDone: make(map[int]bool),
+		done:      make(chan struct{}),
+	}
+	go co.acceptLoop()
+	time.AfterFunc(cfg.JoinTimeout, co.joinDeadline)
+	return co, nil
+}
+
+// Addr returns the address workers must dial.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Wait blocks until the launch completes and returns nil on a clean
+// drain, a *pipeline.FaultError when a worker was declared dead, or a
+// descriptive error when rendezvous timed out.
+func (co *Coordinator) Wait() error {
+	<-co.done
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.err
+}
+
+// Close tears the coordinator down. Safe to call at any time and after
+// Wait; a Close racing a live run surfaces as a closed-coordinator
+// error from Wait.
+func (co *Coordinator) Close() {
+	co.finish(fmt.Errorf("cluster: coordinator closed"))
+}
+
+func (co *Coordinator) acceptLoop() {
+	for {
+		c, err := co.ln.Accept()
+		if err != nil {
+			return // listener closed at teardown
+		}
+		go co.serveConn(c)
+	}
+}
+
+// joinDeadline fails the launch if rendezvous did not complete in time.
+func (co *Coordinator) joinDeadline() {
+	co.mu.Lock()
+	if co.rosterSent || co.err != nil {
+		co.mu.Unlock()
+		return
+	}
+	joined := co.joined
+	co.mu.Unlock()
+	co.finish(fmt.Errorf("cluster: rendezvous timeout: only %d of %d workers joined %s within %v",
+		joined, co.cfg.numNodes(), co.Addr(), co.cfg.JoinTimeout))
+}
+
+// finish settles the launch outcome exactly once and tears everything
+// down. The first caller's error wins.
+func (co *Coordinator) finish(err error) {
+	co.doneOnce.Do(func() {
+		co.mu.Lock()
+		co.err = err
+		conns := make([]*clusterConn, 0, len(co.conns))
+		for _, cc := range co.conns {
+			conns = append(conns, cc)
+		}
+		co.mu.Unlock()
+		co.ln.Close()
+		for _, cc := range conns {
+			cc.c.Close()
+		}
+		close(co.done)
+	})
+}
+
+// serveConn runs one worker connection: handshake, then the read loop
+// with per-read liveness deadlines.
+func (co *Coordinator) serveConn(c net.Conn) {
+	cc := &clusterConn{c: c}
+	c.SetReadDeadline(time.Now().Add(co.cfg.JoinTimeout))
+	body, err := wire.ReadFrame(c)
+	if err != nil {
+		c.Close()
+		return
+	}
+	node, rerr := co.admit(cc, body)
+	if rerr != nil {
+		cc.writeFrame(frameReject, []byte(rerr.Error()))
+		c.Close()
+		co.cfg.Logf("cluster: rejected %v: %v", c.RemoteAddr(), rerr)
+		return
+	}
+
+	for {
+		// Until the roster is out, workers sit quiet waiting for
+		// stragglers, so liveness can only be judged against the join
+		// window; afterwards pings arrive every heartbeat interval.
+		co.mu.Lock()
+		dl := co.cfg.HeartbeatTimeout
+		if !co.rosterSent {
+			dl += co.cfg.JoinTimeout
+		}
+		co.mu.Unlock()
+		c.SetReadDeadline(time.Now().Add(dl))
+
+		body, err := wire.ReadFrame(c)
+		if err != nil {
+			co.mu.Lock()
+			benign := co.drainSent || co.fault != nil || co.err != nil
+			co.mu.Unlock()
+			if benign {
+				co.connFinished(node)
+				return
+			}
+			reason := fmt.Sprintf("connection to worker node %d lost (%v)", node, err)
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				reason = fmt.Sprintf("worker node %d went silent: no heartbeat for %v", node, dl)
+			}
+			co.declareFault(node, reason)
+			return
+		}
+		if len(body) == 0 {
+			continue
+		}
+		switch body[0] {
+		case framePing:
+		case frameData:
+			co.route(node, body)
+		case frameUserDone:
+			co.userDone(node)
+		default:
+			co.declareFault(node, fmt.Sprintf("worker node %d sent unknown frame type %#x", node, body[0]))
+			return
+		}
+	}
+}
+
+// admit validates a hello frame and registers the connection; when the
+// last node arrives it broadcasts the roster. Returns the node index or
+// the rejection reason.
+func (co *Coordinator) admit(cc *clusterConn, body []byte) (int, error) {
+	if len(body) < 1 || body[0] != frameHello {
+		return 0, fmt.Errorf("first frame is not a cluster hello")
+	}
+	h, err := wire.DecodeClusterHello(body[1:])
+	if err != nil {
+		return 0, err
+	}
+	if h.Cookie != co.cfg.Cookie {
+		return 0, fmt.Errorf("cookie mismatch: worker is not from this launch")
+	}
+	if h.Procs != co.cfg.Procs || h.ProcsPerNode != co.cfg.ProcsPerNode {
+		return 0, fmt.Errorf("cluster shape mismatch: worker built for %d procs × %d/node, launch is %d × %d",
+			h.Procs, h.ProcsPerNode, co.cfg.Procs, co.cfg.ProcsPerNode)
+	}
+	if h.Node < 0 || h.Node >= co.cfg.numNodes() {
+		return 0, fmt.Errorf("node claim %d out of range [0,%d)", h.Node, co.cfg.numNodes())
+	}
+
+	co.mu.Lock()
+	if co.conns[h.Node] != nil {
+		co.mu.Unlock()
+		return 0, fmt.Errorf("node %d already joined: duplicate worker", h.Node)
+	}
+	co.conns[h.Node] = cc
+	co.joined++
+	complete := co.joined == co.cfg.numNodes()
+	if complete {
+		co.rosterSent = true
+	}
+	conns := make([]*clusterConn, 0, len(co.conns))
+	for _, other := range co.conns {
+		conns = append(conns, other)
+	}
+	co.mu.Unlock()
+
+	if complete {
+		payload := rosterPayload(co.cfg.Procs, co.cfg.ProcsPerNode, co.cfg.numNodes())
+		for _, other := range conns {
+			other.writeFrame(frameRoster, payload)
+		}
+	}
+	return h.Node, nil
+}
+
+// route forwards a data frame to the node hosting its destination
+// endpoint. A missing destination (torn down during a fault) drops the
+// frame; a write failure is left to the destination's own read loop to
+// diagnose.
+func (co *Coordinator) route(from int, body []byte) {
+	msgBody, err := dataMsgBody(body[1:])
+	if err != nil {
+		co.declareFault(from, fmt.Sprintf("worker node %d sent a corrupt data frame: %v", from, err))
+		return
+	}
+	dst, err := wire.PeekDst(msgBody)
+	if err != nil {
+		co.declareFault(from, fmt.Sprintf("worker node %d sent an unroutable data frame: %v", from, err))
+		return
+	}
+	node := nodeOf(dst, co.cfg.numNodes(), co.cfg.ProcsPerNode)
+	co.mu.Lock()
+	cc := co.conns[node]
+	co.mu.Unlock()
+	if cc == nil {
+		return
+	}
+	cc.writeRaw(body)
+}
+
+// userDone records one node's user ranks finishing; when every node has
+// reported, the drain broadcast tells workers to stop their servers.
+func (co *Coordinator) userDone(node int) {
+	co.mu.Lock()
+	co.usersDone[node] = true
+	if len(co.usersDone) < co.cfg.numNodes() || co.drainSent {
+		co.mu.Unlock()
+		return
+	}
+	co.drainSent = true
+	conns := make([]*clusterConn, 0, len(co.conns))
+	for _, cc := range co.conns {
+		conns = append(conns, cc)
+	}
+	co.mu.Unlock()
+	for _, cc := range conns {
+		cc.writeFrame(frameDrain, nil)
+	}
+}
+
+// connFinished records a post-drain connection close; when the last one
+// goes, the launch completed cleanly.
+func (co *Coordinator) connFinished(node int) {
+	co.mu.Lock()
+	if co.conns[node] != nil {
+		delete(co.conns, node)
+		co.finished++
+	}
+	clean := co.drainSent && co.finished == co.cfg.numNodes()
+	co.mu.Unlock()
+	if clean {
+		co.finish(nil)
+	}
+}
+
+// declareFault attributes a lost worker to its first rank, broadcasts
+// the fault to survivors (so every blocked peer aborts with the dead
+// worker's rank, not its own), and fails the launch.
+func (co *Coordinator) declareFault(node int, reason string) {
+	fe := &pipeline.FaultError{
+		Rank: node * co.cfg.ProcsPerNode,
+		Op:   reason,
+		Kind: pipeline.FaultPeerLost,
+	}
+	co.mu.Lock()
+	if co.fault != nil || co.err != nil {
+		co.mu.Unlock()
+		return
+	}
+	co.fault = fe
+	conns := make([]*clusterConn, 0, len(co.conns))
+	for n, cc := range co.conns {
+		if n != node {
+			conns = append(conns, cc)
+		}
+	}
+	co.mu.Unlock()
+
+	co.cfg.Logf("cluster: fault: %v", fe)
+	payload := faultPayload(fe.Rank, reason)
+	for _, cc := range conns {
+		cc.writeFrame(frameFault, payload)
+	}
+	co.finish(fe)
+}

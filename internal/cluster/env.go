@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Environment variables the launcher sets for each worker process. The
+// presence of EnvAddr is what marks a process as a cluster worker.
+const (
+	// EnvAddr is the coordinator's dial address.
+	EnvAddr = "ARMCI_CLUSTER_ADDR"
+	// EnvNode is the SMP node index this worker hosts.
+	EnvNode = "ARMCI_CLUSTER_NODE"
+	// EnvProcs is the total user-process count of the launch.
+	EnvProcs = "ARMCI_CLUSTER_PROCS"
+	// EnvProcsPerNode is the rank→node grouping.
+	EnvProcsPerNode = "ARMCI_CLUSTER_PPN"
+	// EnvCookie is the per-launch shared secret, in hex.
+	EnvCookie = "ARMCI_CLUSTER_COOKIE"
+	// EnvHeartbeatInterval is the worker's ping period (Go duration).
+	EnvHeartbeatInterval = "ARMCI_CLUSTER_HB_INTERVAL"
+	// EnvJoinTimeout bounds dialing + rendezvous (Go duration).
+	EnvJoinTimeout = "ARMCI_CLUSTER_JOIN_TIMEOUT"
+)
+
+// WorkerEnv is everything a worker process needs to join its launch —
+// marshalled through the environment by the launcher and back via
+// FromEnv on the worker side.
+type WorkerEnv struct {
+	// Addr is the coordinator's dial address.
+	Addr string
+	// Node is the SMP node this worker hosts: user ranks
+	// [Node·ProcsPerNode, min((Node+1)·ProcsPerNode, Procs)), the
+	// node's data server and its NIC agent.
+	Node int
+	// Procs is the total rank count of the launch.
+	Procs int
+	// ProcsPerNode is the rank→node grouping.
+	ProcsPerNode int
+	// Cookie is the per-launch shared secret.
+	Cookie uint64
+	// HeartbeatInterval is the ping period; it must be comfortably
+	// below the coordinator's HeartbeatTimeout. 0 selects 500ms.
+	HeartbeatInterval time.Duration
+	// JoinTimeout bounds dialing plus waiting for the roster. 0
+	// selects 30s.
+	JoinTimeout time.Duration
+}
+
+// NumNodes returns the launch's node count.
+func (e WorkerEnv) NumNodes() int { return (e.Procs + e.ProcsPerNode - 1) / e.ProcsPerNode }
+
+// FirstRank returns the lowest user rank this worker hosts — the rank a
+// whole-worker failure is attributed to.
+func (e WorkerEnv) FirstRank() int { return e.Node * e.ProcsPerNode }
+
+// LocalRanks returns the user ranks this worker hosts.
+func (e WorkerEnv) LocalRanks() []int {
+	lo := e.FirstRank()
+	hi := lo + e.ProcsPerNode
+	if hi > e.Procs {
+		hi = e.Procs
+	}
+	ranks := make([]int, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		ranks = append(ranks, r)
+	}
+	return ranks
+}
+
+func (e WorkerEnv) validate() error {
+	switch {
+	case e.Addr == "":
+		return fmt.Errorf("cluster: worker env has no coordinator address")
+	case e.Procs <= 0:
+		return fmt.Errorf("cluster: worker env needs Procs >= 1, got %d", e.Procs)
+	case e.ProcsPerNode <= 0:
+		return fmt.Errorf("cluster: worker env needs ProcsPerNode >= 1, got %d", e.ProcsPerNode)
+	case e.Node < 0 || e.Node >= e.NumNodes():
+		return fmt.Errorf("cluster: worker env node %d out of range [0,%d)", e.Node, e.NumNodes())
+	}
+	return nil
+}
+
+func (e WorkerEnv) hbInterval() time.Duration {
+	if e.HeartbeatInterval > 0 {
+		return e.HeartbeatInterval
+	}
+	return 500 * time.Millisecond
+}
+
+func (e WorkerEnv) joinTimeout() time.Duration {
+	if e.JoinTimeout > 0 {
+		return e.JoinTimeout
+	}
+	return 30 * time.Second
+}
+
+// Environ renders the worker env as KEY=VALUE pairs for exec.Cmd.Env.
+func (e WorkerEnv) Environ() []string {
+	env := []string{
+		EnvAddr + "=" + e.Addr,
+		EnvNode + "=" + strconv.Itoa(e.Node),
+		EnvProcs + "=" + strconv.Itoa(e.Procs),
+		EnvProcsPerNode + "=" + strconv.Itoa(e.ProcsPerNode),
+		EnvCookie + "=" + strconv.FormatUint(e.Cookie, 16),
+	}
+	if e.HeartbeatInterval > 0 {
+		env = append(env, EnvHeartbeatInterval+"="+e.HeartbeatInterval.String())
+	}
+	if e.JoinTimeout > 0 {
+		env = append(env, EnvJoinTimeout+"="+e.JoinTimeout.String())
+	}
+	return env
+}
+
+// FromEnv reads the worker env from the process environment. The second
+// return is false when the process is not a cluster worker (no
+// coordinator address set); a malformed env is an error, not a silent
+// fallback, so a broken launcher fails loudly.
+func FromEnv() (WorkerEnv, bool, error) {
+	addr := os.Getenv(EnvAddr)
+	if addr == "" {
+		return WorkerEnv{}, false, nil
+	}
+	e := WorkerEnv{Addr: addr}
+	var err error
+	if e.Node, err = envInt(EnvNode); err != nil {
+		return e, true, err
+	}
+	if e.Procs, err = envInt(EnvProcs); err != nil {
+		return e, true, err
+	}
+	if e.ProcsPerNode, err = envInt(EnvProcsPerNode); err != nil {
+		return e, true, err
+	}
+	cookie := os.Getenv(EnvCookie)
+	if e.Cookie, err = strconv.ParseUint(cookie, 16, 64); err != nil {
+		return e, true, fmt.Errorf("cluster: bad %s=%q: %v", EnvCookie, cookie, err)
+	}
+	if e.HeartbeatInterval, err = envDuration(EnvHeartbeatInterval); err != nil {
+		return e, true, err
+	}
+	if e.JoinTimeout, err = envDuration(EnvJoinTimeout); err != nil {
+		return e, true, err
+	}
+	return e, true, e.validate()
+}
+
+func envInt(key string) (int, error) {
+	v := os.Getenv(key)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: bad %s=%q: %v", key, v, err)
+	}
+	return n, nil
+}
+
+func envDuration(key string) (time.Duration, error) {
+	v := os.Getenv(key)
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: bad %s=%q: %v", key, v, err)
+	}
+	return d, nil
+}

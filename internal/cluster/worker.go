@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"armci/internal/msg"
+	"armci/internal/pipeline"
+	"armci/internal/wire"
+)
+
+// Handlers are the worker-side callbacks a Session invokes from its
+// read loop. Both must be safe for concurrent use and non-blocking
+// enough not to stall the connection.
+type Handlers struct {
+	// Data receives the encoded message body of every data frame routed
+	// to this worker. nil drops data frames.
+	Data func(body []byte)
+	// Fault is invoked exactly once if the launch fails — a peer was
+	// declared dead (the error carries the dead worker's first rank) or
+	// the coordinator itself vanished. nil ignores faults.
+	Fault func(*pipeline.FaultError)
+}
+
+// Session is one worker's connection to its launch: it joins via the
+// hello handshake, sends and receives routed data frames, heartbeats
+// the coordinator, participates in the drain protocol and surfaces
+// cluster faults.
+type Session struct {
+	env WorkerEnv
+	cc  *clusterConn
+	h   Handlers
+
+	drainCh   chan struct{}
+	drainOnce sync.Once
+	pingDone  chan struct{}
+	closeOnce sync.Once
+
+	mu     sync.Mutex
+	closed bool
+	err    *pipeline.FaultError
+	fOnce  sync.Once
+}
+
+// Join dials the coordinator (retrying until the join timeout, since
+// the worker may start before the launcher finishes binding), presents
+// the versioned hello, and blocks until the roster broadcast — i.e.
+// until every node of the launch has arrived. On return the session is
+// live: heartbeats flow and data frames are delivered to h.Data.
+func Join(env WorkerEnv, h Handlers) (*Session, error) {
+	if err := env.validate(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(env.joinTimeout())
+	var conn net.Conn
+	for {
+		var err error
+		conn, err = net.Dial("tcp", env.Addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster: node %d cannot reach coordinator at %s: %w", env.Node, env.Addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cc := &clusterConn{c: conn}
+	hello := wire.EncodeClusterHello(wire.ClusterHello{
+		Node:         env.Node,
+		Procs:        env.Procs,
+		ProcsPerNode: env.ProcsPerNode,
+		Cookie:       env.Cookie,
+	})[4:] // strip the outer length prefix; writeFrame re-frames
+	if err := cc.writeFrame(frameHello, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: node %d hello: %w", env.Node, err)
+	}
+
+	conn.SetReadDeadline(deadline)
+	var early [][]byte // data frames that overtook our roster write
+join:
+	for {
+		body, err := wire.ReadFrame(conn)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: node %d: no roster from coordinator within %v: %w", env.Node, env.joinTimeout(), err)
+		}
+		if len(body) == 0 {
+			continue
+		}
+		switch body[0] {
+		case frameReject:
+			conn.Close()
+			return nil, fmt.Errorf("cluster: node %d rejected by coordinator: %s", env.Node, body[1:])
+		case frameRoster:
+			if rerr := checkRoster(body[1:], env); rerr != nil {
+				conn.Close()
+				return nil, rerr
+			}
+			break join
+		case frameData:
+			// The coordinator broadcasts the roster conn by conn, so a
+			// fast peer that already saw its roster can have a data frame
+			// routed here first. Hold it for delivery once the handshake
+			// completes.
+			mb, derr := dataMsgBody(body[1:])
+			if derr != nil {
+				conn.Close()
+				return nil, fmt.Errorf("cluster: node %d: %w", env.Node, derr)
+			}
+			early = append(early, mb)
+		case frameFault:
+			// The launch already failed (a peer died mid-rendezvous).
+			rank, reason := parseFault(body[1:])
+			conn.Close()
+			return nil, &pipeline.FaultError{Rank: rank, Op: reason, Kind: pipeline.FaultPeerLost}
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("cluster: node %d: unexpected frame %#x before roster", env.Node, body[0])
+		}
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	s := &Session{
+		env:      env,
+		cc:       cc,
+		h:        h,
+		drainCh:  make(chan struct{}),
+		pingDone: make(chan struct{}),
+	}
+	for _, mb := range early {
+		if h.Data != nil {
+			h.Data(mb)
+		}
+	}
+	go s.readLoop()
+	go s.pingLoop()
+	return s, nil
+}
+
+// Env returns the worker env the session joined with.
+func (s *Session) Env() WorkerEnv { return s.env }
+
+// SendMsg encodes m and ships it to the coordinator for routing to the
+// node hosting m.Dst. The encode reuses the connection's frame buffer,
+// so steady-state sends do not allocate. The caller must have stamped
+// the message through the pipeline first (Src, Dst, Seq).
+func (s *Session) SendMsg(m *msg.Message) error {
+	cc := s.cc
+	cc.mu.Lock()
+	b := append(cc.buf[:0], 0, 0, 0, 0, frameData)
+	b = wire.AppendEncode(b, m) // appends the inner [len][msg body] frame
+	binary.LittleEndian.PutUint32(b, uint32(len(b)-4))
+	cc.buf = b
+	err := wire.WriteFrame(cc.c, b)
+	cc.mu.Unlock()
+	if err != nil {
+		if fe := s.Err(); fe != nil {
+			return fe
+		}
+		return fmt.Errorf("cluster: node %d send: %w", s.env.Node, err)
+	}
+	return nil
+}
+
+// UserDone tells the coordinator this node's user ranks all finished.
+func (s *Session) UserDone() error { return s.cc.writeFrame(frameUserDone, nil) }
+
+// Drained is closed when the coordinator broadcasts the drain: every
+// node's users finished, servers may stop.
+func (s *Session) Drained() <-chan struct{} { return s.drainCh }
+
+// Err returns the cluster fault, if one was surfaced.
+func (s *Session) Err() *pipeline.FaultError {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close tears the session down. A close after the drain is the normal
+// end of a worker's life; the coordinator treats the connection loss as
+// benign.
+func (s *Session) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		close(s.pingDone)
+		s.cc.c.Close()
+	})
+}
+
+func (s *Session) drained() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail surfaces a cluster fault exactly once.
+func (s *Session) fail(fe *pipeline.FaultError) {
+	s.fOnce.Do(func() {
+		s.mu.Lock()
+		s.err = fe
+		s.mu.Unlock()
+		if s.h.Fault != nil {
+			s.h.Fault(fe)
+		}
+	})
+}
+
+// readLoop drains coordinator frames: data to the handler, drain to the
+// drain channel, fault broadcasts (and unexpected connection loss) to
+// the fault handler.
+func (s *Session) readLoop() {
+	for {
+		body, err := wire.ReadFrame(s.cc.c)
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || s.drained() {
+				return // normal teardown
+			}
+			s.fail(&pipeline.FaultError{
+				Rank: s.env.FirstRank(),
+				Op:   fmt.Sprintf("cluster: node %d lost the coordinator (%v)", s.env.Node, err),
+				Kind: pipeline.FaultPeerLost,
+			})
+			return
+		}
+		if len(body) == 0 {
+			continue
+		}
+		switch body[0] {
+		case frameData:
+			mb, derr := dataMsgBody(body[1:])
+			if derr != nil {
+				s.fail(&pipeline.FaultError{
+					Rank: s.env.FirstRank(),
+					Op:   derr.Error(),
+					Kind: pipeline.FaultPeerLost,
+				})
+				return
+			}
+			if s.h.Data != nil {
+				s.h.Data(mb)
+			}
+		case frameDrain:
+			s.drainOnce.Do(func() { close(s.drainCh) })
+		case frameFault:
+			rank, reason := parseFault(body[1:])
+			s.fail(&pipeline.FaultError{Rank: rank, Op: reason, Kind: pipeline.FaultPeerLost})
+			return
+		case framePing, frameRoster:
+			// Harmless repeats.
+		}
+	}
+}
+
+// pingLoop keeps the coordinator's liveness deadline fed.
+func (s *Session) pingLoop() {
+	t := time.NewTicker(s.env.hbInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-s.pingDone:
+			return
+		case <-t.C:
+			if err := s.cc.writeFrame(framePing, nil); err != nil {
+				return // read loop diagnoses the loss
+			}
+		}
+	}
+}

@@ -172,6 +172,12 @@ const (
 	FaultRetryExhausted
 	// FaultOpTimeout: a single operation exceeded the per-op deadline.
 	FaultOpTimeout
+	// FaultPeerLost: a multi-process cluster peer died or went silent —
+	// its connection to the rendezvous coordinator was lost or its
+	// heartbeats stopped. Rank names the dead peer's first rank, so the
+	// failure is attributed to the worker that vanished, not to whichever
+	// rank happened to be blocked on it.
+	FaultPeerLost
 )
 
 func (k FaultKind) String() string {
@@ -182,6 +188,8 @@ func (k FaultKind) String() string {
 		return "retry budget exhausted"
 	case FaultOpTimeout:
 		return "operation deadline exceeded"
+	case FaultPeerLost:
+		return "cluster peer lost"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }

@@ -342,17 +342,36 @@ func (s *Stats) Fingerprint() string {
 	defer s.mu.Unlock()
 	var b strings.Builder
 	for _, e := range s.events {
-		fmt.Fprintf(&b, "%d:%s:%v>%v:%d", e.Seq, e.Kind, e.Src, e.Dst, e.Size)
-		if e.PairSeq != 0 {
-			fmt.Fprintf(&b, ":q%d", e.PairSeq)
-		}
-		if e.FaultDelay != 0 {
-			fmt.Fprintf(&b, ":f%d", e.FaultDelay.Nanoseconds())
-		}
-		if e.Dup {
-			b.WriteString(":dup")
-		}
-		b.WriteByte(';')
+		appendFingerprint(&b, e, e.Seq)
 	}
 	return b.String()
+}
+
+// FingerprintEvents digests an arbitrary event slice with the same
+// per-event encoding as Fingerprint, but numbered by position in the
+// slice rather than by the recorded Seq. That makes the digest of a
+// filtered sub-stream comparable to a capture that only ever saw that
+// sub-stream — e.g. a single cluster worker's local trace, whose send
+// events are exactly the global stream restricted to sources on its
+// node.
+func FingerprintEvents(events []Event) string {
+	var b strings.Builder
+	for i, e := range events {
+		appendFingerprint(&b, e, i+1)
+	}
+	return b.String()
+}
+
+func appendFingerprint(b *strings.Builder, e Event, seq int) {
+	fmt.Fprintf(b, "%d:%s:%v>%v:%d", seq, e.Kind, e.Src, e.Dst, e.Size)
+	if e.PairSeq != 0 {
+		fmt.Fprintf(b, ":q%d", e.PairSeq)
+	}
+	if e.FaultDelay != 0 {
+		fmt.Fprintf(b, ":f%d", e.FaultDelay.Nanoseconds())
+	}
+	if e.Dup {
+		b.WriteString(":dup")
+	}
+	b.WriteByte(';')
 }

@@ -1,0 +1,358 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"armci/internal/cluster"
+	"armci/internal/model"
+	"armci/internal/msg"
+	"armci/internal/pipeline"
+	"armci/internal/shmem"
+	"armci/internal/trace"
+	"armci/internal/wire"
+)
+
+// ProcFabric runs one SMP node's slice of a multi-process cluster
+// inside this OS process: the node's user ranks, data server and NIC
+// agent as goroutines, with every message crossing a real inter-process
+// TCP connection through the launch coordinator's star (see
+// internal/cluster). It is the fourth fabric — the same protocol code
+// that runs on simnet/channet/tcpnet runs here across genuine process
+// boundaries, launched by cmd/armci-run.
+//
+// Each worker holds a full shmem.Space replica, but only its own node's
+// memory is ever touched directly: the client-server model ships every
+// remote operation as a message to the owning node's server, so replica
+// divergence on remote segments is unobservable by construction.
+// Messages still flow through the shared pipeline, so FIFO stamping,
+// fault injection, dedup and metrics behave identically to the
+// in-process fabrics — the sender's pipeline stamps the per-pair
+// sequence, the receiver's suppresses duplicates, and the two never
+// race because a directed pair's send state lives only at its source
+// worker.
+type ProcFabric struct {
+	cfg   Config
+	env   cluster.WorkerEnv
+	space *shmem.Space
+	pipe  *pipeline.Pipeline
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	mailboxes map[msg.Addr]*msg.Queue
+	shutdown  bool
+	fault     error // cluster fault; aborts every blocked local actor
+
+	users   []actorSpec
+	servers []actorSpec
+
+	start time.Time
+	sess  *cluster.Session
+
+	panics chan error
+}
+
+// NewProc builds the fabric for the worker described by env. The config
+// must agree with the launch shape — a worker built for a different
+// cluster than the one that spawned it is a deployment bug worth
+// failing loudly on.
+func NewProc(cfg Config, env cluster.WorkerEnv) (*ProcFabric, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Procs != env.Procs || cfg.ProcsPerNode != env.ProcsPerNode {
+		return nil, fmt.Errorf("procnet: config shape %d procs × %d/node does not match launch env %d × %d",
+			cfg.Procs, cfg.ProcsPerNode, env.Procs, env.ProcsPerNode)
+	}
+	f := &ProcFabric{
+		cfg:       cfg,
+		env:       env,
+		space:     shmem.NewSpace(cfg.nodeMap()),
+		mailboxes: make(map[msg.Addr]*msg.Queue),
+		panics:    make(chan error, cfg.Procs+2*cfg.numNodes()+1),
+	}
+	// Like tcpnet, procnet measures real socket costs: the cost-model
+	// stage stays inactive; trace, fault injection and metrics run.
+	f.pipe = cfg.newPipeline(f.space, false)
+	f.cond = sync.NewCond(&f.mu)
+	f.space.SetOnWrite(func() {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	return f, nil
+}
+
+// Space returns this worker's shared-memory replica.
+func (f *ProcFabric) Space() *shmem.Space { return f.space }
+
+// Config returns the cluster configuration.
+func (f *ProcFabric) Config() *Config { return &f.cfg }
+
+// SpawnUser registers the body of rank's user process. Ranks hosted by
+// other workers are ignored — they run in their own OS processes.
+func (f *ProcFabric) SpawnUser(rank int, body func(Env)) {
+	a := msg.User(rank)
+	if endpointNode(f.space, a) != f.env.Node {
+		return
+	}
+	f.users = append(f.users, actorSpec{addr: a, body: body})
+}
+
+// SpawnServer registers the body of node's data server (or NIC agent,
+// for IDs at or beyond the node count). Non-local ones are ignored.
+func (f *ProcFabric) SpawnServer(node int, body func(Env)) {
+	a := msg.ServerOf(node)
+	if endpointNode(f.space, a) != f.env.Node {
+		return
+	}
+	f.servers = append(f.servers, actorSpec{addr: a, body: body})
+}
+
+// Run joins the launch rendezvous, executes the local actors to
+// completion, participates in the cluster drain protocol and tears the
+// session down. A worker lost elsewhere in the launch surfaces as its
+// rank-attributed *pipeline.FaultError.
+func (f *ProcFabric) Run() error {
+	// Mailboxes and the clock epoch must exist before Join: the session
+	// can deliver data the instant the rendezvous completes, and onData
+	// stamps arrivals against f.start.
+	all := append(append([]actorSpec(nil), f.users...), f.servers...)
+	for _, a := range all {
+		f.mailboxes[a.addr] = &msg.Queue{}
+	}
+	f.start = time.Now()
+
+	sess, err := cluster.Join(f.env, cluster.Handlers{
+		Data:  f.onData,
+		Fault: f.onFault,
+	})
+	if err != nil {
+		var fe *pipeline.FaultError
+		if errors.As(err, &fe) {
+			return fe // a peer died mid-rendezvous; keep the rank attribution
+		}
+		return fmt.Errorf("procnet: %w", err)
+	}
+	f.sess = sess
+	defer sess.Close()
+	var userWG, serverWG sync.WaitGroup
+	runActor := func(spec actorSpec, wg *sync.WaitGroup) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if a, ok := r.(abort); ok && a.err != nil {
+					f.panics <- a.err // structured fault, propagate verbatim
+				} else {
+					f.panics <- fmt.Errorf("procnet: actor %v panicked: %v", spec.addr, r)
+				}
+				f.mu.Lock()
+				f.shutdown = true
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			}
+		}()
+		spec.body(&procEnv{f: f, addr: spec.addr})
+	}
+	for _, a := range f.servers {
+		serverWG.Add(1)
+		go runActor(a, &serverWG)
+	}
+	for _, a := range f.users {
+		userWG.Add(1)
+		go runActor(a, &userWG)
+	}
+
+	deadline := f.cfg.Deadline
+	if deadline == 0 {
+		deadline = 120 * time.Second
+	}
+	usersDone := make(chan struct{})
+	go func() { userWG.Wait(); close(usersDone) }()
+	select {
+	case <-usersDone:
+	case perr := <-f.panics:
+		return perr
+	case <-time.After(deadline):
+		return fmt.Errorf("procnet: deadline %v exceeded waiting for node %d's user processes", deadline, f.env.Node)
+	}
+
+	// Local users finished; servers must keep serving until every
+	// node's users have — remote ranks may still target this node's
+	// memory. The coordinator's drain broadcast is that barrier.
+	if derr := sess.UserDone(); derr != nil {
+		if fe := sess.Err(); fe != nil {
+			return fe
+		}
+		return fmt.Errorf("procnet: reporting users done: %w", derr)
+	}
+	select {
+	case <-sess.Drained():
+	case perr := <-f.panics:
+		return perr
+	case <-time.After(deadline):
+		return fmt.Errorf("procnet: deadline %v exceeded waiting for the cluster drain", deadline)
+	}
+
+	f.mu.Lock()
+	f.shutdown = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+
+	serversDone := make(chan struct{})
+	go func() { serverWG.Wait(); close(serversDone) }()
+	select {
+	case <-serversDone:
+	case perr := <-f.panics:
+		return perr
+	case <-time.After(deadline):
+		return fmt.Errorf("procnet: deadline %v exceeded waiting for servers to drain", deadline)
+	}
+	select {
+	case perr := <-f.panics:
+		return perr
+	default:
+	}
+	return nil
+}
+
+// onData is the session's delivery callback: decode, run the inbound
+// pipeline stages (dedup, arrival stamping, metrics) and hand the
+// message to the destination actor's mailbox.
+func (f *ProcFabric) onData(body []byte) {
+	m, err := wire.Decode(body)
+	if err != nil {
+		f.panics <- fmt.Errorf("procnet: node %d received corrupt frame: %w", f.env.Node, err)
+		return
+	}
+	if !f.pipe.Inbound(m, time.Since(f.start)) {
+		return
+	}
+	f.mu.Lock()
+	if q := f.mailboxes[m.Dst]; q != nil {
+		q.Put(m)
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// onFault surfaces a cluster fault — a peer worker died or the
+// coordinator vanished — to every blocked local actor and to Run.
+func (f *ProcFabric) onFault(fe *pipeline.FaultError) {
+	f.mu.Lock()
+	f.fault = fe
+	f.shutdown = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.panics <- fe
+}
+
+// procEnv is the Env of one local actor on the proc fabric.
+type procEnv struct {
+	f    *ProcFabric
+	addr msg.Addr
+}
+
+var _ Env = (*procEnv)(nil)
+
+func (e *procEnv) Self() msg.Addr       { return e.addr }
+func (e *procEnv) Rank() int            { return e.addr.ID }
+func (e *procEnv) Size() int            { return e.f.cfg.Procs }
+func (e *procEnv) NumNodes() int        { return e.f.cfg.numNodes() }
+func (e *procEnv) Node(rank int) int    { return e.f.space.Node(rank) }
+func (e *procEnv) Space() *shmem.Space  { return e.f.space }
+func (e *procEnv) Params() model.Params { return e.f.cfg.Model }
+func (e *procEnv) Trace() *trace.Stats  { return e.f.cfg.Trace }
+func (e *procEnv) Clock() Clock         { return wallClock{e.f.start} }
+
+func (e *procEnv) Charge(d time.Duration) {
+	// Like tcpnet: real socket costs, no injected CPU model.
+}
+
+func (e *procEnv) Send(to msg.Addr, m *msg.Message) {
+	err := e.f.pipe.SendTo(e.addr, to, m,
+		func() time.Duration { return time.Since(e.f.start) }, nil,
+		func(d pipeline.Delivery) {
+			if werr := e.f.sess.SendMsg(d.Msg); werr != nil {
+				if fe := e.f.sess.Err(); fe != nil {
+					panic(abort{fe})
+				}
+				panic(fmt.Sprintf("procnet: send %v -> %v: %v", e.addr, to, werr))
+			}
+		})
+	if err != nil {
+		panic(abort{err}) // crash / retry exhaustion: abort this actor
+	}
+}
+
+func (e *procEnv) Recv(match msg.Match) *msg.Message {
+	q := e.f.mailboxes[e.addr]
+	tag := "recv@" + e.addr.String()
+	expired, stop := e.opTimer(e.addr.Server)
+	defer stop()
+	e.f.mu.Lock()
+	for {
+		if m := q.TryPop(match); m != nil {
+			e.f.mu.Unlock()
+			// Enforce a fault-injected arrival time in wall time (with
+			// no faults the stamp is the actual socket arrival, already
+			// in the past).
+			if wait := m.Arrival - time.Since(e.f.start); wait > 0 {
+				time.Sleep(wait)
+			}
+			return m
+		}
+		if ferr := e.f.fault; ferr != nil {
+			e.f.mu.Unlock()
+			panic(abort{ferr})
+		}
+		if e.addr.Server && e.f.shutdown {
+			e.f.mu.Unlock()
+			return nil
+		}
+		if expired() {
+			e.f.mu.Unlock()
+			panic(opTimeout(e.addr, tag))
+		}
+		e.f.cond.Wait()
+	}
+}
+
+func (e *procEnv) WaitUntil(tag string, pred func() bool) {
+	expired, stop := e.opTimer(false)
+	defer stop()
+	e.f.mu.Lock()
+	for !pred() {
+		if ferr := e.f.fault; ferr != nil {
+			e.f.mu.Unlock()
+			panic(abort{ferr})
+		}
+		if e.f.shutdown && e.addr.Server {
+			break
+		}
+		if expired() {
+			e.f.mu.Unlock()
+			panic(opTimeout(e.addr, tag))
+		}
+		e.f.cond.Wait()
+	}
+	e.f.mu.Unlock()
+}
+
+// opTimer arms the per-op deadline for one blocking operation,
+// mirroring the channel and TCP fabrics' helper.
+func (e *procEnv) opTimer(exempt bool) (expired func() bool, stop func()) {
+	od := e.f.cfg.OpDeadline
+	if od <= 0 || exempt {
+		return func() bool { return false }, func() {}
+	}
+	deadline := time.Now().Add(od)
+	t := time.AfterFunc(od, func() {
+		e.f.mu.Lock()
+		e.f.cond.Broadcast()
+		e.f.mu.Unlock()
+	})
+	return func() bool { return !time.Now().Before(deadline) }, func() { t.Stop() }
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"armci/internal/cluster"
 	"armci/internal/model"
 	"armci/internal/msg"
 	"armci/internal/pipeline"
@@ -108,9 +109,11 @@ func (f *TCPFabric) SpawnServer(node int, body func(Env)) {
 // Run brings up the router, connects every endpoint, executes the actors
 // to completion and tears the network down.
 func (f *TCPFabric) Run() (err error) {
-	f.listener, err = net.Listen("tcp", "127.0.0.1:0")
+	// cluster.Listen reports the address on failure and rides out
+	// ephemeral-port rebind races, so repeated -count runs never flake.
+	f.listener, err = cluster.Listen("127.0.0.1:0")
 	if err != nil {
-		return fmt.Errorf("tcpnet: listen: %w", err)
+		return fmt.Errorf("tcpnet: %w", err)
 	}
 	f.router = newRouter(f.listener)
 	go f.router.serve()
@@ -273,12 +276,7 @@ func (r *router) serveConn(c net.Conn) {
 		if err != nil {
 			return
 		}
-		// Peek the destination without a full decode: it sits right
-		// after kind (1 byte) and src (5 bytes).
-		if len(body) < 11 {
-			return
-		}
-		dst, err := wire.DecodeHello(body[6:11])
+		dst, err := wire.PeekDst(body)
 		if err != nil {
 			return
 		}

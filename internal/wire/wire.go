@@ -24,6 +24,86 @@ import (
 // length prefix from provoking a huge allocation.
 const MaxFrame = 64 << 20
 
+// ClusterMagic opens every cluster hello frame ("ARMC" little endian). A
+// peer presenting anything else is not an armci cluster endpoint — a port
+// scanner, a stale connection, a different protocol — and is rejected
+// before any other field is trusted.
+const ClusterMagic = 0x434d5241
+
+// ClusterVersion is the cluster handshake protocol revision this binary
+// speaks. Bump it whenever the hello layout or any cluster control frame
+// changes incompatibly; mismatched peers are rejected with a descriptive
+// error instead of desynchronizing mid-run.
+const ClusterVersion = 1
+
+// clusterHelloLen is the exact body size of a cluster hello frame:
+// magic(4) + version(2) + node(4) + procs(4) + ppn(4) + cookie(8).
+const clusterHelloLen = 26
+
+// ClusterHello is the versioned handshake a multi-process worker presents
+// to the rendezvous coordinator before being admitted: which node it
+// claims, the cluster shape it was launched with, and the shared-secret
+// cookie proving it belongs to this run.
+type ClusterHello struct {
+	// Node is the SMP node index the worker claims to host.
+	Node int
+	// Procs is the total user-process count the worker was launched for.
+	Procs int
+	// ProcsPerNode is the rank-to-node grouping the worker assumes.
+	ProcsPerNode int
+	// Cookie is the per-launch shared secret; the coordinator rejects a
+	// hello whose cookie does not match the run's.
+	Cookie uint64
+}
+
+// EncodeClusterHello serializes h into a ready-to-write frame (length
+// prefix included).
+func EncodeClusterHello(h ClusterHello) []byte {
+	b := make([]byte, 0, clusterHelloLen)
+	b = binary.LittleEndian.AppendUint32(b, ClusterMagic)
+	b = binary.LittleEndian.AppendUint16(b, ClusterVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(h.Node)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(h.Procs)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(h.ProcsPerNode)))
+	b = binary.LittleEndian.AppendUint64(b, h.Cookie)
+	return frame(b)
+}
+
+// DecodeClusterHello parses a cluster hello frame body, enforcing strict
+// version negotiation: a wrong magic or protocol version is a descriptive
+// error, never a silent desync, and truncated or oversized bodies are
+// rejected before any field is interpreted.
+func DecodeClusterHello(body []byte) (ClusterHello, error) {
+	var h ClusterHello
+	if len(body) < clusterHelloLen {
+		return h, fmt.Errorf("wire: cluster hello truncated: %d of %d bytes", len(body), clusterHelloLen)
+	}
+	if len(body) > clusterHelloLen {
+		return h, fmt.Errorf("wire: cluster hello oversized: %d trailing bytes", len(body)-clusterHelloLen)
+	}
+	if magic := binary.LittleEndian.Uint32(body); magic != ClusterMagic {
+		return h, fmt.Errorf("wire: bad cluster magic %#08x (want %#08x): peer is not an armci cluster endpoint", magic, uint32(ClusterMagic))
+	}
+	if v := binary.LittleEndian.Uint16(body[4:]); v != ClusterVersion {
+		return h, fmt.Errorf("wire: cluster protocol version %d, this binary speaks %d: mixed armci builds in one launch", v, ClusterVersion)
+	}
+	h.Node = int(int32(binary.LittleEndian.Uint32(body[6:])))
+	h.Procs = int(int32(binary.LittleEndian.Uint32(body[10:])))
+	h.ProcsPerNode = int(int32(binary.LittleEndian.Uint32(body[14:])))
+	h.Cookie = binary.LittleEndian.Uint64(body[18:])
+	return h, nil
+}
+
+// PeekDst extracts the destination address of an encoded message body
+// without a full decode: it sits right after the kind (1 byte) and the
+// source address (5 bytes). Routers use it to forward frames cheaply.
+func PeekDst(body []byte) (msg.Addr, error) {
+	if len(body) < 11 {
+		return msg.Addr{}, fmt.Errorf("wire: message body of %d bytes too short to carry a destination", len(body))
+	}
+	return DecodeHello(body[6:11])
+}
+
 // Hello is the first frame an endpoint sends the router: just an address,
 // encoded with the same primitives.
 func EncodeHello(a msg.Addr) []byte {

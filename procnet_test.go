@@ -1,0 +1,331 @@
+package armci_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"armci"
+	"armci/internal/bench"
+	"armci/internal/cluster"
+	"armci/internal/msg"
+	"armci/internal/pipeline"
+	"armci/internal/trace"
+	"armci/mp"
+)
+
+// The multi-process tests re-execute this test binary as the launch's
+// worker processes (the standard helper-process pattern): TestMain
+// dispatches on an environment variable the launcher adds on top of the
+// cluster rendezvous variables, so a worker never enters the test
+// runner at all.
+func TestMain(m *testing.M) {
+	switch wl := os.Getenv("ARMCI_PROCNET_TEST_WORKLOAD"); wl {
+	case "":
+		os.Exit(m.Run())
+	case "ring":
+		os.Exit(procWorkerRing())
+	case "die":
+		os.Exit(procWorkerDie())
+	case "fig7":
+		os.Exit(procWorkerFig7())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown ARMCI_PROCNET_TEST_WORKLOAD %q\n", wl)
+		os.Exit(2)
+	}
+}
+
+const (
+	procRingProcs = 4
+	procRingLaps  = 3
+	// procDieVictim is the rank that kills its own process mid-run in
+	// the failure-detection test.
+	procDieVictim = 1
+)
+
+// procTokenRing is the parity workload: a token makes laps around the
+// ranks, incremented at every hop, so exactly one message chain is ever
+// in flight and the protocol-level message stream is identical on every
+// fabric.
+func procTokenRing(p *armci.Proc) {
+	c := mp.Attach(p)
+	me, n := c.Rank(), c.Size()
+	token := make([]byte, 8)
+	for lap := 0; lap < procRingLaps; lap++ {
+		if me == 0 {
+			binary.LittleEndian.PutUint64(token, uint64(lap+1))
+			c.Send(1%n, lap, token)
+			got := c.Recv(n-1, lap)
+			if v := binary.LittleEndian.Uint64(got); v != uint64(lap+1+n-1) {
+				panic(fmt.Sprintf("lap %d: token came back as %d, want %d", lap, v, lap+1+n-1))
+			}
+		} else {
+			got := c.Recv(me-1, lap)
+			binary.LittleEndian.PutUint64(token, binary.LittleEndian.Uint64(got)+1)
+			c.Send((me+1)%n, lap, token)
+		}
+	}
+}
+
+// procWorkerRing runs the token ring as one cluster worker and prints
+// its local trace fingerprint for the launcher-side parity check.
+func procWorkerRing() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "ring worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        we.Procs,
+		ProcsPerNode: we.ProcsPerNode,
+		Fabric:       armci.FabricProc,
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, procTokenRing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("RING_FP node=%d fp=%s\n", we.Node, rep.Stats.Fingerprint())
+	return 0
+}
+
+// procWorkerDie runs a two-barrier workload in which one rank kills its
+// own OS process between the barriers. Survivors must not hang: the
+// coordinator attributes the loss and broadcasts the fault, which
+// aborts their blocked barrier with the victim's rank.
+func procWorkerDie() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "die worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	_, err = armci.Run(armci.Options{
+		Procs:        we.Procs,
+		ProcsPerNode: we.ProcsPerNode,
+		Fabric:       armci.FabricProc,
+		OpDeadline:   30 * time.Second,
+	}, func(p *armci.Proc) {
+		p.Barrier()
+		if p.Rank() == procDieVictim {
+			os.Exit(7) // die abruptly, mid-protocol, without any goodbye
+		}
+		p.Barrier() // the victim never arrives; only the fault ends this
+	})
+	var fe *pipeline.FaultError
+	if errors.As(err, &fe) {
+		fmt.Printf("DIE_FAULT node=%d rank=%d kind=%q\n", we.Node, fe.Rank, fe.Kind)
+		return 0 // expected on every survivor
+	}
+	fmt.Fprintf(os.Stderr, "want a rank-attributed fault, got %v\n", err)
+	return 1
+}
+
+// procWorkerFig7 runs the smoke-sized Figure 7 point; the launch size
+// comes from the cluster environment.
+func procWorkerFig7() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "fig7 worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	opts := bench.Fig7Opts{BlockDim: 16, PatchDim: 4}
+	opts.Reps = 5
+	if err := bench.RunFig7ProcWorker(opts, we.Procs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}
+
+// procSrcNode maps a send event's source endpoint to the node that
+// recorded it. The tests run one rank per node with no NIC assist, so
+// both user and server IDs are the node index.
+func procSrcNode(a msg.Addr) int { return a.ID }
+
+// TestProcnetRingParityWithTCP is the cross-fabric parity check: the
+// token ring's send stream, restricted to each node, must be identical
+// between the in-process TCP fabric and the multi-process proc fabric.
+// Each procnet worker records exactly its own node's sends, so its
+// local fingerprint must equal the fingerprint of the TCP run's global
+// capture filtered to that node.
+func TestProcnetRingParityWithTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        procRingProcs,
+		Fabric:       armci.FabricTCP,
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, procTokenRing)
+	if err != nil {
+		t.Fatalf("tcp baseline: %v", err)
+	}
+	events := rep.Stats.Events()
+	if len(events) == 0 {
+		t.Fatal("tcp baseline captured no events")
+	}
+	want := make([]string, procRingProcs)
+	for node := range want {
+		var local []trace.Event
+		for _, e := range events {
+			if procSrcNode(e.Src) == node {
+				local = append(local, e)
+			}
+		}
+		want[node] = trace.FingerprintEvents(local)
+	}
+
+	got := make([]string, procRingProcs)
+	var mu sync.Mutex
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:      procRingProcs,
+		Command:    []string{testExe(t)},
+		ExtraEnv:   []string{"ARMCI_PROCNET_TEST_WORKLOAD=ring"},
+		Output:     io.Discard,
+		RunTimeout: 2 * time.Minute,
+		OnLine: func(node int, line string) {
+			fp, ok := parseTagged(line, "RING_FP", "fp")
+			if !ok {
+				return
+			}
+			mu.Lock()
+			got[node] = fp
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("proc launch: %v (outcome %+v)", err, out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node := range want {
+		if got[node] == "" {
+			t.Errorf("node %d printed no RING_FP line", node)
+			continue
+		}
+		if got[node] != want[node] {
+			t.Errorf("node %d send stream diverged between fabrics:\ntcp  %s\nproc %s", node, want[node], got[node])
+		}
+	}
+}
+
+// TestProcnetFig7SmallShape launches a smoke-sized Figure 7 point
+// across real OS processes and asserts the paper's shape: the combined
+// barrier beats the serialized AllFence+MPI_Barrier.
+func TestProcnetFig7SmallShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	t.Setenv("ARMCI_PROCNET_TEST_WORKLOAD", "fig7")
+	row, err := bench.LaunchFig7Proc(bench.Fig7ProcLaunch{
+		Procs:      4,
+		Command:    []string{testExe(t)},
+		Output:     io.Discard,
+		RunTimeout: 2 * time.Minute,
+	})
+	if err != nil {
+		t.Fatalf("fig7 proc launch: %v", err)
+	}
+	if row.OldUS <= 0 || row.NewUS <= 0 {
+		t.Fatalf("non-positive sync times: %+v", row)
+	}
+	if row.Factor <= 1 {
+		t.Errorf("combined barrier did not beat AllFence+MPI_Barrier: old=%.1fus new=%.1fus factor=%.2f",
+			row.OldUS, row.NewUS, row.Factor)
+	}
+}
+
+// TestProcnetWorkerDeathIsAttributed kills one worker mid-run and
+// requires (a) prompt termination rather than a hang, (b) the
+// coordinator's verdict naming the victim's rank, and (c) every
+// survivor observing the same rank-attributed fault.
+func TestProcnetWorkerDeathIsAttributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const procs = 3
+	survivors := map[int]int{} // node -> fault rank it reported
+	var mu sync.Mutex
+	start := time.Now()
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:      procs,
+		Command:    []string{testExe(t)},
+		ExtraEnv:   []string{"ARMCI_PROCNET_TEST_WORKLOAD=die"},
+		Output:     io.Discard,
+		RunTimeout: time.Minute,
+		OnLine: func(node int, line string) {
+			r, ok := parseTagged(line, "DIE_FAULT", "rank")
+			if !ok {
+				return
+			}
+			rank, aerr := strconv.Atoi(r)
+			if aerr != nil {
+				rank = -1
+			}
+			mu.Lock()
+			survivors[node] = rank
+			mu.Unlock()
+		},
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("launch reported success despite a worker dying mid-run")
+	}
+	if out.Fault == nil {
+		t.Fatalf("no rank-attributed fault in outcome; err=%v", err)
+	}
+	if out.Fault.Rank != procDieVictim || out.Fault.Kind != pipeline.FaultPeerLost {
+		t.Errorf("fault = rank %d kind %q, want rank %d kind %q",
+			out.Fault.Rank, out.Fault.Kind, procDieVictim, pipeline.FaultPeerLost)
+	}
+	// Failure detection must be prompt — connection loss, not a stuck
+	// run ended by timeouts.
+	if elapsed > 20*time.Second {
+		t.Errorf("launch took %v to fail; worker death should surface promptly", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node := 0; node < procs; node++ {
+		if node == procDieVictim {
+			continue
+		}
+		if rank, ok := survivors[node]; !ok {
+			t.Errorf("survivor node %d never reported the fault", node)
+		} else if rank != procDieVictim {
+			t.Errorf("survivor node %d blamed rank %d, want %d", node, rank, procDieVictim)
+		}
+	}
+}
+
+// testExe resolves this test binary for self-exec.
+func testExe(t *testing.T) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("resolving test binary: %v", err)
+	}
+	return exe
+}
+
+// parseTagged pulls key=value out of a "TAG k1=v1 k2=v2" worker line.
+func parseTagged(line, tag, key string) (string, bool) {
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, tag+" ") {
+		return "", false
+	}
+	for _, f := range strings.Fields(line[len(tag):]) {
+		if k, v, ok := strings.Cut(f, "="); ok && k == key {
+			return v, true
+		}
+	}
+	return "", false
+}

@@ -18,6 +18,9 @@ go test -race -short ./internal/... ./ga ./mp
 # the race detector; -short keeps the long soak out of this pass — run it
 # with `make soak`.
 go test -race -short -run 'Fault|Loss|Crash' .
+# The multi-process smoke: a 4-rank smoke-sized Fig. 7 point through
+# armci-run — real OS processes, rendezvous, routed puts, clean drain.
+go run ./cmd/armci-run -n 4 -workload fig7-small
 # The benchmark-regression gate against the committed BENCH_*.json
 # baseline. -quick judges only the deterministic metrics (simulated
 # virtual times, allocation budgets, sweep event counts), so this pass
