@@ -43,8 +43,13 @@ soak:
 # ./internal/check` runs a shorter version of the same matrix.
 explore:
 	$(GO) run ./cmd/armci-check -seeds 256
+	$(GO) run ./cmd/armci-check -coalesce -algs queue,hybrid -seeds 128
 	$(GO) run ./cmd/armci-check -fabrics chan,tcp -seeds 4
+	$(GO) run ./cmd/armci-check -fabrics chan,tcp -coalesce -algs queue -seeds 2
 	$(GO) run ./cmd/armci-check -algs queue,hybrid -syncs barrier,sync-old \
 		-faults 'loss=0.15,retry=12;dup=0.2;loss=0.1,dup=0.1,retry=12;spike=1ms@0.2;jitter=200us' \
 		-seeds 64
+	$(GO) run ./cmd/armci-check -coalesce -algs queue -syncs barrier \
+		-faults 'loss=0.15,retry=12;dup=0.2;loss=0.1,dup=0.1,retry=12' \
+		-seeds 32
 	$(GO) run ./cmd/armci-check -mutations -seeds 64

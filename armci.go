@@ -98,6 +98,15 @@ const (
 	FaultPeerLost = pipeline.FaultPeerLost
 )
 
+// Coalesce configures the engine's per-destination small-op coalescing
+// stage: eligible small puts and accumulates bound for the same node are
+// buffered in program order and shipped as one batched wire frame,
+// flushed by size thresholds and at every ordering point (fence,
+// barrier, notify flag, or any other message to the same node). The
+// zero value disables coalescing; set Enabled for the defaults
+// (pipeline.DefaultMaxOps ops / DefaultMaxBytes bytes per batch).
+type Coalesce = pipeline.CoalesceOpts
+
 // Metrics collects per-kind and per-pair message latency histograms,
 // fault counters and (optionally) a delivery timeline from the transport
 // pipeline. One Metrics may be shared across runs to aggregate an
@@ -240,6 +249,9 @@ type Options struct {
 	// still flow through the host data servers. Fence confirmations then
 	// check per-origin completion counters instead of message FIFO.
 	NICAssist bool
+	// Coalesce configures per-destination small-op coalescing on the
+	// send path. Zero value: every operation is its own wire frame.
+	Coalesce Coalesce
 	// CaptureTrace records every message send for inspection.
 	CaptureTrace bool
 	// Faults configures deterministic fault injection (jitter, latency
@@ -316,6 +328,9 @@ func (o *Options) normalize() (model.Params, error) {
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return model.Params{}, fmt.Errorf("armci: bad fault plan: %w", err)
+	}
+	if err := o.Coalesce.Validate(); err != nil {
+		return model.Params{}, fmt.Errorf("armci: bad coalesce options: %w", err)
 	}
 	if o.Faults.CrashAfterSends > 0 && o.Faults.CrashRank >= o.Procs {
 		return model.Params{}, fmt.Errorf("armci: Faults.CrashRank %d out of range [0,%d)", o.Faults.CrashRank, o.Procs)
@@ -433,6 +448,7 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 		fabric.SpawnUser(r, func(env transport.Env) {
 			eng := proc.NewEngine(env, layout, opt.FenceMode)
 			eng.SetNICAssist(opt.NICAssist)
+			eng.SetCoalescing(opt.Coalesce)
 			comm := collective.New(env)
 			sync := core.NewSync(eng, comm)
 			sync.BarrierAlg = opt.BarrierAlg

@@ -45,7 +45,7 @@ func main() {
 	log.SetPrefix("armci-bench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, crossover, counts, ablate, all")
+		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, crossover, counts, ablate, smallput, all")
 		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: -fig 7 only, multi-process)")
 		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
 		procsF   = flag.String("procs", "", "comma-separated process counts (default per experiment)")
@@ -135,6 +135,8 @@ func main() {
 		runStriping(common, csv)
 	case "sensitivity":
 		runSensitivity(common)
+	case "smallput":
+		runSmallPut(common, procCounts)
 	case "all":
 		runFig7(common, procCounts, csv)
 		fmt.Println()
@@ -149,6 +151,8 @@ func main() {
 		runStriping(common, csv)
 		fmt.Println()
 		runSensitivity(common)
+		fmt.Println()
+		runSmallPut(common, procCounts)
 	default:
 		log.Fatalf("unknown -fig %q", *fig)
 	}
@@ -437,6 +441,18 @@ func runStriping(common bench.Opts, csv bool) {
 		return
 	}
 	fmt.Print(bench.FormatStriping(res))
+}
+
+func runSmallPut(common bench.Opts, procCounts []int) {
+	opts := bench.SmallPutOpts{Opts: common}
+	if len(procCounts) > 0 {
+		opts.Procs = procCounts[len(procCounts)-1]
+	}
+	res, err := bench.SmallPut(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatSmallPut(res))
 }
 
 func runSensitivity(common bench.Opts) {

@@ -18,6 +18,7 @@
 //	armci-check -j 8                         # eight concurrent case workers
 //	armci-check -fabrics sim,chan,tcp        # add the concurrent fabrics
 //	armci-check -faults 'loss=0.15,retry=12;dup=0.2;spike=1ms@0.2'
+//	armci-check -coalesce                    # sweep with batched (coalesced) wire frames
 //	armci-check -mutations                   # oracle self-test: broken variants must be caught
 package main
 
@@ -57,6 +58,7 @@ func run(args []string, out io.Writer) int {
 		iters     = fs.Int("iters", 0, "critical sections per rank (0 = default)")
 		rounds    = fs.Int("rounds", 0, "put+sync rounds (0 = default)")
 		preset    = fs.String("preset", "", "cost model: myrinet2000, low-latency, zero (empty = default)")
+		coalesce  = fs.Bool("coalesce", false, "run every case with per-destination op coalescing enabled (batched wire frames)")
 		mutation  = fs.String("mutation", "", "run every case under this broken variant (replays a 'mutation=' reproducer)")
 		workers   = fs.Int("j", runtime.GOMAXPROCS(0), "concurrent case workers (output is identical at any -j)")
 		mutations = fs.Bool("mutations", false, "run the mutation self-test instead of the sweep: every deliberately broken variant must be detected")
@@ -79,6 +81,7 @@ func run(args []string, out io.Writer) int {
 		cases[i].Iters = *iters
 		cases[i].Rounds = *rounds
 		cases[i].Preset = armci.CostPreset(*preset)
+		cases[i].Coalesce = *coalesce
 		cases[i].Mutation = *mutation
 	}
 

@@ -124,6 +124,24 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 		det(fmt.Sprintf("fig8/queue/p%d", row.Procs), row.New.TotalUS, "us")
 	}
 
+	// Sustained small-put throughput, coalescing off and on. The ratio
+	// metric is in percent (coalesced time as % of uncoalesced) so the
+	// absolute slack defaultAbs=0.75 stays negligible against it; the
+	// collection itself enforces the structural >=2x win — a baseline
+	// recording a lost speedup must never be writable.
+	sp, err := SmallPut(SmallPutOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline smallput: %w", err)
+	}
+	det("smallput/uncoalesced/us", sp.UncoalescedUS, "us")
+	det("smallput/coalesced/us", sp.CoalescedUS, "us")
+	ratioPct := 100 * sp.CoalescedUS / sp.UncoalescedUS
+	det("smallput/ratio_pct", ratioPct, "pct")
+	if ratioPct > 50 {
+		return nil, fmt.Errorf("bench: coalescing speedup degraded to %.2fx (ratio %.1f%%), below the structural 2x floor",
+			sp.Factor, ratioPct)
+	}
+
 	// Conformance sweep: a fixed 128-case matrix. The protocol event
 	// count is deterministic; the wall time is the throughput trend.
 	cases := check.Matrix([]armci.FabricKind{armci.FabricSim},

@@ -26,6 +26,7 @@ func TestBaselineRoundTripAndGate(t *testing.T) {
 		"hotpath/kernel_schedule/ns_op", "hotpath/kernel_schedule/allocs_op",
 		"hotpath/pipeline_sendrecv/ns_op", "hotpath/pipeline_sendrecv/allocs_op",
 		"hotpath/explore_case/ns_op",
+		"smallput/uncoalesced/us", "smallput/coalesced/us", "smallput/ratio_pct",
 	} {
 		if _, ok := base.Metrics[name]; !ok {
 			t.Errorf("baseline is missing tracked metric %q", name)
@@ -56,7 +57,9 @@ func TestBaselineRoundTripAndGate(t *testing.T) {
 
 	// The synthetic slowdown: +20% on every time metric exceeds the 15%
 	// deterministic budget, so the quick gate must fail on the figure
-	// times while the alloc and event counts stay clean.
+	// and small-put times while the alloc and event counts — and the
+	// smallput ratio, whose numerator and denominator slow down together
+	// — stay clean.
 	slow, err := CollectBaseline(BaselineOpts{Handicap: 0.2})
 	if err != nil {
 		t.Fatal(err)
@@ -65,8 +68,12 @@ func TestBaselineRoundTripAndGate(t *testing.T) {
 	if len(regs) == 0 {
 		t.Fatal("a 20% handicap produced no regressions: the gate is blind")
 	}
+	timeMetric := func(name string) bool {
+		return strings.Contains(name, "fig7/") || strings.Contains(name, "fig8/") ||
+			strings.HasSuffix(name, "/us")
+	}
 	for _, r := range regs {
-		if !strings.Contains(r.Name, "fig7/") && !strings.Contains(r.Name, "fig8/") {
+		if !timeMetric(r.Name) {
 			t.Errorf("handicap tripped unexpected metric %s", r)
 		}
 	}

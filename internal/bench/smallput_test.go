@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestSmallPutCoalescingSpeedup is the structural gate on the tentpole
+// win: packing the small-put stream into batched frames must at least
+// double sustained throughput on the calibrated network, because the
+// destination server's fixed per-message service cost is paid once per
+// frame instead of once per put. The measured ratio is also recorded in
+// the benchmark baseline (smallput/ratio_pct), so a regression below 2x
+// fails both this test and the benchcheck gate.
+func TestSmallPutCoalescingSpeedup(t *testing.T) {
+	r, err := SmallPut(SmallPutOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("uncoalesced %.1fus (%.0f ops/sec), coalesced %.1fus (%.0f ops/sec), speedup %.2fx",
+		r.UncoalescedUS, r.UncoalescedOps, r.CoalescedUS, r.CoalescedOps, r.Factor)
+	if r.Factor < 2 {
+		t.Fatalf("coalescing speedup %.2fx, want >= 2x", r.Factor)
+	}
+}
+
+// TestSmallPutDeterministic pins the virtual-time measurement: the sim
+// fabric must yield identical numbers across runs, or the baseline
+// metrics are not comparable.
+func TestSmallPutDeterministic(t *testing.T) {
+	a, err := SmallPut(SmallPutOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SmallPut(SmallPutOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UncoalescedUS != b.UncoalescedUS || a.CoalescedUS != b.CoalescedUS {
+		t.Fatalf("smallput not deterministic: run 1 (%.3f, %.3f) vs run 2 (%.3f, %.3f)",
+			a.UncoalescedUS, a.CoalescedUS, b.UncoalescedUS, b.CoalescedUS)
+	}
+}

@@ -70,6 +70,10 @@ type Case struct {
 	// Preset is the cost model (default the paper's Myrinet 2000, so
 	// stores have an in-flight window the fence oracles can observe).
 	Preset armci.CostPreset
+	// Coalesce enables per-destination operation coalescing, so the
+	// workload's small puts and notify flags travel as batched frames and
+	// the delivery / fence / state oracles run over the batched path.
+	Coalesce bool
 	// Mutation selects a deliberately broken algorithm variant (see
 	// mutations.go); "" runs the real algorithms.
 	Mutation string
@@ -115,6 +119,9 @@ func (c Case) withDefaults() Case {
 func (c Case) Reproducer() string {
 	s := fmt.Sprintf("{fabric=%s procs=%d ppn=%d alg=%s/%s faults=%q seed=%d",
 		c.Fabric, c.Procs, c.PPN, c.Alg, c.Sync, c.Faults, c.Seed)
+	if c.Coalesce {
+		s += " coalesce"
+	}
 	if c.Mutation != "" {
 		s += " mutation=" + c.Mutation
 	}
@@ -194,12 +201,16 @@ func RunCase(c Case) Result {
 	}
 	col := &collector{}
 	rep, runErr := armci.Run(armci.Options{
-		Procs:              c.Procs,
-		ProcsPerNode:       c.PPN,
-		Fabric:             c.Fabric,
-		Preset:             c.Preset,
-		NumMutexes:         1,
-		ScheduleSeed:       c.Seed,
+		Procs:        c.Procs,
+		ProcsPerNode: c.PPN,
+		Fabric:       c.Fabric,
+		Preset:       c.Preset,
+		NumMutexes:   1,
+		ScheduleSeed: c.Seed,
+		Coalesce: armci.Coalesce{
+			Enabled:       c.Coalesce || spec.coalesceHazard,
+			ReorderHazard: spec.coalesceHazard,
+		},
 		SimEventPoolHazard: spec.simHazard,
 		CaptureTrace:       true,
 		Faults:             faults,

@@ -22,6 +22,38 @@ func TestShortSweep(t *testing.T) {
 	runSweep(t, cases)
 }
 
+// TestCoalescedSweep re-runs the sweep with per-destination coalescing
+// on, so the notify/wait chunks and flags travel as batched frames: the
+// delivery oracle must hold exactly-once and per-pair FIFO over
+// KindBatch messages, the fence oracle must see batched operations
+// complete before barrier exits, and the byte-level read-back proves
+// within-batch apply order.
+func TestCoalescedSweep(t *testing.T) {
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue", "hybrid"},
+		sweepSyncs, nil, 6, 2, 1, 32)
+	for i := range cases {
+		cases[i].Coalesce = true
+	}
+	runSweep(t, cases)
+}
+
+// TestCoalescedFaultSweep puts the batched path under loss and
+// duplication: a dropped or duplicated frame must retransmit / dedup as
+// a unit — all entries exactly once — or the notify read-back and
+// delivery oracle trip.
+func TestCoalescedFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coalesced fault sweep skipped in -short")
+	}
+	faults := []string{"loss=0.15,retry=12", "dup=0.2", "loss=0.1,dup=0.1,retry=12"}
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue"},
+		[]string{"barrier"}, faults, 6, 2, 1, 16)
+	for i := range cases {
+		cases[i].Coalesce = true
+	}
+	runSweep(t, cases)
+}
+
 // TestFaultPlanSweep sweeps a smaller seed range under loss,
 // duplication and latency-spike plans: the delivery oracle must hold
 // exactly-once, per-pair FIFO admission while the pipeline is
@@ -48,12 +80,14 @@ func TestConcurrentFabrics(t *testing.T) {
 	}
 	for _, f := range []armci.FabricKind{armci.FabricChan, armci.FabricTCP} {
 		for _, alg := range sweepAlgs {
-			r := RunCase(Case{Fabric: f, Alg: alg, Sync: "barrier"})
-			if r.Err != nil {
-				t.Fatalf("%s/%s: %v", f, alg, r.Err)
-			}
-			for _, v := range r.Violations {
-				t.Errorf("%s", v)
+			for _, coal := range []bool{false, true} {
+				r := RunCase(Case{Fabric: f, Alg: alg, Sync: "barrier", Coalesce: coal})
+				if r.Err != nil {
+					t.Fatalf("%s/%s coalesce=%v: %v", f, alg, coal, r.Err)
+				}
+				for _, v := range r.Violations {
+					t.Errorf("%s", v)
+				}
 			}
 		}
 	}
@@ -109,6 +143,7 @@ func TestMutationsTargetExpectedOracle(t *testing.T) {
 		MutBarrierSkipStage2: "fence",
 		MutSyncOldSkipFence:  "fence",
 		MutEventPoolRecycle:  "liveness",
+		MutCoalesceReorder:   "state",
 	}
 	for name, oracle := range want {
 		found := false

@@ -53,6 +53,14 @@ const (
 	// oracles. Proves the oracles catch pooling-induced corruption, not
 	// just protocol bugs.
 	MutEventPoolRecycle = "event-pool-recycle"
+	// MutCoalesceReorder: the coalescer flushes each batch with its
+	// entries reversed (pipeline.CoalesceOpts.ReorderHazard), so a
+	// notify flag coalesced behind its data chunks is applied first and
+	// the consumer's spin wakes while the chunks are still landing.
+	// Detected by the state oracle: the notify/wait phase reads a stale
+	// chunk byte-for-byte. Proves batching preserves within-batch order,
+	// not just per-pair frame order.
+	MutCoalesceReorder = "coalescer-reorder"
 	// MutPanicCase: not an algorithm bug — the workload panics outright
 	// mid-case, simulating a harness defect. It exists to test that the
 	// sweep runner recovers per case, attributes the panic to its
@@ -74,6 +82,9 @@ type mutationSpec struct {
 	// simHazard arms the simulated kernel's event-pool bug instead of
 	// mutating an algorithm.
 	simHazard bool
+	// coalesceHazard runs the case with coalescing enabled and the
+	// coalescer's within-batch reorder bug armed.
+	coalesceHazard bool
 	// harnessPanic makes RunCase panic mid-case (runner-recovery test).
 	harnessPanic bool
 }
@@ -86,13 +97,14 @@ var mutationSpecs = map[string]mutationSpec{
 	MutBarrierSkipStage2: {alg: "queue", sync: "barrier", faults: "spike=1ms@0.2", syncFn: brokenBarrier},
 	MutSyncOldSkipFence:  {alg: "queue", sync: "sync-old", syncFn: brokenSyncOld},
 	MutEventPoolRecycle:  {alg: "queue", sync: "barrier", simHazard: true},
+	MutCoalesceReorder:   {sync: "barrier", coalesceHazard: true},
 	MutPanicCase:         {alg: "queue", sync: "barrier", harnessPanic: true},
 }
 
 // Mutations returns the broken variant names, in a fixed order.
 func Mutations() []string {
 	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2,
-		MutSyncOldSkipFence, MutEventPoolRecycle}
+		MutSyncOldSkipFence, MutEventPoolRecycle, MutCoalesceReorder}
 }
 
 // MutationCase builds the sweep template of one mutation at one seed.
@@ -103,6 +115,7 @@ func MutationCase(name string, seed int64) Case {
 		Alg:      m.alg,
 		Sync:     m.sync,
 		Faults:   m.faults,
+		Coalesce: m.coalesceHazard,
 		Seed:     seed,
 		Iters:    6,
 		Mutation: name,

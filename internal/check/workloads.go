@@ -1,11 +1,13 @@
 package check
 
 import (
+	"bytes"
+
 	"armci"
 )
 
 // workloadBody builds the per-rank body of one case. The workload has
-// two phases, both oracle-bearing:
+// three phases, all oracle-bearing:
 //
 //   - a critical-section phase: Iters times, take the lock, increment a
 //     shared counter homed at rank 0 (remote ranks fence the store
@@ -19,8 +21,17 @@ import (
 //     guarantee made the remote store visible), and synchronizes again
 //     so verification finishes before the next round overwrites.
 //     Exercises the fence and delivery oracles.
+//   - a notify/wait phase: Rounds times, every rank streams chunked
+//     data into its right neighbor's buffer — the first chunks with
+//     NbPut, the last with PutFlag — while consuming from its left
+//     neighbor with WaitFlag and verifying every chunk byte-for-byte.
+//     With coalescing on, the chunks and the flag ride one batched
+//     frame; a coalescer that reorders within the batch lets the flag
+//     overtake its data, which the byte verification catches (the
+//     chunks are sized so the stale window exceeds the consumer's poll
+//     gap). Outstanding NbPut handles are then collected with WaitAll.
 //
-// Both phases route every global synchronization through the case's sync
+// All phases route every global synchronization through the case's sync
 // variant (real or mutated), so a broken barrier is exposed to both the
 // trace-level fence oracle and the state-level read-back.
 func workloadBody(c Case, col *collector) func(p *armci.Proc) {
@@ -28,6 +39,8 @@ func workloadBody(c Case, col *collector) func(p *armci.Proc) {
 		me, n := p.Rank(), p.Size()
 		counter := p.MallocWords(1)[0] // rank 0's cell
 		slots := p.MallocWords(n)
+		nbuf := p.Malloc(notifyChunks * notifyChunkBytes)
+		nflag := p.MallocWords(1)
 		var epoch int
 		syncFn := syncFor(p, c, &epoch)
 
@@ -69,7 +82,51 @@ func workloadBody(c Case, col *collector) func(p *armci.Proc) {
 			}
 			syncFn()
 		}
+
+		for r := 0; r < c.Rounds; r++ {
+			dst := (me + 1) % n
+			src := (me - 1 + n) % n
+			var hs []*armci.Handle
+			for k := 0; k < notifyChunks-1; k++ {
+				hs = append(hs, p.NbPut(nbuf[dst].Add(int64(k*notifyChunkBytes)), chunkData(r, me, k)))
+			}
+			last := notifyChunks - 1
+			p.PutFlag(nbuf[dst].Add(int64(last*notifyChunkBytes)), chunkData(r, me, last),
+				nflag[dst], int64(r+1))
+			p.WaitFlag(nflag[me], int64(r+1))
+			for k := 0; k < notifyChunks; k++ {
+				got := p.Get(nbuf[me].Add(int64(k*notifyChunkBytes)), notifyChunkBytes)
+				if want := chunkData(r, src, k); !bytes.Equal(got, want) {
+					col.addf("notify round %d: rank %d read stale chunk %d from rank %d (flag overtook its data)",
+						r+1, me, k, src)
+				}
+			}
+			p.WaitAll(hs...)
+			// One synchronization per round: the consumer verified before
+			// entering, so next round's producer cannot overwrite early.
+			syncFn()
+		}
 	}
+}
+
+// Notify/wait phase geometry: enough chunks, each large enough, that a
+// batch applied in reverse keeps the earliest chunk unwritten for
+// several microseconds after the flag lands — well past the consumer's
+// poll gap — while staying within the coalescer's entry and frame
+// limits so everything rides a single batch.
+const (
+	notifyChunks     = 4
+	notifyChunkBytes = 512
+)
+
+// chunkData is the payload rank src streams as chunk k of notify round
+// r — unique per (round, writer, chunk) so stale bytes are unambiguous.
+func chunkData(r, src, k int) []byte {
+	b := make([]byte, notifyChunkBytes)
+	for i := range b {
+		b[i] = byte(r*131 + src*17 + k*7 + i)
+	}
+	return b
 }
 
 // roundVal is the value rank src writes in put round r — unique per

@@ -97,6 +97,12 @@ func (s *Sync) Barrier() {
 	env := s.eng.Env()
 	s.enter()
 
+	// Coalesced operations already sit in op_init[], so their frames
+	// must be on the wire before anyone compares counters: a buffered
+	// batch would leave stage 2 waiting for operations no server has
+	// seen.
+	s.eng.FlushAll()
+
 	// Stage 1: distribute op_init[]. The engine's counters are
 	// cumulative for the life of the run (as are the servers' op_done
 	// counters), so the summed vector is directly comparable.

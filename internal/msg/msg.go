@@ -87,6 +87,13 @@ const (
 	// KindSend is a user-level point-to-point payload of the
 	// message-passing layer; matched by Tag and Src.
 	KindSend
+	// KindBatch is a coalesced frame of small puts, accumulates and word
+	// stores bound for one node's data server. Data holds the batch body
+	// encoded by internal/wire's batch codec; N is the entry count. The
+	// server unpacks the entries in order and in one service block, so a
+	// batch is atomic with respect to loss, retransmission and duplicate
+	// suppression — exactly-once applies to the whole frame.
+	KindBatch
 )
 
 var kindNames = map[Kind]string{
@@ -95,7 +102,7 @@ var kindNames = map[Kind]string{
 	KindFenceReq: "fence-req", KindFenceAck: "fence-ack",
 	KindLockReq: "lock-req", KindLockGrant: "lock-grant", KindUnlock: "unlock",
 	KindPutV: "putv", KindGetV: "getv",
-	KindColl: "coll", KindSend: "send",
+	KindColl: "coll", KindSend: "send", KindBatch: "batch",
 }
 
 func (k Kind) String() string {

@@ -17,9 +17,11 @@ import (
 	"fmt"
 
 	"armci/internal/msg"
+	"armci/internal/pipeline"
 	"armci/internal/shmem"
 	"armci/internal/trace"
 	"armci/internal/transport"
+	"armci/internal/wire"
 )
 
 // FenceMode selects how put completion is detected, mirroring the two
@@ -95,6 +97,13 @@ type Engine struct {
 	// work). Puts and gets still go through the servers.
 	useNIC bool
 
+	// coal, when non-nil, buffers eligible small puts and accumulates
+	// per destination node and ships each buffer as one KindBatch frame.
+	// Every other send to a node (gets, big puts, RMWs, fences) flushes
+	// that node's buffer first, so program order on the per-pair FIFO
+	// pipe — and with it fence semantics — is preserved exactly.
+	coal *pipeline.Coalescer
+
 	opInit      []int64 // fence-counted ops issued, per destination node
 	outstanding []int64 // unacknowledged ops, per destination node (FenceAck)
 	tokens      uint64
@@ -127,6 +136,19 @@ func (g *Engine) SetNICAssist(on bool) { g.useNIC = on }
 // NICAssist reports whether NIC routing is enabled.
 func (g *Engine) NICAssist() bool { return g.useNIC }
 
+// SetCoalescing configures the per-destination small-op coalescing
+// stage. Disabled (the default) leaves the send path untouched.
+func (g *Engine) SetCoalescing(opts pipeline.CoalesceOpts) {
+	if !opts.Enabled {
+		g.coal = nil
+		return
+	}
+	g.coal = pipeline.NewCoalescer(g.env.Rank(), opts)
+}
+
+// Coalescing reports whether small-op coalescing is enabled.
+func (g *Engine) Coalescing() bool { return g.coal != nil }
+
 // ctlAddr returns the endpoint that handles control operations (RMW,
 // fence) for node: the NIC agent when offload is on, else the server.
 func (g *Engine) ctlAddr(node int) msg.Addr {
@@ -134,6 +156,51 @@ func (g *Engine) ctlAddr(node int) msg.Addr {
 		return msg.NICOf(node, g.env.NumNodes())
 	}
 	return msg.ServerOf(node)
+}
+
+// Flush ships node's coalescing buffer, if any, as one batched frame.
+func (g *Engine) Flush(node int) {
+	if g.coal == nil {
+		return
+	}
+	if m := g.coal.Flush(node); m != nil {
+		g.env.Send(msg.ServerOf(node), m)
+	}
+}
+
+// FlushAll ships every non-empty coalescing buffer, in ascending node
+// order so the emitted message sequence is deterministic.
+func (g *Engine) FlushAll() {
+	if g.coal == nil {
+		return
+	}
+	for _, b := range g.coal.FlushAll() {
+		g.env.Send(msg.ServerOf(b.Node), b.Msg)
+	}
+}
+
+// sendServer flushes node's coalescing buffer and ships m to node's
+// data server, preserving program order on the per-pair FIFO pipe.
+func (g *Engine) sendServer(node int, m *msg.Message) {
+	g.Flush(node)
+	g.env.Send(msg.ServerOf(node), m)
+}
+
+// sendCtl is sendServer for control traffic (RMW, fence): the buffer is
+// flushed even when the control endpoint is the NIC agent, because NIC
+// fences confirm against per-origin completion counts that must include
+// every buffered operation.
+func (g *Engine) sendCtl(node int, m *msg.Message) {
+	g.Flush(node)
+	g.env.Send(g.ctlAddr(node), m)
+}
+
+// addCoalesced buffers one eligible operation for node, shipping the
+// packed frame if the addition filled the buffer.
+func (g *Engine) addCoalesced(node int, e wire.BatchEntry) {
+	if m := g.coal.Add(node, e); m != nil {
+		g.env.Send(msg.ServerOf(node), m)
+	}
 }
 
 // Rank returns the calling process's rank.
@@ -203,7 +270,15 @@ func (g *Engine) PutStrided(dst shmem.Ptr, d shmem.Strided, data []byte) {
 	}
 	node := g.env.Node(int(dst.Rank))
 	g.countIssue(node)
-	g.env.Send(msg.ServerOf(node), &msg.Message{
+	if g.coal != nil && d.Levels() == 0 && g.coal.Fits(len(data)) {
+		g.addCoalesced(node, wire.BatchEntry{
+			Op:   wire.BatchPut,
+			Ptr:  dst,
+			Data: append([]byte(nil), data...),
+		})
+		return
+	}
+	g.sendServer(node, &msg.Message{
 		Kind:   msg.KindPut,
 		Origin: g.env.Rank(),
 		Ptr:    dst,
@@ -226,7 +301,7 @@ func (g *Engine) GetStrided(src shmem.Ptr, d shmem.Strided) []byte {
 	}
 	node := g.env.Node(int(src.Rank))
 	tok := g.nextToken()
-	g.env.Send(msg.ServerOf(node), &msg.Message{
+	g.sendServer(node, &msg.Message{
 		Kind:   msg.KindGet,
 		Origin: g.env.Rank(),
 		Token:  tok,
@@ -251,7 +326,17 @@ func (g *Engine) Accumulate(op shmem.AccOp, dst shmem.Ptr, d shmem.Strided, data
 	}
 	node := g.env.Node(int(dst.Rank))
 	g.countIssue(node)
-	g.env.Send(msg.ServerOf(node), &msg.Message{
+	if g.coal != nil && d.Levels() == 0 && g.coal.Fits(len(data)) {
+		g.addCoalesced(node, wire.BatchEntry{
+			Op:    wire.BatchAcc,
+			Ptr:   dst,
+			AccOp: uint8(op),
+			Scale: scale,
+			Data:  append([]byte(nil), data...),
+		})
+		return
+	}
+	g.sendServer(node, &msg.Message{
 		Kind:   msg.KindAcc,
 		Origin: g.env.Rank(),
 		Ptr:    dst,
@@ -274,7 +359,7 @@ func (g *Engine) chargeCopy(n int) {
 func (g *Engine) rmwBlocking(p shmem.Ptr, op msg.RmwOp, operands [4]int64) [4]int64 {
 	node := g.env.Node(int(p.Rank))
 	tok := g.nextToken()
-	g.env.Send(g.ctlAddr(node), &msg.Message{
+	g.sendCtl(node, &msg.Message{
 		Kind:     msg.KindRmw,
 		Origin:   g.env.Rank(),
 		Token:    tok,
@@ -369,7 +454,10 @@ func (g *Engine) Store(p shmem.Ptr, v int64) {
 	}
 	node := g.env.Node(int(p.Rank))
 	g.countIssue(node)
-	g.env.Send(g.ctlAddr(node), &msg.Message{
+	// Word stores are lock hand-offs; they never coalesce (buffering one
+	// would stall a spinning successor), but they must flush what program
+	// order put before them.
+	g.sendCtl(node, &msg.Message{
 		Kind:     msg.KindRmw,
 		Origin:   g.env.Rank(),
 		Ptr:      p,
@@ -388,7 +476,7 @@ func (g *Engine) StorePair(p shmem.Ptr, v shmem.Pair) {
 	}
 	node := g.env.Node(int(p.Rank))
 	g.countIssue(node)
-	g.env.Send(g.ctlAddr(node), &msg.Message{
+	g.sendCtl(node, &msg.Message{
 		Kind:     msg.KindRmw,
 		Origin:   g.env.Rank(),
 		Ptr:      p,

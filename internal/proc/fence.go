@@ -27,7 +27,10 @@ func (g *Engine) Fence(node int) {
 			return // never issued anything there; nothing to confirm
 		}
 		tok := g.nextToken()
-		g.env.Send(g.ctlAddr(node), &msg.Message{
+		// sendCtl flushes node's coalescing buffer first: buffered ops
+		// are already in op_init, so the confirmation request must trail
+		// them on the FIFO pipe.
+		g.sendCtl(node, &msg.Message{
 			Kind:   msg.KindFenceReq,
 			Origin: g.env.Rank(),
 			Token:  tok,
@@ -37,6 +40,7 @@ func (g *Engine) Fence(node int) {
 		})
 		g.env.Recv(msg.MatchToken(msg.KindFenceAck, tok))
 	case FenceAck:
+		g.Flush(node) // buffered ops count as outstanding; ship them
 		for g.outstanding[node] > 0 {
 			g.consumeAck()
 		}
@@ -47,12 +51,30 @@ func (g *Engine) Fence(node int) {
 
 // consumeAck receives one put acknowledgement (any server) and credits it.
 func (g *Engine) consumeAck() {
-	m := g.env.Recv(msg.MatchKind(msg.KindPutAck))
+	g.creditAck(g.env.Recv(msg.MatchKind(msg.KindPutAck)))
+}
+
+// creditAck credits one received put acknowledgement. A batched frame is
+// acknowledged once per entry, matching the per-entry countIssue on the
+// send side.
+func (g *Engine) creditAck(m *msg.Message) {
 	node := m.Src.ID
 	if g.outstanding[node] <= 0 {
 		panic(fmt.Sprintf("proc: rank %d received excess put-ack from node %d", g.env.Rank(), node))
 	}
 	g.outstanding[node]--
+}
+
+// tryDrainAcks credits every put acknowledgement already delivered,
+// without blocking (FenceAck handle polling).
+func (g *Engine) tryDrainAcks() {
+	for {
+		m := g.env.TryRecv(msg.MatchKind(msg.KindPutAck))
+		if m == nil {
+			return
+		}
+		g.creditAck(m)
+	}
 }
 
 // AllFence blocks until every fence-counted operation this process has
@@ -62,6 +84,7 @@ func (g *Engine) consumeAck() {
 // to and waits for each confirmation in turn, costing up to 2(N−1) one-way
 // latencies — linear in the number of processes.
 func (g *Engine) AllFence() {
+	g.FlushAll()
 	switch g.mode {
 	case FenceRequest:
 		me := g.env.Node(g.env.Rank())
@@ -92,6 +115,7 @@ func (g *Engine) AllFencePipelined() {
 		g.AllFence()
 		return
 	}
+	g.FlushAll()
 	me := g.env.Node(g.env.Rank())
 	var tokens []uint64
 	for node := range g.opInit {

@@ -55,7 +55,7 @@ func (g *Engine) PutV(pieces []VecPiece) {
 		data = append(data, pc.Data...)
 	}
 	g.countIssue(node)
-	g.env.Send(msg.ServerOf(node), &msg.Message{
+	g.sendServer(node, &msg.Message{
 		Kind:   msg.KindPutV,
 		Origin: g.env.Rank(),
 		Vec:    segs,
@@ -95,7 +95,7 @@ func (g *Engine) GetV(reads []VecRead) [][]byte {
 		segs[i] = msg.VecSeg{Ptr: rd.Ptr, N: rd.N}
 	}
 	tok := g.nextToken()
-	g.env.Send(msg.ServerOf(node), &msg.Message{
+	g.sendServer(node, &msg.Message{
 		Kind:   msg.KindGetV,
 		Origin: g.env.Rank(),
 		Token:  tok,

@@ -19,6 +19,7 @@
 package server
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"armci/internal/shmem"
 	"armci/internal/trace"
 	"armci/internal/transport"
+	"armci/internal/wire"
 )
 
 // Options configures a server instance.
@@ -177,6 +179,8 @@ func (s *Server) HandleOne(m *msg.Message) {
 			Token:  m.Token,
 			Data:   data,
 		})
+	case msg.KindBatch:
+		s.handleBatch(m)
 	case msg.KindRmw:
 		s.handleRmw(m)
 	case msg.KindFenceReq:
@@ -197,6 +201,41 @@ func (s *Server) HandleOne(m *msg.Message) {
 		panic(fmt.Sprintf("server: node %d received unexpected %v", s.node, m))
 	}
 	s.lastFinish = s.env.Clock().Now()
+}
+
+// handleBatch unpacks one coalesced frame. The per-message costs — wake
+// penalty, receive overhead, the fixed ServiceSmall — are paid once for
+// the whole frame (that is the point of batching); each entry then pays
+// its own copy cost and advances the fence accounting individually, so
+// op_done and per-origin counters agree exactly with the per-entry
+// countIssue on the client. The frame travels as one pipeline message:
+// loss, retransmission and duplicate suppression apply to the batch as
+// a unit, so exactly-once covers all entries or none.
+func (s *Server) handleBatch(m *msg.Message) {
+	entries, err := wire.DecodeBatch(m.Data)
+	if err != nil {
+		// Batches are only ever produced by our own coalescer; a
+		// malformed one is a protocol bug, not a recoverable condition.
+		panic(fmt.Sprintf("server: node %d received malformed batch from rank %d: %v", s.node, m.Origin, err))
+	}
+	p := s.env.Params()
+	s.env.Charge(p.ServiceSmall)
+	space := s.env.Space()
+	for i := range entries {
+		e := &entries[i]
+		switch e.Op {
+		case wire.BatchPut:
+			s.env.Charge(time.Duration(len(e.Data)) * p.ServiceByteTime)
+			space.Put(e.Ptr, e.Data)
+		case wire.BatchAcc:
+			s.env.Charge(time.Duration(len(e.Data)) * p.ServiceByteTime)
+			space.Accumulate(shmem.AccOp(e.AccOp), e.Ptr, e.Data, e.Scale)
+		case wire.BatchStore:
+			s.env.Charge(p.AtomicOp)
+			space.Store(e.Ptr, int64(binary.LittleEndian.Uint64(e.Data)))
+		}
+		s.completeStore(m)
+	}
 }
 
 // completeStore counts a fence-counted store in op_done (aggregate and

@@ -65,6 +65,19 @@ func (s *Space) notify() {
 	}
 }
 
+// locked runs fn holding the space mutex. Mutators route through it so
+// that a panic inside fn — a bad pointer, an out-of-range access —
+// unwinds with the mutex released: on the simulated fabric such a panic
+// is recovered and reported as the run's failure, and a mutex left
+// locked would instead freeze every other process into a silent hang.
+// The onWrite hook deliberately stays outside fn: it re-enters
+// scheduler state that must never be touched under the space lock.
+func (s *Space) locked(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+}
+
 // AllocWords allocates a zeroed word segment of n cells owned by rank and
 // returns a pointer to its first cell.
 func (s *Space) AllocWords(rank, n int) Ptr {
@@ -128,20 +141,19 @@ func (s *Space) Load(p Ptr) int64 {
 
 // Store atomically writes v to the cell at p.
 func (s *Space) Store(p Ptr, v int64) {
-	s.mu.Lock()
-	s.words(p, 1)[0] = v
-	s.mu.Unlock()
+	s.locked(func() { s.words(p, 1)[0] = v })
 	s.notify()
 }
 
 // FetchAdd atomically adds delta to the cell at p and returns the previous
 // value (ARMCI_RMW fetch-and-add; the ticket lock's fetch-and-increment).
 func (s *Space) FetchAdd(p Ptr, delta int64) int64 {
-	s.mu.Lock()
-	w := s.words(p, 1)
-	old := w[0]
-	w[0] += delta
-	s.mu.Unlock()
+	var old int64
+	s.locked(func() {
+		w := s.words(p, 1)
+		old = w[0]
+		w[0] += delta
+	})
 	s.notify()
 	return old
 }
@@ -149,11 +161,12 @@ func (s *Space) FetchAdd(p Ptr, delta int64) int64 {
 // Swap atomically replaces the cell at p with v and returns the previous
 // value.
 func (s *Space) Swap(p Ptr, v int64) int64 {
-	s.mu.Lock()
-	w := s.words(p, 1)
-	old := w[0]
-	w[0] = v
-	s.mu.Unlock()
+	var old int64
+	s.locked(func() {
+		w := s.words(p, 1)
+		old = w[0]
+		w[0] = v
+	})
 	s.notify()
 	return old
 }
@@ -162,13 +175,14 @@ func (s *Space) Swap(p Ptr, v int64) int64 {
 // It returns the value observed before the operation (equal to old exactly
 // when the swap happened).
 func (s *Space) CompareAndSwap(p Ptr, old, new int64) int64 {
-	s.mu.Lock()
-	w := s.words(p, 1)
-	prev := w[0]
-	if prev == old {
-		w[0] = new
-	}
-	s.mu.Unlock()
+	var prev int64
+	s.locked(func() {
+		w := s.words(p, 1)
+		prev = w[0]
+		if prev == old {
+			w[0] = new
+		}
+	})
 	s.notify()
 	return prev
 }
@@ -193,21 +207,22 @@ func (s *Space) LoadPair(p Ptr) Pair {
 
 // StorePair atomically writes the two consecutive cells at p.
 func (s *Space) StorePair(p Ptr, v Pair) {
-	s.mu.Lock()
-	w := s.words(p, 2)
-	w[0], w[1] = v.Hi, v.Lo
-	s.mu.Unlock()
+	s.locked(func() {
+		w := s.words(p, 2)
+		w[0], w[1] = v.Hi, v.Lo
+	})
 	s.notify()
 }
 
 // SwapPair atomically replaces the two consecutive cells at p with v and
 // returns their previous contents.
 func (s *Space) SwapPair(p Ptr, v Pair) Pair {
-	s.mu.Lock()
-	w := s.words(p, 2)
-	old := Pair{w[0], w[1]}
-	w[0], w[1] = v.Hi, v.Lo
-	s.mu.Unlock()
+	var old Pair
+	s.locked(func() {
+		w := s.words(p, 2)
+		old = Pair{w[0], w[1]}
+		w[0], w[1] = v.Hi, v.Lo
+	})
 	s.notify()
 	return old
 }
@@ -216,13 +231,14 @@ func (s *Space) SwapPair(p Ptr, v Pair) Pair {
 // p if they hold old. It returns the pair observed before the operation
 // (equal to old exactly when the swap happened).
 func (s *Space) CompareAndSwapPair(p Ptr, old, new Pair) Pair {
-	s.mu.Lock()
-	w := s.words(p, 2)
-	prev := Pair{w[0], w[1]}
-	if prev == old {
-		w[0], w[1] = new.Hi, new.Lo
-	}
-	s.mu.Unlock()
+	var prev Pair
+	s.locked(func() {
+		w := s.words(p, 2)
+		prev = Pair{w[0], w[1]}
+		if prev == old {
+			w[0], w[1] = new.Hi, new.Lo
+		}
+	})
 	s.notify()
 	return prev
 }
@@ -231,9 +247,7 @@ func (s *Space) CompareAndSwapPair(p Ptr, old, new Pair) Pair {
 
 // Put copies data into memory at p.
 func (s *Space) Put(p Ptr, data []byte) {
-	s.mu.Lock()
-	copy(s.bytesAt(p, int64(len(data))), data)
-	s.mu.Unlock()
+	s.locked(func() { copy(s.bytesAt(p, int64(len(data))), data) })
 	s.notify()
 }
 
@@ -264,27 +278,26 @@ func (s *Space) Accumulate(op AccOp, p Ptr, data []byte, scale float64) {
 	if len(data)%8 != 0 {
 		panic(fmt.Sprintf("shmem: accumulate length %d not a multiple of 8", len(data)))
 	}
-	s.mu.Lock()
-	dst := s.bytesAt(p, int64(len(data)))
-	switch op {
-	case AccFloat64:
-		for i := 0; i+8 <= len(data); i += 8 {
-			d := math.Float64frombits(leUint64(dst[i:]))
-			v := math.Float64frombits(leUint64(data[i:]))
-			lePutUint64(dst[i:], math.Float64bits(d+scale*v))
+	s.locked(func() {
+		dst := s.bytesAt(p, int64(len(data)))
+		switch op {
+		case AccFloat64:
+			for i := 0; i+8 <= len(data); i += 8 {
+				d := math.Float64frombits(leUint64(dst[i:]))
+				v := math.Float64frombits(leUint64(data[i:]))
+				lePutUint64(dst[i:], math.Float64bits(d+scale*v))
+			}
+		case AccInt64:
+			k := int64(scale)
+			for i := 0; i+8 <= len(data); i += 8 {
+				d := int64(leUint64(dst[i:]))
+				v := int64(leUint64(data[i:]))
+				lePutUint64(dst[i:], uint64(d+k*v))
+			}
+		default:
+			panic(fmt.Sprintf("shmem: unknown accumulate op %d", op))
 		}
-	case AccInt64:
-		k := int64(scale)
-		for i := 0; i+8 <= len(data); i += 8 {
-			d := int64(leUint64(dst[i:]))
-			v := int64(leUint64(data[i:]))
-			lePutUint64(dst[i:], uint64(d+k*v))
-		}
-	default:
-		s.mu.Unlock()
-		panic(fmt.Sprintf("shmem: unknown accumulate op %d", op))
-	}
-	s.mu.Unlock()
+	})
 	s.notify()
 }
 

@@ -124,13 +124,13 @@ func (s *Space) UnpackTo(dst Ptr, d Strided, data []byte) {
 	if want := d.TotalBytes(); want != len(data) {
 		panic(fmt.Sprintf("shmem: strided unpack of %d bytes into descriptor covering %d", len(data), want))
 	}
-	s.mu.Lock()
-	pos := 0
-	d.EachRun(func(off int64, n int) {
-		copy(s.bytesAt(dst.Add(off), int64(n)), data[pos:pos+n])
-		pos += n
+	s.locked(func() {
+		pos := 0
+		d.EachRun(func(off int64, n int) {
+			copy(s.bytesAt(dst.Add(off), int64(n)), data[pos:pos+n])
+			pos += n
+		})
 	})
-	s.mu.Unlock()
 	s.notify()
 }
 

@@ -241,6 +241,23 @@ func (e *chanEnv) Recv(match msg.Match) *msg.Message {
 	}
 }
 
+func (e *chanEnv) TryRecv(match msg.Match) *msg.Message {
+	// Only messages whose stamped arrival time has passed are eligible:
+	// polling must never observe a message earlier than Recv (which
+	// sleeps out the remaining latency) would deliver it. Per-pair
+	// arrival times are monotone, so gating on arrival keeps FIFO.
+	now := time.Since(e.f.start)
+	e.f.mu.Lock()
+	m := e.f.mailboxes[e.addr].TryPop(func(m *msg.Message) bool {
+		return m.Arrival <= now && match(m)
+	})
+	e.f.mu.Unlock()
+	if m != nil {
+		e.f.pipe.RecvCharge(e.Charge)
+	}
+	return m
+}
+
 func (e *chanEnv) WaitUntil(tag string, pred func() bool) {
 	expired, stop := e.opTimer(false)
 	defer stop()

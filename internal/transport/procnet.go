@@ -320,6 +320,20 @@ func (e *procEnv) Recv(match msg.Match) *msg.Message {
 	}
 }
 
+func (e *procEnv) TryRecv(match msg.Match) *msg.Message {
+	now := time.Since(e.f.start)
+	e.f.mu.Lock()
+	if ferr := e.f.fault; ferr != nil {
+		e.f.mu.Unlock()
+		panic(abort{ferr})
+	}
+	m := e.f.mailboxes[e.addr].TryPop(func(m *msg.Message) bool {
+		return m.Arrival <= now && match(m)
+	})
+	e.f.mu.Unlock()
+	return m
+}
+
 func (e *procEnv) WaitUntil(tag string, pred func() bool) {
 	expired, stop := e.opTimer(false)
 	defer stop()

@@ -199,6 +199,16 @@ func (e *simEnv) Recv(match msg.Match) *msg.Message {
 	return got
 }
 
+func (e *simEnv) TryRecv(match msg.Match) *msg.Message {
+	// Messages reach the mailbox only at their delivery instant (the
+	// kernel's At callback), so anything queued has already arrived.
+	m := e.f.mailboxes[e.addr].TryPop(match)
+	if m != nil {
+		e.f.pipe.RecvCharge(e.Charge)
+	}
+	return m
+}
+
 func (e *simEnv) WaitUntil(tag string, pred func() bool) {
 	timedOut := false
 	if od := e.f.cfg.OpDeadline; od > 0 {

@@ -387,6 +387,18 @@ func (e *tcpEnv) Recv(match msg.Match) *msg.Message {
 	}
 }
 
+func (e *tcpEnv) TryRecv(match msg.Match) *msg.Message {
+	// Gate on the stamped arrival time so polling cannot observe a
+	// fault-delayed message before Recv would deliver it.
+	now := time.Since(e.f.start)
+	e.f.mu.Lock()
+	m := e.f.mailboxes[e.addr].TryPop(func(m *msg.Message) bool {
+		return m.Arrival <= now && match(m)
+	})
+	e.f.mu.Unlock()
+	return m
+}
+
 func (e *tcpEnv) WaitUntil(tag string, pred func() bool) {
 	expired, stop := e.opTimer(false)
 	defer stop()

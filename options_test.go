@@ -237,18 +237,28 @@ func TestNbGetOverlap(t *testing.T) {
 	}
 }
 
-// TestNbGetDoubleWaitPanics documents the single-use contract.
-func TestNbGetDoubleWaitPanics(t *testing.T) {
-	_, err := armci.Run(armci.Options{Procs: 1, Fabric: armci.FabricSim}, func(p *armci.Proc) {
-		ptr := p.MallocLocal(8)
-		h := p.NbGet(ptr, 8)
-		h.Wait()
-		defer func() {
-			if recover() == nil {
-				panic("double Wait did not panic")
-			}
-		}()
-		h.Wait()
+// TestNbGetWaitIdempotent documents the idempotent contract: repeated
+// Wait calls return the same cached data, and Done reports completion
+// after the first Wait.
+func TestNbGetWaitIdempotent(t *testing.T) {
+	_, err := armci.Run(armci.Options{Procs: 2, Fabric: armci.FabricSim}, func(p *armci.Proc) {
+		ptrs := p.Malloc(8)
+		me := p.Rank()
+		fill := bytes.Repeat([]byte{byte(me + 1)}, 8)
+		p.Put(ptrs[me], fill)
+		p.Barrier()
+
+		h := p.NbGet(ptrs[1-me], 8)
+		first := h.Wait()
+		if !h.Done() {
+			panic("Done false after Wait")
+		}
+		second := h.Wait()
+		want := bytes.Repeat([]byte{byte(2 - me)}, 8)
+		if !bytes.Equal(first, want) || !bytes.Equal(second, want) {
+			panic("repeated Wait returned different data")
+		}
+		p.Barrier()
 	})
 	if err != nil {
 		t.Fatal(err)

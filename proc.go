@@ -116,8 +116,10 @@ func (p *Proc) Get(src Ptr, n int) []byte { return p.eng.Get(src, n) }
 // GetStrided gathers the strided region at src (ARMCI_GetS). Blocking.
 func (p *Proc) GetStrided(src Ptr, d Strided) []byte { return p.eng.GetStrided(src, d) }
 
-// Handle tracks a non-blocking get (ARMCI_NbGet / armci_hdl_t); collect
-// the data with Wait.
+// Handle tracks one in-flight non-blocking operation (armci_hdl_t),
+// unified across op kinds: gets carry data, puts and accumulates carry
+// completion. Wait is idempotent (repeated calls return the cached
+// result); Test/Done poll in-flight progress without blocking.
 type Handle = proc.Handle
 
 // NbGet starts a non-blocking get of n bytes at src, letting the caller
@@ -126,6 +128,50 @@ func (p *Proc) NbGet(src Ptr, n int) *Handle { return p.eng.NbGet(src, n) }
 
 // NbGetStrided starts a non-blocking strided get.
 func (p *Proc) NbGetStrided(src Ptr, d Strided) *Handle { return p.eng.NbGetStrided(src, d) }
+
+// NbPut starts a non-blocking contiguous put (ARMCI_NbPut) and returns
+// its completion handle. The transfer behaves exactly like Put —
+// including coalescing eligibility — with per-operation completion on
+// top: Wait fences the destination node, Test polls where the fence
+// mode makes completion observable.
+func (p *Proc) NbPut(dst Ptr, data []byte) *Handle { return p.eng.NbPut(dst, data) }
+
+// NbPutStrided starts a non-blocking strided put with a handle.
+func (p *Proc) NbPutStrided(dst Ptr, d Strided, data []byte) *Handle {
+	return p.eng.NbPutStrided(dst, d, data)
+}
+
+// NbAcc starts a non-blocking contiguous accumulate (ARMCI_NbAcc) with a
+// completion handle.
+func (p *Proc) NbAcc(op AccOp, dst Ptr, data []byte, scale float64) *Handle {
+	return p.eng.NbAcc(op, dst, data, scale)
+}
+
+// WaitAll completes every handle (ARMCI_WaitAll); store-class handles
+// against the same node share one fence round trip.
+func (p *Proc) WaitAll(hs ...*Handle) { p.eng.WaitAll(hs...) }
+
+// PutFlag copies data into dst and then writes val into the word cell
+// flag on the same node (ARMCI_Put_flag): the consumer spins locally on
+// the flag (WaitFlag) instead of anyone paying a fence round trip. The
+// flag store trails the data on the same FIFO pipe, so a consumer that
+// observes the flag is guaranteed to observe the data.
+func (p *Proc) PutFlag(dst Ptr, data []byte, flag Ptr, val int64) {
+	p.eng.PutFlag(dst, data, flag, val)
+}
+
+// WaitFlag spins until the local word cell flag holds val — the consumer
+// half of the notify/wait pattern.
+func (p *Proc) WaitFlag(flag Ptr, val int64) { p.eng.WaitFlag(flag, val) }
+
+// Flush ships any operations coalescing has buffered for the given node.
+// A no-op when coalescing is off; never needed for correctness (every
+// fence, barrier and notify flushes implicitly) but available to bound
+// latency by hand.
+func (p *Proc) Flush(node int) { p.eng.Flush(node) }
+
+// FlushAll ships every buffered coalesced operation.
+func (p *Proc) FlushAll() { p.eng.FlushAll() }
 
 // Accumulate atomically adds scale*data into the strided region at dst
 // (ARMCI_AccS). Non-blocking and fence-counted like Put.

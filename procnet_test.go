@@ -1,6 +1,7 @@
 package armci_test
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -32,6 +33,8 @@ func TestMain(m *testing.M) {
 		os.Exit(m.Run())
 	case "ring":
 		os.Exit(procWorkerRing())
+	case "coalring":
+		os.Exit(procWorkerCoalRing())
 	case "die":
 		os.Exit(procWorkerDie())
 	case "fig7":
@@ -94,6 +97,97 @@ func procWorkerRing() int {
 		return 1
 	}
 	fmt.Printf("RING_FP node=%d fp=%s\n", we.Node, rep.Stats.Fingerprint())
+	return 0
+}
+
+const (
+	procCoalLaps       = 3
+	procCoalChunks     = 3
+	procCoalChunkBytes = 64
+)
+
+func procCoalChunk(lap, src, k int) []byte {
+	b := make([]byte, procCoalChunkBytes)
+	for i := range b {
+		b[i] = byte(lap*89 + src*13 + k*5 + i)
+	}
+	return b
+}
+
+// procCoalBaton is the coalesced parity workload: a flag-passing baton
+// ring in which each rank streams chunked puts plus a PutFlag notify to
+// its right neighbor, and the neighbor only starts sending after
+// WaitFlag. Exactly one rank's data traffic is in flight at a time, so
+// the stream of batched frames is data-dependent, not
+// schedule-dependent.
+func procCoalBaton(p *armci.Proc) {
+	me, n := p.Rank(), p.Size()
+	bufs := p.Malloc(procCoalChunks * procCoalChunkBytes)
+	flags := p.MallocWords(1)
+	next, prev := (me+1)%n, (me-1+n)%n
+	p.MPIBarrier()
+	for lap := 0; lap < procCoalLaps; lap++ {
+		send := func() {
+			for k := 0; k < procCoalChunks-1; k++ {
+				p.Put(bufs[next].Add(int64(k*procCoalChunkBytes)), procCoalChunk(lap, me, k))
+			}
+			p.PutFlag(bufs[next].Add(int64((procCoalChunks-1)*procCoalChunkBytes)),
+				procCoalChunk(lap, me, procCoalChunks-1), flags[next], int64(lap+1))
+		}
+		recv := func() {
+			p.WaitFlag(flags[me], int64(lap+1))
+			for k := 0; k < procCoalChunks; k++ {
+				got := p.Get(bufs[me].Add(int64(k*procCoalChunkBytes)), procCoalChunkBytes)
+				if !bytes.Equal(got, procCoalChunk(lap, prev, k)) {
+					panic(fmt.Sprintf("lap %d: rank %d read stale chunk %d from rank %d", lap, me, k, prev))
+				}
+			}
+		}
+		if me == 0 {
+			send()
+			recv()
+		} else {
+			recv()
+			send()
+		}
+	}
+}
+
+// coalRingTraffic selects the baton ring's own messages — batched
+// frames, puts, flag stores — and excludes collective traffic (Malloc's
+// allgather, barriers), whose message order IS schedule-dependent.
+func coalRingTraffic(e trace.Event) bool {
+	return e.Kind == msg.KindBatch || e.Kind == msg.KindPut || e.Kind == msg.KindRmw
+}
+
+// procWorkerCoalRing runs the coalesced baton ring as one cluster
+// worker and prints the fingerprint of its local ring traffic for the
+// launcher-side parity check.
+func procWorkerCoalRing() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "coalring worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        we.Procs,
+		ProcsPerNode: we.ProcsPerNode,
+		Fabric:       armci.FabricProc,
+		Coalesce:     armci.Coalesce{Enabled: true},
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, procCoalBaton)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var ring []trace.Event
+	for _, e := range rep.Stats.Events() {
+		if coalRingTraffic(e) {
+			ring = append(ring, e)
+		}
+	}
+	fmt.Printf("COALRING_FP node=%d fp=%s\n", we.Node, trace.FingerprintEvents(ring))
 	return 0
 }
 
@@ -214,6 +308,83 @@ func TestProcnetRingParityWithTCP(t *testing.T) {
 		}
 		if got[node] != want[node] {
 			t.Errorf("node %d send stream diverged between fabrics:\ntcp  %s\nproc %s", node, want[node], got[node])
+		}
+	}
+}
+
+// TestProcnetCoalescedRingParityWithTCP extends the cross-fabric
+// parity check to the coalescing path: the flag-passing baton ring's
+// batched frames, restricted to each node's sends, must be identical
+// between the in-process TCP fabric and the multi-process proc fabric.
+// This proves the coalescer packs and flushes frames at deterministic
+// program points regardless of substrate, even when each origin runs in
+// its own OS process.
+func TestProcnetCoalescedRingParityWithTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        procRingProcs,
+		Fabric:       armci.FabricTCP,
+		Coalesce:     armci.Coalesce{Enabled: true},
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, procCoalBaton)
+	if err != nil {
+		t.Fatalf("tcp baseline: %v", err)
+	}
+	events := rep.Stats.Events()
+	want := make([]string, procRingProcs)
+	sawBatch := false
+	for node := range want {
+		var local []trace.Event
+		for _, e := range events {
+			if e.Kind == msg.KindBatch {
+				sawBatch = true
+			}
+			if procSrcNode(e.Src) == node && coalRingTraffic(e) {
+				local = append(local, e)
+			}
+		}
+		want[node] = trace.FingerprintEvents(local)
+		if want[node] == "" {
+			t.Fatalf("tcp baseline captured no ring traffic from node %d", node)
+		}
+	}
+	if !sawBatch {
+		t.Fatal("tcp baseline sent no batched frames; coalescing was not exercised")
+	}
+
+	got := make([]string, procRingProcs)
+	var mu sync.Mutex
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:      procRingProcs,
+		Command:    []string{testExe(t)},
+		ExtraEnv:   []string{"ARMCI_PROCNET_TEST_WORKLOAD=coalring"},
+		Output:     io.Discard,
+		RunTimeout: 2 * time.Minute,
+		OnLine: func(node int, line string) {
+			fp, ok := parseTagged(line, "COALRING_FP", "fp")
+			if !ok {
+				return
+			}
+			mu.Lock()
+			got[node] = fp
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("proc launch: %v (outcome %+v)", err, out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node := range want {
+		if got[node] == "" {
+			t.Errorf("node %d printed no COALRING_FP line", node)
+			continue
+		}
+		if got[node] != want[node] {
+			t.Errorf("node %d batched send stream diverged between fabrics:\ntcp  %s\nproc %s", node, want[node], got[node])
 		}
 	}
 }

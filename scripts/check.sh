@@ -18,6 +18,10 @@ go test -race -short ./internal/... ./ga ./mp
 # the race detector; -short keeps the long soak out of this pass — run it
 # with `make soak`.
 go test -race -short -run 'Fault|Loss|Crash' .
+# The async-completion layer under the race detector: Nb* handles,
+# put-with-flag, and the per-destination coalescer, on the concurrent
+# fabrics where handle state and batched frames cross goroutines.
+go test -race -short -run 'Coalesc|Handle|Flag|Batch|Nb' .
 # The multi-process smoke: a 4-rank smoke-sized Fig. 7 point through
 # armci-run — real OS processes, rendezvous, routed puts, clean drain.
 go run ./cmd/armci-run -n 4 -workload fig7-small
