@@ -241,6 +241,13 @@ type Options struct {
 	// NumMutexes is how many cluster locks to create. Lock i is homed at
 	// rank LockHomes[i] if given, else at rank i modulo Procs.
 	NumMutexes int
+	// LeaseTTL is the lease duration of LockLease mutexes: a holder that
+	// has not advanced the lock state for this long may be deposed by a
+	// waiter once a fail-stop crash is on record. Virtual time on
+	// FabricSim, wall time otherwise. It must exceed the longest critical
+	// section plus one hand-off; 0 selects a default of 10ms
+	// (core.DefaultLeaseTTL).
+	LeaseTTL time.Duration
 	// LockHomes optionally places each lock; len must equal NumMutexes.
 	LockHomes []int
 	// NICAssist enables the paper's §5 future work: a NIC agent per node
@@ -323,6 +330,9 @@ func (o *Options) normalize() (model.Params, error) {
 	if o.OpDeadline < 0 {
 		return model.Params{}, fmt.Errorf("armci: Options.OpDeadline must be >= 0, got %v", o.OpDeadline)
 	}
+	if o.LeaseTTL < 0 {
+		return model.Params{}, fmt.Errorf("armci: Options.LeaseTTL must be >= 0, got %v", o.LeaseTTL)
+	}
 	if o.ScheduleSeed < 0 {
 		return model.Params{}, fmt.Errorf("armci: Options.ScheduleSeed must be >= 0, got %d", o.ScheduleSeed)
 	}
@@ -334,6 +344,9 @@ func (o *Options) normalize() (model.Params, error) {
 	}
 	if o.Faults.CrashAfterSends > 0 && o.Faults.CrashRank >= o.Procs {
 		return model.Params{}, fmt.Errorf("armci: Faults.CrashRank %d out of range [0,%d)", o.Faults.CrashRank, o.Procs)
+	}
+	if o.Faults.CrashHeldAcquire > 0 && o.Faults.CrashHeldRank >= o.Procs {
+		return model.Params{}, fmt.Errorf("armci: Faults.CrashHeldRank %d out of range [0,%d)", o.Faults.CrashHeldRank, o.Procs)
 	}
 	return o.Preset.params()
 }
@@ -452,7 +465,7 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 			comm := collective.New(env)
 			sync := core.NewSync(eng, comm)
 			sync.BarrierAlg = opt.BarrierAlg
-			body(&Proc{eng: eng, comm: comm, sync: sync, locks: locks})
+			body(&Proc{eng: eng, comm: comm, sync: sync, locks: locks, leaseTTL: opt.LeaseTTL})
 		})
 	}
 

@@ -45,7 +45,7 @@ func main() {
 	log.SetPrefix("armci-bench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, crossover, counts, ablate, smallput, all")
+		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, crossover, counts, ablate, smallput, all")
 		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: -fig 7 only, multi-process)")
 		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
 		procsF   = flag.String("procs", "", "comma-separated process counts (default per experiment)")
@@ -125,6 +125,8 @@ func main() {
 		runFig7(common, procCounts, csv)
 	case "8", "9", "10", "lock":
 		runLock(common, procCounts, *iters, csv)
+	case "lockcrash":
+		runLockCrash(common, procCounts)
 	case "crossover":
 		runCrossover(common, procCounts, csv)
 	case "counts":
@@ -141,6 +143,8 @@ func main() {
 		runFig7(common, procCounts, csv)
 		fmt.Println()
 		runLock(common, procCounts, *iters, csv)
+		fmt.Println()
+		runLockCrash(common, procCounts)
 		fmt.Println()
 		runCrossover(common, nil, csv)
 		fmt.Println()
@@ -366,6 +370,22 @@ func runLock(common bench.Opts, procCounts []int, iters int, csv bool) {
 		return
 	}
 	fmt.Print(bench.FormatLock(res))
+}
+
+func runLockCrash(common bench.Opts, procCounts []int) {
+	if common.Fabric != armci.FabricSim {
+		fmt.Println("lockcrash: skipped (measures deterministic virtual times; sim fabric only)")
+		return
+	}
+	opts := bench.LockCrashOpts{Opts: common}
+	if len(procCounts) > 0 {
+		opts.Procs = procCounts[len(procCounts)-1]
+	}
+	res, err := bench.LockCrash(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatLockCrash(res))
 }
 
 func runCrossover(common bench.Opts, procCounts []int, csv bool) {

@@ -48,7 +48,7 @@ func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("armci-check", flag.ExitOnError)
 	var (
 		fabricsF  = fs.String("fabrics", "sim", "comma-separated in-process fabrics: sim, chan, tcp")
-		algsF     = fs.String("algs", "queue,hybrid,ticket,queue-nocas", "comma-separated lock algorithms (empty entry = no lock phase)")
+		algsF     = fs.String("algs", "queue,hybrid,ticket,queue-nocas,lease", "comma-separated lock algorithms (empty entry = no lock phase)")
 		syncsF    = fs.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
 		faultsF   = fs.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
 		procs     = fs.Int("procs", 6, "user processes")

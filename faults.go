@@ -22,6 +22,9 @@ import (
 //	                     (default 16×rto)
 //	retry=<n>            retransmission budget per message, n >= 1
 //	crash=<rank>@<sends> fail-stop rank at its sends-th send, sends >= 1
+//	crashheld=<rank>@<n> fail-stop rank right after its n-th lock
+//	                     acquisition — the rank dies holding the lock,
+//	                     n >= 1
 //	seed=<int>           fault pattern seed
 //
 // The empty string parses to the zero Faults (no faults). Any accepted
@@ -136,6 +139,26 @@ func ParseFaults(s string) (Faults, error) {
 				return f, fmt.Errorf("bad faults crash send count %d: must be >= 1", n)
 			}
 			f.CrashRank, f.CrashAfterSends = r, n
+		case "crashheld":
+			rv, av, ok := strings.Cut(val, "@")
+			if !ok {
+				return f, fmt.Errorf("bad faults crashheld %q (want <rank>@<nth-acquire>)", val)
+			}
+			r, err := strconv.Atoi(rv)
+			if err != nil {
+				return f, fmt.Errorf("bad faults crashheld rank %q: %v", rv, err)
+			}
+			if r < 0 {
+				return f, fmt.Errorf("bad faults crashheld rank %d: must be >= 0", r)
+			}
+			n, err := strconv.Atoi(av)
+			if err != nil {
+				return f, fmt.Errorf("bad faults crashheld acquire count %q: %v", av, err)
+			}
+			if n < 1 {
+				return f, fmt.Errorf("bad faults crashheld acquire count %d: must be >= 1", n)
+			}
+			f.CrashHeldRank, f.CrashHeldAcquire = r, n
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
@@ -154,7 +177,7 @@ func ParseFaults(s string) (Faults, error) {
 
 // FormatFaults renders a fault plan in the canonical form of the
 // ParseFaults grammar: knobs in a fixed order (jitter, spike, dup, loss,
-// rto, retry, crash, seed), zero-valued knobs omitted, optional
+// rto, retry, crash, crashheld, seed), zero-valued knobs omitted, optional
 // sub-values omitted when zero. The output re-parses to the same struct
 // for any plan ParseFaults accepts. MaxDupsPerPair has no textual form
 // and is not rendered.
@@ -192,6 +215,9 @@ func FormatFaults(f Faults) string {
 	}
 	if f.CrashAfterSends != 0 {
 		parts = append(parts, fmt.Sprintf("crash=%d@%d", f.CrashRank, f.CrashAfterSends))
+	}
+	if f.CrashHeldAcquire != 0 {
+		parts = append(parts, fmt.Sprintf("crashheld=%d@%d", f.CrashHeldRank, f.CrashHeldAcquire))
 	}
 	if f.Seed != 0 {
 		parts = append(parts, "seed="+strconv.FormatInt(f.Seed, 10))

@@ -290,6 +290,11 @@ func FuzzParseFaults(f *testing.F) {
 		"jitter=1ms,jitter=2ms",
 		"loss=0.5@0",
 		"seed=9223372036854775807",
+		"crashheld=1@1",
+		"crash=2@40,crashheld=3@2,seed=11",
+		"crashheld=0@0",
+		"crashheld=-1@2",
+		"crashheld=1@1,crashheld=2@1",
 	} {
 		f.Add(seed)
 	}

@@ -142,10 +142,19 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 			sp.Factor, ratioPct)
 	}
 
-	// Conformance sweep: a fixed 128-case matrix. The protocol event
+	// Holder-crash recovery: crash-free hand-off vs crash-recovery
+	// latency of the lease lock, both deterministic virtual times.
+	lc, err := LockCrash(LockCrashOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline lockcrash: %w", err)
+	}
+	det("lockcrash/handoff/us", lc.HandoffUS, "us")
+	det("lockcrash/recovery/us", lc.RecoveryUS, "us")
+
+	// Conformance sweep: a fixed 160-case matrix. The protocol event
 	// count is deterministic; the wall time is the throughput trend.
 	cases := check.Matrix([]armci.FabricKind{armci.FabricSim},
-		[]string{"queue", "hybrid", "ticket", "queue-nocas"},
+		[]string{"queue", "hybrid", "ticket", "queue-nocas", "lease"},
 		[]string{"barrier", "sync-old"}, nil, 6, 2, 1, 16)
 	start := time.Now()
 	sweep := check.RunAllParallel(cases, 0, nil)

@@ -27,6 +27,7 @@ func TestBaselineRoundTripAndGate(t *testing.T) {
 		"hotpath/pipeline_sendrecv/ns_op", "hotpath/pipeline_sendrecv/allocs_op",
 		"hotpath/explore_case/ns_op",
 		"smallput/uncoalesced/us", "smallput/coalesced/us", "smallput/ratio_pct",
+		"lockcrash/handoff/us", "lockcrash/recovery/us",
 	} {
 		if _, ok := base.Metrics[name]; !ok {
 			t.Errorf("baseline is missing tracked metric %q", name)

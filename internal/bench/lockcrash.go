@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"armci"
+	"armci/internal/trace"
+)
+
+// LockCrashOpts configures the holder-crash recovery experiment: a
+// cluster of ranks contends on one lease lock, one rank fail-stops
+// while holding it, and the survivors' lease-expiry repair puts the
+// lock back in service. The experiment reports the steady-state
+// hand-off latency next to the crash-recovery latency, so the cost of
+// surviving a holder crash is a number, not a claim.
+type LockCrashOpts struct {
+	Opts
+	// Procs is the number of competing ranks (default 64).
+	Procs int
+	// PPN is how many consecutive ranks share a node (default 8).
+	PPN int
+	// Iters is the number of critical sections each rank runs
+	// (default 3).
+	Iters int
+	// TTL is the lease TTL (default 2ms). It must comfortably exceed a
+	// congested critical section at this contention level, or waiters
+	// depose live holders and the run is rejected (repairs != 1).
+	TTL time.Duration
+	// Victim is the rank that fail-stops (default 1).
+	Victim int
+	// CrashAcquire is the victim's fatal acquire, 1-based (default 1).
+	CrashAcquire int
+}
+
+// LockCrashResult is the outcome of one recovery run.
+type LockCrashResult struct {
+	Opts LockCrashOpts
+	// HandoffUS is the mean crash-free release-to-next-acquire gap in
+	// microseconds, measured over Handoffs hand-offs (the window
+	// spanning the crash and its repair is excluded).
+	HandoffUS float64
+	Handoffs  int
+	// RecoveryUS is the gap from the victim's fail-stop to the first
+	// post-repair acquire: TTL expiry, the depose CAS, and the grant.
+	RecoveryUS float64
+	// Repairs counts OpRepair events; the run is rejected unless it is
+	// exactly 1 (one crash, one winning depose).
+	Repairs int
+}
+
+// LockCrash runs the experiment on the simulated fabric: every rank —
+// the victim included — loops lock / increment a counter homed at rank
+// 0 / unlock; the victim dies inside its designated acquire while
+// holding the lock. The metrics come from the captured op-event
+// history, so both numbers are deterministic virtual times.
+func LockCrash(opts LockCrashOpts) (*LockCrashResult, error) {
+	opts.Opts = opts.Opts.withDefaults()
+	if opts.Fabric != armci.FabricSim {
+		return nil, fmt.Errorf("bench: lockcrash measures deterministic virtual times; run it on the sim fabric, not %s", opts.Fabric)
+	}
+	if opts.Procs <= 0 {
+		opts.Procs = 64
+	}
+	if opts.PPN <= 0 {
+		opts.PPN = 8
+	}
+	if opts.Iters <= 0 {
+		opts.Iters = 3
+	}
+	if opts.TTL <= 0 {
+		opts.TTL = 2 * time.Millisecond
+	}
+	if opts.Victim <= 0 {
+		opts.Victim = 1
+	}
+	if opts.CrashAcquire <= 0 {
+		opts.CrashAcquire = 1
+	}
+	if opts.Victim >= opts.Procs {
+		return nil, fmt.Errorf("bench: lockcrash victim rank %d out of range for %d procs", opts.Victim, opts.Procs)
+	}
+	faults := opts.Faults
+	faults.CrashHeldRank = opts.Victim
+	faults.CrashHeldAcquire = opts.CrashAcquire
+
+	victimIters := opts.Iters
+	if opts.CrashAcquire <= opts.Iters {
+		victimIters = opts.CrashAcquire - 1
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        opts.Procs,
+		ProcsPerNode: opts.PPN,
+		Fabric:       armci.FabricSim,
+		Preset:       opts.Preset,
+		NumMutexes:   1,
+		ScheduleSeed: 1,
+		CaptureTrace: true,
+		LeaseTTL:     opts.TTL,
+		Faults:       faults,
+		Metrics:      opts.Metrics,
+	}, func(p *armci.Proc) {
+		me, n := p.Rank(), p.Size()
+		counter := p.MallocWords(1)[0] // rank 0's cell
+		mu := p.Mutex(0, armci.LockLease)
+		node0 := p.NodeOf(0)
+		for i := 0; i < opts.Iters; i++ {
+			mu.Lock() // the victim dies in here at its designated acquire
+			p.Store(counter, p.Load(counter)+1)
+			if node0 != p.MyNode() {
+				p.Fence(node0)
+			}
+			mu.Unlock()
+		}
+		if me != 0 {
+			return
+		}
+		// Survivors fence their increments before releasing; wait until
+		// the last one lands so the history below is complete.
+		want := int64((n-1)*opts.Iters + victimIters)
+		p.Env().WaitUntilFor("lockcrash-counter", func() bool {
+			return p.Load(counter) >= want
+		}, time.Second)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: lockcrash run: %w", err)
+	}
+
+	res := &LockCrashResult{Opts: opts}
+	var (
+		crashAt     time.Duration
+		crashSeen   bool
+		recovered   bool
+		lastRelease time.Duration
+		haveRelease bool
+		hazard      bool // a crash or repair happened since lastRelease
+		handoffSum  float64
+	)
+	for _, e := range rep.Stats.OpEvents() {
+		switch e.Kind {
+		case trace.OpCrash:
+			crashSeen, crashAt = true, e.Time
+			hazard = true
+		case trace.OpRepair:
+			res.Repairs++
+			hazard = true
+		case trace.OpRelease:
+			if e.Lock == 0 {
+				lastRelease, haveRelease, hazard = e.Time, true, false
+			}
+		case trace.OpAcquire:
+			if e.Lock != 0 {
+				continue
+			}
+			if crashSeen && !recovered {
+				recovered = true
+				res.RecoveryUS = us(e.Time - crashAt)
+			} else if haveRelease && !hazard {
+				handoffSum += us(e.Time - lastRelease)
+				res.Handoffs++
+			}
+		}
+	}
+	if !crashSeen {
+		return nil, fmt.Errorf("bench: lockcrash run recorded no fail-stop; the crashheld plan did not fire")
+	}
+	if res.Repairs != 1 {
+		return nil, fmt.Errorf("bench: lockcrash run recorded %d repairs, want exactly 1", res.Repairs)
+	}
+	if !recovered || res.Handoffs == 0 {
+		return nil, fmt.Errorf("bench: lockcrash history too sparse (recovered=%v, %d hand-offs)", recovered, res.Handoffs)
+	}
+	res.HandoffUS = handoffSum / float64(res.Handoffs)
+	return res, nil
+}

@@ -52,6 +52,20 @@ func FormatLock(r *LockResult) string {
 	return b.String()
 }
 
+// FormatLockCrash renders the holder-crash recovery experiment.
+func FormatLockCrash(r *LockCrashResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lock holder-crash recovery: lease lock, %d procs (ppn %d), victim rank %d at acquire %d, TTL %s (%s fabric, %s model)\n",
+		r.Opts.Procs, r.Opts.PPN, r.Opts.Victim, r.Opts.CrashAcquire, r.Opts.TTL,
+		fabricName(armci.FabricSim), presetName(r.Opts.Preset))
+	fmt.Fprintf(&b, "%28s %14s\n", "metric", "value")
+	fmt.Fprintf(&b, "%28s %14.1f\n", "hand-off (us, crash-free)", r.HandoffUS)
+	fmt.Fprintf(&b, "%28s %14.1f\n", "recovery (us, crash)", r.RecoveryUS)
+	fmt.Fprintf(&b, "%28s %14d\n", "hand-offs measured", r.Handoffs)
+	fmt.Fprintf(&b, "%28s %14d\n", "repairs", r.Repairs)
+	return b.String()
+}
+
 // FormatCrossover renders the §3.1.2 sparse-writer table.
 func FormatCrossover(r *CrossoverResult) string {
 	var b strings.Builder

@@ -6,11 +6,16 @@
 // validates the history against invariant oracles:
 //
 //   - mutual exclusion: at most one rank holds a lock between its
-//     acquire and release records;
+//     acquire and release records; for the lease lock the invariant is
+//     "modulo lease expiry" — a second holder is legal only after a
+//     repair event deposed the first, epochs never repeat, a deposed
+//     rank's release must be rejected as stale, and repairs may only
+//     happen once a fail-stop is on record;
 //   - FIFO hand-off: MCS acquires chain through their predecessor ranks
-//     (QueueLock), ticket-ordered algorithms grant in strictly
-//     increasing ticket order (Hybrid, Ticket); QueueLockNoCAS is
-//     exempt — the paper's swap-release legitimately trades FIFO away;
+//     (QueueLock, and LeaseLock until the first crash), ticket-ordered
+//     algorithms grant in strictly increasing ticket order (Hybrid,
+//     Ticket); QueueLockNoCAS is exempt — the paper's swap-release
+//     legitimately trades FIFO away;
 //   - fence completion: no rank exits a global synchronization while a
 //     fence-counted operation issued before any rank's matching entry is
 //     still incomplete, and no rank exits before every rank has entered;
@@ -48,8 +53,8 @@ type Case struct {
 	// to Procs for the ticket algorithm, which is single-node only).
 	PPN int
 	// Alg is the lock algorithm exercised by the critical-section phase:
-	// "queue", "hybrid", "ticket", "queue-nocas", or "" for no lock
-	// phase.
+	// "queue", "hybrid", "ticket", "queue-nocas", "lease", or "" for no
+	// lock phase.
 	Alg string
 	// Sync is the global synchronization variant: "barrier" (the paper's
 	// combined ARMCI_Barrier, the default), "sync-old" (serialized
@@ -77,6 +82,9 @@ type Case struct {
 	// Mutation selects a deliberately broken algorithm variant (see
 	// mutations.go); "" runs the real algorithms.
 	Mutation string
+	// LeaseTTL overrides the lease lock's TTL (0 = the core default).
+	// Only meaningful with Alg "lease" or a lease-targeting mutation.
+	LeaseTTL time.Duration
 	// OpDeadline bounds every blocking operation; 0 means none on the
 	// simulated fabric (its deadlock detector fails fast) and a generous
 	// wall-clock bound on the concurrent fabrics.
@@ -196,6 +204,13 @@ func RunCase(c Case) Result {
 		faults.Seed = c.Seed
 	}
 	spec := mutationSpecs[c.Mutation]
+	if c.LeaseTTL == 0 {
+		// A lease-targeting mutation's TTL is part of the bug's trigger
+		// but not of the reproducer tuple; default it from the spec so
+		// replaying the tuple (armci-check -mutation ...) re-runs the
+		// exact failing configuration.
+		c.LeaseTTL = spec.leaseTTL
+	}
 	if spec.harnessPanic {
 		panic(fmt.Sprintf("check: deliberate harness panic for case %s", c.Reproducer()))
 	}
@@ -214,6 +229,7 @@ func RunCase(c Case) Result {
 		SimEventPoolHazard: spec.simHazard,
 		CaptureTrace:       true,
 		Faults:             faults,
+		LeaseTTL:           c.LeaseTTL,
 		OpDeadline:         c.OpDeadline,
 	}, workloadBody(c, col))
 
@@ -240,7 +256,7 @@ func RunCase(c Case) Result {
 // spending a run on them.
 func validateCase(c Case) error {
 	switch c.Alg {
-	case "", "queue", "hybrid", "ticket", "queue-nocas":
+	case "", "queue", "hybrid", "ticket", "queue-nocas", "lease":
 	default:
 		return fmt.Errorf("check: unknown lock algorithm %q", c.Alg)
 	}

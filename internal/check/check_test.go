@@ -10,7 +10,7 @@ import (
 // lock algorithm × both synchronization variants on the simulated
 // fabric, 64 schedule-shuffle seeds each.
 var (
-	sweepAlgs  = []string{"queue", "hybrid", "ticket", "queue-nocas"}
+	sweepAlgs  = []string{"queue", "hybrid", "ticket", "queue-nocas", "lease"}
 	sweepSyncs = []string{"barrier", "sync-old"}
 )
 
@@ -69,6 +69,37 @@ func TestFaultPlanSweep(t *testing.T) {
 	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue", "hybrid"},
 		[]string{"barrier"}, faults, 6, 2, 1, 16)
 	runSweep(t, cases)
+}
+
+// TestLeaseCrashSweep drives the lease lock through holder-crash plans
+// across a seed sweep: the designated rank fail-stops inside an acquire,
+// and the surviving ranks must repair the lock and finish their critical
+// sections with the modulo-lease oracle, the state-level counter and
+// liveness all green.
+func TestLeaseCrashSweep(t *testing.T) {
+	faults := []string{"crashheld=1@1", "crashheld=2@2", "crashheld=5@3"}
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"lease"},
+		[]string{"barrier"}, faults, 6, 2, 1, 16)
+	runSweep(t, cases)
+}
+
+// TestQueueCrashFailsFastInHarness pins the other half of the contract:
+// the same crashheld plan against the plain queuing lock must surface as
+// a liveness violation (a rank-attributed fault abort), never pass and
+// never hang.
+func TestQueueCrashFailsFastInHarness(t *testing.T) {
+	r := RunCase(Case{Fabric: armci.FabricSim, Alg: "queue", Sync: "barrier",
+		Faults: "crashheld=1@1", Seed: 1})
+	if r.Err != nil {
+		t.Fatalf("case failed to run: %v", r.Err)
+	}
+	for _, v := range r.Violations {
+		if v.Oracle == "liveness" {
+			t.Logf("fail-fast surfaced as: %s", v)
+			return
+		}
+	}
+	t.Fatalf("queue lock under a holder crash produced no liveness violation: %v", r.Violations)
 }
 
 // TestConcurrentFabrics spot-checks the same workload on the goroutine
@@ -144,6 +175,7 @@ func TestMutationsTargetExpectedOracle(t *testing.T) {
 		MutSyncOldSkipFence:  "fence",
 		MutEventPoolRecycle:  "liveness",
 		MutCoalesceReorder:   "state",
+		MutLeaseStaleRelease: "mutual-exclusion",
 	}
 	for name, oracle := range want {
 		found := false

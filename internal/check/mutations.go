@@ -1,6 +1,8 @@
 package check
 
 import (
+	"time"
+
 	"armci"
 	"armci/internal/collective"
 	"armci/internal/proc"
@@ -61,6 +63,18 @@ const (
 	// chunk byte-for-byte. Proves batching preserves within-batch order,
 	// not just per-pair frame order.
 	MutCoalesceReorder = "coalescer-reorder"
+	// MutLeaseStaleRelease: a lease lock whose release skips the epoch
+	// compare&swap — it frees the lock unconditionally instead of
+	// presenting its epoch, so a holder that a repair deposed while it
+	// was slow still gives the lock away underneath the repair's
+	// beneficiary. The case runs a crashheld plan (arming recovery) with
+	// a TTL far below the critical-section time, so live holders are
+	// routinely deposed and their broken releases hand the lock to a
+	// second rank mid-tenure. Detected by the modulo-lease
+	// mutual-exclusion oracle: a deposed rank's ordinary release, an
+	// epoch granted twice, or an acquire while a never-deposed rank
+	// holds.
+	MutLeaseStaleRelease = "lease-stale-release"
 	// MutPanicCase: not an algorithm bug — the workload panics outright
 	// mid-case, simulating a harness defect. It exists to test that the
 	// sweep runner recovers per case, attributes the panic to its
@@ -87,6 +101,13 @@ type mutationSpec struct {
 	coalesceHazard bool
 	// harnessPanic makes RunCase panic mid-case (runner-recovery test).
 	harnessPanic bool
+	// leaseTTL overrides the lease TTL of the case (lease mutations use
+	// a TTL below the critical-section time to force live deposals).
+	leaseTTL time.Duration
+	// csDelay stretches every critical section of the crash workload by
+	// a virtual-time sleep, so a tenure reliably outlives the lease TTL
+	// and waiters depose live holders mid-section.
+	csDelay time.Duration
 }
 
 var mutationSpecs = map[string]mutationSpec{
@@ -98,13 +119,17 @@ var mutationSpecs = map[string]mutationSpec{
 	MutSyncOldSkipFence:  {alg: "queue", sync: "sync-old", syncFn: brokenSyncOld},
 	MutEventPoolRecycle:  {alg: "queue", sync: "barrier", simHazard: true},
 	MutCoalesceReorder:   {sync: "barrier", coalesceHazard: true},
-	MutPanicCase:         {alg: "queue", sync: "barrier", harnessPanic: true},
+	MutLeaseStaleRelease: {alg: "lease", sync: "barrier", faults: "crashheld=1@1",
+		leaseTTL: 10 * time.Microsecond, csDelay: 300 * time.Microsecond,
+		lock:     func(p *armci.Proc) armci.Mutex { return &brokenLeaseLock{p: p, idx: 0, ttl: 10 * time.Microsecond} }},
+	MutPanicCase: {alg: "queue", sync: "barrier", harnessPanic: true},
 }
 
 // Mutations returns the broken variant names, in a fixed order.
 func Mutations() []string {
 	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2,
-		MutSyncOldSkipFence, MutEventPoolRecycle, MutCoalesceReorder}
+		MutSyncOldSkipFence, MutEventPoolRecycle, MutCoalesceReorder,
+		MutLeaseStaleRelease}
 }
 
 // MutationCase builds the sweep template of one mutation at one seed.
@@ -119,6 +144,7 @@ func MutationCase(name string, seed int64) Case {
 		Seed:     seed,
 		Iters:    6,
 		Mutation: name,
+		LeaseTTL: m.leaseTTL,
 	}
 }
 
@@ -212,6 +238,190 @@ func (q *brokenQueueLock) Unlock() {
 		}
 	}
 	p.Store(next.Add(proc.QNodeLocked), 0)
+}
+
+// --- broken lease lock ---
+
+// brokenLeaseLock mirrors core.LeaseLock — MCS queue for wake hints, the
+// lease state pair {epoch, tenant} as the sole source of truth, TTL
+// timeouts arming repair once a crash is on record — except that its
+// release skips the epoch compare&swap (the bug, in Unlock).
+type brokenLeaseLock struct {
+	p   *armci.Proc
+	idx int
+	ttl time.Duration
+
+	epoch    int64
+	acquires int
+}
+
+func (l *brokenLeaseLock) table() *proc.LockTable { return l.p.Locks() }
+
+// Lock is the correct lease acquire (the bug is in the release).
+func (l *brokenLeaseLock) Lock() {
+	p := l.p
+	env := p.Env()
+	t := l.table()
+	mine := t.LeaseQNode[l.idx][p.Rank()]
+	minePacked := shmem.PackPtr(mine)
+
+	p.StorePair(mine.Add(proc.QNodeNextHi), shmem.Pair{})
+	p.Store(mine.Add(proc.QNodeLocked), 1)
+	prev := p.SwapPair(t.LeaseTail[l.idx], minePacked).UnpackPtr()
+	prevRank := -1
+	useFlag := false
+	if !prev.IsNil() {
+		prevRank = int(prev.Rank)
+		useFlag = true
+		p.StorePair(prev.Add(proc.QNodeNextHi), minePacked)
+	}
+
+	locked := mine.Add(proc.QNodeLocked)
+	for {
+		if useFlag {
+			woke := env.WaitUntilFor("broken-lease-acquire", func() bool {
+				return env.Space().Load(locked) == 0
+			}, l.ttl)
+			if woke {
+				useFlag = false
+				if l.tryRegister(prevRank) {
+					return
+				}
+				continue
+			}
+			if l.maybeRecover() {
+				return
+			}
+			continue
+		}
+		if l.tryRegister(prevRank) {
+			return
+		}
+		env.WaitUntilFor("broken-lease-backoff", func() bool { return false }, l.ttl)
+		if l.maybeRecover() {
+			return
+		}
+	}
+}
+
+func (l *brokenLeaseLock) tryRegister(prevRank int) bool {
+	p := l.p
+	me := int64(p.Rank())
+	state := l.table().LeaseState[l.idx]
+	st := p.LoadPair(state)
+	for st.Lo <= 0 {
+		obs := p.CompareAndSwapPair(state, st, shmem.Pair{Hi: st.Hi, Lo: me + 1})
+		if obs == st {
+			l.granted(st.Hi, prevRank)
+			return true
+		}
+		st = obs
+	}
+	return false
+}
+
+func (l *brokenLeaseLock) granted(epoch int64, prevRank int) {
+	p := l.p
+	l.epoch = epoch
+	p.Store(l.table().LeaseStamp[l.idx], int64(p.Env().Clock().Now()))
+	recordLeaseOp(p, trace.OpAcquire, l.idx, prevRank, int(epoch))
+	l.acquires++
+	l.maybeCrashHeld()
+}
+
+// maybeCrashHeld mirrors the lock layer's crashheld hook: the mutated
+// variant must still honor the plan that designates the dying holder.
+func (l *brokenLeaseLock) maybeCrashHeld() {
+	p := l.p
+	env := p.Env()
+	f := env.Faults()
+	if f.CrashHeldAcquire == 0 || p.Rank() != f.CrashHeldRank || l.acquires != f.CrashHeldAcquire {
+		return
+	}
+	recordLeaseOp(p, trace.OpCrash, l.idx, -1, 0)
+	env.FailStop("crashheld: fail-stop holding lock (mutated lease)")
+}
+
+func (l *brokenLeaseLock) maybeRecover() bool {
+	p := l.p
+	env := p.Env()
+	if env.CrashedRank() < 0 {
+		return false
+	}
+	t := l.table()
+	state := t.LeaseState[l.idx]
+	st := p.LoadPair(state)
+	stamp := time.Duration(p.Load(t.LeaseStamp[l.idx]))
+	now := env.Clock().Now()
+	if now-stamp <= l.ttl {
+		return false
+	}
+	if st.Lo > 0 {
+		holder := int(st.Lo) - 1
+		obs := p.CompareAndSwapPair(state, st, shmem.Pair{Hi: st.Hi + 1, Lo: -st.Lo})
+		if obs != st {
+			return false
+		}
+		recordLeaseOp(p, trace.OpRepair, l.idx, holder, int(st.Hi)+1)
+		p.Store(t.LeaseStamp[l.idx], int64(now))
+		victim := t.LeaseQNode[l.idx][holder]
+		next := p.LoadPair(victim.Add(proc.QNodeNextHi)).UnpackPtr()
+		if !next.IsNil() {
+			p.Store(next.Add(proc.QNodeLocked), 0)
+		}
+		return false
+	}
+	me := int64(p.Rank())
+	if p.CompareAndSwapPair(state, st, shmem.Pair{Hi: st.Hi, Lo: me + 1}) == st {
+		l.granted(st.Hi, -1)
+		return true
+	}
+	return false
+}
+
+// Unlock frees the lock WITHOUT the epoch compare&swap: a deposed holder
+// should lose that CAS and have its release rejected as stale; this one
+// stores the freed state unconditionally, handing the lock away from
+// under whoever the repair granted it to.
+func (l *brokenLeaseLock) Unlock() {
+	p := l.p
+	env := p.Env()
+	t := l.table()
+	me := int64(p.Rank())
+	recordLeaseOp(p, trace.OpRelease, l.idx, -1, int(l.epoch))
+	// BUG: should be CompareAndSwapPair({epoch, me+1} -> {epoch+1,
+	// -(me+1)}) with the stale-release fallback; frees unconditionally.
+	p.StorePair(t.LeaseState[l.idx], shmem.Pair{Hi: l.epoch + 1, Lo: -(me + 1)})
+	p.Store(t.LeaseStamp[l.idx], int64(env.Clock().Now()))
+
+	// MCS dequeue and wake, as the real release does.
+	mine := t.LeaseQNode[l.idx][p.Rank()]
+	minePacked := shmem.PackPtr(mine)
+	nextField := mine.Add(proc.QNodeNextHi)
+	next := p.LoadPair(nextField).UnpackPtr()
+	if next.IsNil() {
+		if p.CompareAndSwapPair(t.LeaseTail[l.idx], minePacked, shmem.Pair{}) == minePacked {
+			return
+		}
+		for !env.WaitUntilFor("broken-lease-release-link", func() bool {
+			return !p.LoadPair(nextField).UnpackPtr().IsNil()
+		}, l.ttl) {
+			if env.CrashedRank() >= 0 {
+				return
+			}
+		}
+		next = p.LoadPair(nextField).UnpackPtr()
+	}
+	p.Store(next.Add(proc.QNodeLocked), 0)
+}
+
+// recordLeaseOp is recordLockOp with the lease epoch attached.
+func recordLeaseOp(p *armci.Proc, kind trace.OpKind, idx, prev, epoch int) {
+	env := p.Env()
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: kind, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: prev, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
 }
 
 // --- broken ticket lock ---

@@ -41,11 +41,19 @@ func fifoKindFor(alg string) fifoKind {
 // checkHistory runs every trace-level oracle over one run's history.
 func checkHistory(events []trace.OpEvent, c Case) []Violation {
 	var vs []Violation
-	vs = append(vs, checkMutex(events, c, fifoKindFor(c.Alg))...)
+	if leaseSemantics(c) {
+		vs = append(vs, checkMutexLease(events, c)...)
+	} else {
+		vs = append(vs, checkMutex(events, c, fifoKindFor(c.Alg))...)
+	}
 	vs = append(vs, checkFence(events, c)...)
 	vs = append(vs, checkDelivery(events, c)...)
 	return vs
 }
+
+// leaseSemantics reports whether the case's lock history must be judged
+// by the modulo-lease oracle: the lease algorithm, real or mutated.
+func leaseSemantics(c Case) bool { return c.Alg == "lease" }
 
 // checkMutex validates mutual exclusion and — per fifo kind — FIFO
 // hand-off order, lock by lock, in one scan.
@@ -96,6 +104,100 @@ func checkMutex(events []trace.OpEvent, c Case, fifo fifoKind) []Violation {
 						e.Seq, e.Rank, e.Lock, was)})
 			}
 			holder[e.Lock] = -1
+		}
+	}
+	return vs
+}
+
+// checkMutexLease validates the lease lock's "mutual exclusion modulo
+// lease expiry" contract, lock by lock, in one scan:
+//
+//   - an acquire while a rank holds the lock is a violation, unless that
+//     holder was first deposed by a repair event — leases make a second
+//     holder legal only across a repair boundary;
+//   - acquire epochs are strictly increasing: every tenure ends in
+//     exactly one epoch advance (release or repair), so a repeated or
+//     regressed epoch means two ranks were registered under one;
+//   - a release must come from the recorded holder — a deposed rank's
+//     ordinary release means the epoch check failed to reject it (the
+//     protocol demands it surface as a stale-release instead);
+//   - a stale-release may only come from a rank some repair deposed;
+//   - a repair may only depose the recorded holder, and only after a
+//     crash is on record — recovery must never arm in crash-free runs.
+//
+// FIFO hand-off: until the first crash the lease lock is MCS plus a
+// registration CAS, so acquires chain through their predecessor ranks
+// exactly as fifoQueue demands. After a crash, repairs and self-grants
+// legitimately restart the chain, so the predecessor check stands down.
+func checkMutexLease(events []trace.OpEvent, c Case) []Violation {
+	var vs []Violation
+	holder := make(map[int]int)  // lock -> holding rank, -1 free
+	epoch := make(map[int]int)   // lock -> epoch of the latest acquire
+	lastAcq := make(map[int]int) // lock -> rank of the latest acquire
+	haveAcq := make(map[int]bool)
+	deposed := make(map[int]map[int]bool) // lock -> ranks repairs deposed
+	crashed := false
+	for _, e := range events {
+		switch e.Kind {
+		case trace.OpCrash:
+			crashed = true
+		case trace.OpAcquire:
+			if h, ok := holder[e.Lock]; ok && h != -1 {
+				vs = append(vs, Violation{Oracle: "mutual-exclusion", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d acquired lock %d while rank %d holds it and no repair deposed it",
+						e.Seq, e.Rank, e.Lock, h)})
+			}
+			if haveAcq[e.Lock] && e.Epoch <= epoch[e.Lock] {
+				vs = append(vs, Violation{Oracle: "mutual-exclusion", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d acquired lock %d under epoch %d, not past epoch %d (epoch reused: two tenures under one lease)",
+						e.Seq, e.Rank, e.Lock, e.Epoch, epoch[e.Lock])})
+			}
+			if !crashed && haveAcq[e.Lock] && e.Prev != -1 && e.Prev != lastAcq[e.Lock] {
+				vs = append(vs, Violation{Oracle: "fifo", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d acquired lock %d behind rank %d, but the previous holder was rank %d (queue overtaken with no crash on record)",
+						e.Seq, e.Rank, e.Lock, e.Prev, lastAcq[e.Lock])})
+			}
+			holder[e.Lock] = e.Rank
+			epoch[e.Lock] = e.Epoch
+			lastAcq[e.Lock] = e.Rank
+			haveAcq[e.Lock] = true
+		case trace.OpRelease:
+			if h, ok := holder[e.Lock]; !ok || h != e.Rank {
+				was := "free"
+				if ok && h != -1 {
+					was = fmt.Sprintf("held by rank %d", h)
+				}
+				if deposed[e.Lock][e.Rank] {
+					was += "; rank was deposed — the epoch check must reject this as stale"
+				}
+				vs = append(vs, Violation{Oracle: "mutual-exclusion", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d released lock %d it does not hold (lock %s)",
+						e.Seq, e.Rank, e.Lock, was)})
+				continue // an invalid release frees nothing
+			}
+			holder[e.Lock] = -1
+		case trace.OpStaleRelease:
+			if !deposed[e.Lock][e.Rank] {
+				vs = append(vs, Violation{Oracle: "mutual-exclusion", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d had its release of lock %d rejected as stale, but no repair deposed it",
+						e.Seq, e.Rank, e.Lock)})
+			}
+		case trace.OpRepair:
+			if !crashed {
+				vs = append(vs, Violation{Oracle: "mutual-exclusion", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d repaired lock %d with no crash on record (recovery armed in a crash-free run)",
+						e.Seq, e.Rank, e.Lock)})
+			}
+			if h, ok := holder[e.Lock]; ok && h != -1 && h != e.Prev {
+				vs = append(vs, Violation{Oracle: "mutual-exclusion", Case: c,
+					Detail: fmt.Sprintf("event %d: rank %d repaired lock %d by deposing rank %d, but rank %d holds it",
+						e.Seq, e.Rank, e.Lock, e.Prev, h)})
+			}
+			if deposed[e.Lock] == nil {
+				deposed[e.Lock] = make(map[int]bool)
+			}
+			deposed[e.Lock][e.Prev] = true
+			holder[e.Lock] = -1 // the depose freed the lock under a new epoch
 		}
 	}
 	return vs

@@ -40,8 +40,8 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 		sweepAlgs, sweepSyncs, nil,
 		6, 2, 0, 31,
 	)
-	if len(cases) != 256 {
-		t.Fatalf("short matrix has %d cases, want 256", len(cases))
+	if len(cases) != 320 {
+		t.Fatalf("short matrix has %d cases, want 320", len(cases))
 	}
 	// Salt the matrix with mutated cases so both orderings carry real
 	// violations, not just clean passes.

@@ -2,6 +2,7 @@ package check
 
 import (
 	"bytes"
+	"time"
 
 	"armci"
 )
@@ -35,6 +36,12 @@ import (
 // variant (real or mutated), so a broken barrier is exposed to both the
 // trace-level fence oracle and the state-level read-back.
 func workloadBody(c Case, col *collector) func(p *armci.Proc) {
+	if f, err := armci.ParseFaults(c.Faults); err == nil && f.CrashHeldAcquire > 0 {
+		// A crashheld plan fail-stops a rank inside the lock phase; the
+		// dead rank can join no collective, so the case runs the
+		// crash-recovery workload instead of the three-phase one.
+		return crashWorkloadBody(c, col, f)
+	}
 	return func(p *armci.Proc) {
 		me, n := p.Rank(), p.Size()
 		counter := p.MallocWords(1)[0] // rank 0's cell
@@ -109,6 +116,62 @@ func workloadBody(c Case, col *collector) func(p *armci.Proc) {
 	}
 }
 
+// crashWorkloadBody is the workload of crashheld cases: lock phase only.
+// Every rank — the designated victim included — runs Iters critical
+// sections over the shared counter; the victim fail-stops inside the
+// acquire the plan names, contributing only the increments it completed
+// before dying. There is no barrier (the dead rank cannot enter one):
+// rank 0, which homes the counter, instead waits — bounded — until the
+// surviving increments have all landed, then checks the total. A lock
+// that loses increments (or never recovers from the crash) leaves the
+// counter short and trips the state oracle; a lock that hangs trips
+// liveness via the sim deadlock detector or the op deadline.
+func crashWorkloadBody(c Case, col *collector, f armci.Faults) func(p *armci.Proc) {
+	return func(p *armci.Proc) {
+		me, n := p.Rank(), p.Size()
+		counter := p.MallocWords(1)[0] // rank 0's cell
+		mu := lockFor(p, c)
+		node0 := p.NodeOf(0)
+		csDelay := mutationSpecs[c.Mutation].csDelay
+		for i := 0; i < c.Iters; i++ {
+			mu.Lock() // the victim dies in here at its designated acquire
+			p.Store(counter, p.Load(counter)+1)
+			if csDelay > 0 {
+				// Lease-mutation cases stretch the tenure past the TTL, so
+				// waiters depose this (live) holder mid-section.
+				p.Env().Clock().Sleep(csDelay)
+			}
+			if node0 != p.MyNode() {
+				p.Fence(node0)
+			}
+			mu.Unlock()
+		}
+		if me != 0 || f.CrashHeldRank == 0 {
+			return // the victim never gets here; only rank 0 verifies
+		}
+		// The victim dies inside acquire number CrashHeldAcquire, before
+		// that section's increment (a plan past Iters never fires).
+		victimIters := c.Iters
+		if f.CrashHeldAcquire <= c.Iters {
+			victimIters = f.CrashHeldAcquire - 1
+		}
+		want := int64((n-1)*c.Iters + victimIters)
+		// Survivors fence remote increments before releasing, so once the
+		// last one finishes the counter — homed here — reads complete.
+		bound := time.Second // virtual time: event-driven, costs nothing
+		if c.Fabric != armci.FabricSim {
+			bound = 10 * time.Second
+		}
+		p.Env().WaitUntilFor("crash-counter", func() bool {
+			return p.Load(counter) >= want
+		}, bound)
+		if got := p.Load(counter); got != want {
+			col.addf("crash-recovery counter = %d, want %d (%d survivors x %d iters + %d from the victim)",
+				got, want, n-1, c.Iters, victimIters)
+		}
+	}
+}
+
 // Notify/wait phase geometry: enough chunks, each large enough, that a
 // batch applied in reverse keeps the earliest chunk unwritten for
 // several microseconds after the flag lands — well past the consumer's
@@ -148,6 +211,8 @@ func lockFor(p *armci.Proc, c Case) armci.Mutex {
 		return p.Mutex(0, armci.LockQueueNoCAS)
 	case "ticket":
 		return p.Mutex(0, armci.LockTicket)
+	case "lease":
+		return p.Mutex(0, armci.LockLease)
 	}
 	panic("check: lockFor called with no lock algorithm")
 }

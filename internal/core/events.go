@@ -30,6 +30,67 @@ func recordRelease(env transport.Env, idx int, ticket int64) {
 	})
 }
 
+// recordReleaseEpoch is recordRelease for the lease lock: it carries the
+// epoch the releaser will present to the epoch check.
+func recordReleaseEpoch(env transport.Env, idx int, epoch int) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpRelease, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: -1, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
+}
+
+// recordAcquireEpoch is recordAcquire for the lease lock: it also
+// carries the lease epoch the acquisition registered under, so the
+// modulo-lease oracle can match releases against the epoch they must
+// present.
+func recordAcquireEpoch(env transport.Env, idx, prev int, epoch int) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpAcquire, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: prev, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
+}
+
+// recordRepair notes that the calling rank deposed victim's expired
+// lease on lock idx and installed epoch. It must be recorded only by the
+// winner of the depose CAS, immediately after the CAS succeeds, so the
+// event sits between the victim's (now void) acquire and whichever
+// acquire the repair enables.
+func recordRepair(env transport.Env, idx, victim, epoch int) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpRepair, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: victim, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
+}
+
+// recordStaleRelease notes that the calling rank's release of lock idx
+// lost the epoch check — it had been deposed — and was rejected without
+// touching the lock state. epoch is the stale epoch the release
+// presented.
+func recordStaleRelease(env transport.Env, idx, epoch int) {
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpStaleRelease, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: -1, Ticket: -1, Epoch: epoch, Time: env.Clock().Now(),
+	})
+}
+
+// maybeCrashHeld implements the crashheld fault for the lock layer:
+// fault injection cannot see lock acquisitions, so each lock algorithm
+// counts its own and calls this right after acquire number n completes.
+// When the plan designates the calling rank and this acquisition, the
+// rank records an OpCrash witness and fail-stops — dying while holding
+// the lock.
+func maybeCrashHeld(env transport.Env, idx, n int) {
+	f := env.Faults()
+	if f.CrashHeldAcquire == 0 || env.Rank() != f.CrashHeldRank || n != f.CrashHeldAcquire {
+		return
+	}
+	env.Trace().RecordOp(trace.OpEvent{
+		Kind: trace.OpCrash, Rank: env.Rank(), Node: env.Node(env.Rank()),
+		Lock: idx, Prev: -1, Ticket: -1, Time: env.Clock().Now(),
+	})
+	env.FailStop("crashheld: fail-stop holding lock")
+}
+
 // recordSync notes barrier entry or exit for the calling rank. epoch
 // numbers the rank's barrier calls from 1; node is the rank's own node
 // (whose completion counter the fence oracle audits).

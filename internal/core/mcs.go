@@ -23,6 +23,8 @@ type QueueLock struct {
 	eng *proc.Engine
 	t   *proc.LockTable
 	idx int
+
+	acquires int // own completed acquisitions (crashheld accounting)
 }
 
 // NewQueueLock returns rank-local state for lock idx of the table.
@@ -52,6 +54,8 @@ func (q *QueueLock) Lock() {
 	prev := q.eng.SwapPair(q.t.MCS[q.idx], minePacked).UnpackPtr()
 	if prev.IsNil() {
 		recordAcquire(env, q.idx, -1, -1) // lock was free; we hold it
+		q.acquires++
+		maybeCrashHeld(env, q.idx, q.acquires)
 		return
 	}
 
@@ -71,6 +75,8 @@ func (q *QueueLock) Lock() {
 	// Queue-nodes live in their owner's memory, so the predecessor node's
 	// Rank is the rank we queued behind (the FIFO oracle's witness).
 	recordAcquire(env, q.idx, int(prev.Rank), -1)
+	q.acquires++
+	maybeCrashHeld(env, q.idx, q.acquires)
 }
 
 // Unlock releases the lock (Figure 5, release).

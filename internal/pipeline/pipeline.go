@@ -118,12 +118,22 @@ type Faults struct {
 	// CrashAfterSends-th send: that send and every later one from the
 	// rank fails with a FaultCrash error. 0 disables the crash fault.
 	CrashAfterSends int
+	// CrashHeldRank selects the user rank fail-stopped by the
+	// crash-while-holding fault (used only when CrashHeldAcquire > 0).
+	CrashHeldRank int
+	// CrashHeldAcquire, when > 0, crashes CrashHeldRank immediately
+	// after its CrashHeldAcquire-th lock acquisition — the rank dies
+	// holding the lock. The pipeline cannot see acquisitions, so the
+	// lock layer counts them and fail-stops the rank itself; the knob
+	// lives here so it rides the same plan/grammar as every other
+	// fault. 0 disables the fault.
+	CrashHeldAcquire int
 }
 
 // Enabled reports whether any fault is configured.
 func (f Faults) Enabled() bool {
 	return f.Jitter > 0 || (f.SpikeProb > 0 && f.SpikeDelay > 0) || f.DupProb > 0 ||
-		f.LossProb > 0 || f.CrashAfterSends > 0
+		f.LossProb > 0 || f.CrashAfterSends > 0 || f.CrashHeldAcquire > 0
 }
 
 // Validate rejects nonsensical fault plans with a descriptive error.
@@ -157,6 +167,10 @@ func (f Faults) Validate() error {
 		return fmt.Errorf("pipeline: Faults.CrashRank must be >= 0, got %d", f.CrashRank)
 	case f.CrashAfterSends < 0:
 		return fmt.Errorf("pipeline: Faults.CrashAfterSends must be >= 0, got %d", f.CrashAfterSends)
+	case f.CrashHeldRank < 0:
+		return fmt.Errorf("pipeline: Faults.CrashHeldRank must be >= 0, got %d", f.CrashHeldRank)
+	case f.CrashHeldAcquire < 0:
+		return fmt.Errorf("pipeline: Faults.CrashHeldAcquire must be >= 0, got %d", f.CrashHeldAcquire)
 	}
 	return nil
 }
@@ -477,6 +491,10 @@ type Pipeline struct {
 	pairs        map[Pair]*pairState // sequencing/FIFO/dedup state per pipe
 	sends        map[msg.Addr]uint64 // total sends per source (crash fault)
 	crashCounted bool                // the crash was counted in metrics
+
+	crashMu     sync.Mutex
+	crashed     []int  // user ranks that fail-stopped, in crash order
+	crashNotify func() // fabric hook, invoked (once per crash) outside crashMu
 }
 
 // New builds a pipeline for one fabric instance.
@@ -501,6 +519,75 @@ func (p *Pipeline) pairLocked(pr Pair) *pairState {
 
 // Faults returns the active fault plan.
 func (p *Pipeline) Faults() Faults { return p.cfg.Faults }
+
+// SetCrashNotify installs the fabric's crash broadcast: it is invoked
+// once per NoteCrash, outside the pipeline's locks, so the fabric can
+// wake blocked waiters (condition variables, kernel re-checks) that
+// must now observe the crash instead of spinning on a dead peer.
+func (p *Pipeline) SetCrashNotify(fn func()) {
+	p.crashMu.Lock()
+	p.crashNotify = fn
+	p.crashMu.Unlock()
+}
+
+// NoteCrash records that a user rank fail-stopped. The crash registry
+// is how survivors learn about a dead peer: crash-aware waits consult
+// FirstCrashed to convert an otherwise-unbounded spin into a
+// rank-attributed FaultCrash, and the lease lock's repair path skips
+// registered ranks when splicing the queue. Idempotent per rank.
+func (p *Pipeline) NoteCrash(rank int) {
+	p.crashMu.Lock()
+	for _, r := range p.crashed {
+		if r == rank {
+			p.crashMu.Unlock()
+			return
+		}
+	}
+	p.crashed = append(p.crashed, rank)
+	fn := p.crashNotify
+	p.crashMu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// FirstCrashed returns the first rank recorded by NoteCrash, or -1
+// when no rank has crashed.
+func (p *Pipeline) FirstCrashed() int {
+	p.crashMu.Lock()
+	defer p.crashMu.Unlock()
+	if len(p.crashed) == 0 {
+		return -1
+	}
+	return p.crashed[0]
+}
+
+// IsCrashed reports whether rank has been recorded by NoteCrash.
+func (p *Pipeline) IsCrashed(rank int) bool {
+	p.crashMu.Lock()
+	defer p.crashMu.Unlock()
+	for _, r := range p.crashed {
+		if r == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashNow builds the fail-stop error for a crash that happens outside
+// the send path — the crash-while-holding fault, injected by the lock
+// layer after the configured acquisition — counting it in the metrics
+// exactly once and registering the rank. The fabric aborts the actor
+// with the returned error.
+func (p *Pipeline) CrashNow(rank int, op string) *FaultError {
+	p.mu.Lock()
+	first := !p.crashCounted
+	p.crashCounted = true
+	p.mu.Unlock()
+	p.cfg.Metrics.countCrash(first)
+	p.NoteCrash(rank)
+	return &FaultError{Rank: rank, Op: op, Kind: FaultCrash}
+}
 
 // Send runs the outbound stage chain for m from src to dst: it charges
 // the modeled send overhead through charge (when the cost model is

@@ -28,6 +28,21 @@ type LockTable struct {
 	// QNode[i][r] points at rank r's queue-node structure for lock i:
 	// words 0..1 hold the next pointer pair, word 2 the locked flag.
 	QNode [][]shmem.Ptr
+
+	// Lease-lock state (crash-survivable queue lock). LeaseTail[i] is
+	// the MCS tail pointer pair at Home[i]. LeaseState[i] is a pair at
+	// Home[i] encoding {Hi: epoch, Lo: v}: v > 0 means rank v-1 holds
+	// the lease under epoch Hi; v < 0 means the lock is free and rank
+	// -v-1 was the last holder (the anchor a repairer walks the queue
+	// from); v == 0 means never held. LeaseStamp[i] is one word at
+	// Home[i] holding the fabric time (ns) of the last state change —
+	// advisory, written fire-and-forget by each epoch-CAS winner, read
+	// by waiters deciding whether the lease has expired. LeaseQNode has
+	// the same per-(lock,rank) layout as QNode.
+	LeaseTail  []shmem.Ptr
+	LeaseState []shmem.Ptr
+	LeaseStamp []shmem.Ptr
+	LeaseQNode [][]shmem.Ptr
 }
 
 // Word offsets within a lock's ticket/counter allocation.
@@ -50,13 +65,22 @@ func NewLockTable(space *shmem.Space, homes []int) *LockTable {
 		TicketCounter: make([]shmem.Ptr, len(homes)),
 		MCS:           make([]shmem.Ptr, len(homes)),
 		QNode:         make([][]shmem.Ptr, len(homes)),
+		LeaseTail:     make([]shmem.Ptr, len(homes)),
+		LeaseState:    make([]shmem.Ptr, len(homes)),
+		LeaseStamp:    make([]shmem.Ptr, len(homes)),
+		LeaseQNode:    make([][]shmem.Ptr, len(homes)),
 	}
 	for i, home := range homes {
 		t.TicketCounter[i] = space.AllocWords(home, 2)
 		t.MCS[i] = space.AllocWords(home, 2)
 		t.QNode[i] = make([]shmem.Ptr, space.NumRanks())
+		t.LeaseTail[i] = space.AllocWords(home, 2)
+		t.LeaseState[i] = space.AllocWords(home, 2)
+		t.LeaseStamp[i] = space.AllocWords(home, 1)
+		t.LeaseQNode[i] = make([]shmem.Ptr, space.NumRanks())
 		for r := 0; r < space.NumRanks(); r++ {
 			t.QNode[i][r] = space.AllocWords(r, 3)
+			t.LeaseQNode[i][r] = space.AllocWords(r, 3)
 		}
 	}
 	return t

@@ -345,12 +345,19 @@ func (k *Kernel) step(p *Proc) {
 // with errors.As.
 type Abort struct{ Err error }
 
+// Exit is a panic value a process may raise to terminate only itself,
+// mid-body, without failing the simulation: the kernel treats it as a
+// normal completion of that process. It models a fail-stop — the fabric
+// raises it for an injected crash so the victim vanishes while every
+// other process keeps running (and may recover, e.g. by lease repair).
+type Exit struct{}
+
 // procMain is the goroutine body wrapping a process function.
 func (k *Kernel) procMain(p *Proc) {
 	<-p.resume
 	defer func() {
 		if r := recover(); r != nil {
-			if k.failure == nil {
+			if _, ok := r.(Exit); !ok && k.failure == nil {
 				if a, ok := r.(Abort); ok && a.Err != nil {
 					k.failure = a.Err
 				} else {

@@ -98,12 +98,28 @@ const (
 	// Dst and PairSeq; the per-pair FIFO/exactly-once oracle checks that
 	// PairSeq is strictly increasing per directed pair.
 	OpDeliver
+	// OpRepair: a lease-lock waiter deposed an expired holder. Carries
+	// Lock, Rank (the repairer), Prev (the deposed rank) and Epoch (the
+	// new lease epoch installed by the repair CAS). From this event on,
+	// releases by Prev under an older epoch are stale and must not free
+	// the lock.
+	OpRepair
+	// OpStaleRelease: a deposed holder's release lost the epoch check
+	// and was rejected. Carries Lock and Rank (the deposed rank). The
+	// event witnesses that the release had no effect; an oracle treats
+	// it as a no-op in the hand-off order.
+	OpStaleRelease
+	// OpCrash: a rank fail-stopped by fault injection (crash/crashheld).
+	// Carries Rank. Later lock events involving Rank are excused from
+	// liveness accounting.
+	OpCrash
 )
 
 var opKindNames = map[OpKind]string{
 	OpAcquire: "acquire", OpRelease: "release",
 	OpSyncEnter: "sync-enter", OpSyncExit: "sync-exit",
 	OpIssue: "op-issue", OpComplete: "op-complete", OpDeliver: "deliver",
+	OpRepair: "repair", OpStaleRelease: "stale-release", OpCrash: "crash",
 }
 
 func (k OpKind) String() string {
@@ -358,6 +374,23 @@ func FingerprintEvents(events []Event) string {
 	var b strings.Builder
 	for i, e := range events {
 		appendFingerprint(&b, e, i+1)
+	}
+	return b.String()
+}
+
+// FingerprintOpEvents digests a protocol-level event slice, numbered by
+// position like FingerprintEvents. It folds in the fields the lock
+// oracles reason about — kind, rank, lock, predecessor, ticket, epoch —
+// and deliberately excludes Time (virtual on sim, wall elsewhere) and
+// the global Seq (which counts events of every kind, so a filtered lock
+// sub-stream would inherit unrelated interleaving). Two runs whose lock
+// hand-off history agrees fingerprint identically across fabrics and
+// schedule seeds.
+func FingerprintOpEvents(events []OpEvent) string {
+	var b strings.Builder
+	for i, e := range events {
+		fmt.Fprintf(&b, "%d:%s:r%d:l%d:p%d:t%d:e%d;",
+			i+1, e.Kind, e.Rank, e.Lock, e.Prev, e.Ticket, e.Epoch)
 	}
 	return b.String()
 }

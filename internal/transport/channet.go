@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ type ChanFabric struct {
 	cond      *sync.Cond // broadcast on memory writes, deliveries, shutdown
 	mailboxes map[msg.Addr]*msg.Queue
 	shutdown  bool
+	crashAt   time.Time // wall time of the first fail-stop (zero: none)
 
 	users   []actorSpec
 	servers []actorSpec
@@ -54,7 +56,65 @@ func NewChan(cfg Config) (*ChanFabric, error) {
 		f.cond.Broadcast()
 		f.mu.Unlock()
 	})
+	// A fail-stop wakes every blocked wait (crash-aware spins re-check the
+	// registry) and arms the grace timer that unwedges waits with no
+	// recovery path — see Config.CrashGrace.
+	f.pipe.SetCrashNotify(func() {
+		f.mu.Lock()
+		if f.crashAt.IsZero() {
+			f.crashAt = time.Now()
+			time.AfterFunc(f.cfg.CrashGrace+10*time.Millisecond, func() {
+				f.mu.Lock()
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			})
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
 	return f, nil
+}
+
+// crashBound arms the holder-crash grace bound for one blocking wait by
+// a user actor. overdue (call with f.mu held) reports that a registered
+// crash has outlived CrashGrace *and* this wait has itself been blocked
+// at least that long — a per-wait bound, so a run that keeps making
+// progress after lease repair is never aborted retroactively, while any
+// single operation wedged on the dead rank is. When the bound is not yet
+// reached, overdue schedules a broadcast for the moment it will be, so
+// the waiting loop is guaranteed to re-check. stop releases that timer.
+func (e *chanEnv) crashBound() (overdue func() bool, stop func()) {
+	start := time.Now()
+	var t *time.Timer
+	overdue = func() bool {
+		if e.addr.Server || e.f.crashAt.IsZero() {
+			return false
+		}
+		grace := e.f.cfg.CrashGrace
+		blocked := time.Since(start)
+		sinceCrash := time.Since(e.f.crashAt)
+		if blocked > grace && sinceCrash > grace {
+			return true
+		}
+		if t == nil {
+			d := grace - blocked
+			if rem := grace - sinceCrash; rem > d {
+				d = rem
+			}
+			t = time.AfterFunc(d+10*time.Millisecond, func() {
+				e.f.mu.Lock()
+				e.f.cond.Broadcast()
+				e.f.mu.Unlock()
+			})
+		}
+		return false
+	}
+	stop = func() {
+		if t != nil {
+			t.Stop()
+		}
+	}
+	return overdue, stop
 }
 
 // Space returns the cluster's shared memory.
@@ -91,6 +151,9 @@ func (f *ChanFabric) Run() error {
 		defer wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
+				if _, ok := r.(failStop); ok {
+					return // injected fail-stop: the actor vanishes, the run continues
+				}
 				if a, ok := r.(abort); ok && a.err != nil {
 					f.panics <- a.err // structured fault, propagate verbatim
 				} else {
@@ -206,7 +269,14 @@ func (e *chanEnv) Send(to msg.Addr, m *msg.Message) {
 			e.f.mu.Unlock()
 		})
 	if err != nil {
-		panic(abort{err}) // crash / retry exhaustion: abort this actor
+		var fe *pipeline.FaultError
+		if errors.As(err, &fe) && fe.Kind == pipeline.FaultCrash && !e.addr.Server {
+			// Injected crash: fail-stop this actor only; survivors learn of
+			// it through the crash registry (and the grace timer).
+			e.f.pipe.NoteCrash(e.addr.ID)
+			panic(failStop{})
+		}
+		panic(abort{err}) // retry exhaustion: abort this actor
 	}
 }
 
@@ -218,6 +288,8 @@ func (e *chanEnv) Recv(match msg.Match) *msg.Message {
 	tag := "recv@" + e.addr.String()
 	expired, stop := e.opTimer(e.addr.Server)
 	defer stop()
+	crashOverdue, crashStop := e.crashBound()
+	defer crashStop()
 	e.f.mu.Lock()
 	for {
 		if m := q.TryPop(match); m != nil {
@@ -232,6 +304,11 @@ func (e *chanEnv) Recv(match msg.Match) *msg.Message {
 		if e.addr.Server && e.f.shutdown {
 			e.f.mu.Unlock()
 			return nil
+		}
+		if crashOverdue() {
+			r := e.f.pipe.FirstCrashed()
+			e.f.mu.Unlock()
+			panic(abort{&pipeline.FaultError{Rank: r, Op: tag, Kind: pipeline.FaultCrash}})
 		}
 		if expired() {
 			e.f.mu.Unlock()
@@ -261,10 +338,17 @@ func (e *chanEnv) TryRecv(match msg.Match) *msg.Message {
 func (e *chanEnv) WaitUntil(tag string, pred func() bool) {
 	expired, stop := e.opTimer(false)
 	defer stop()
+	crashOverdue, crashStop := e.crashBound()
+	defer crashStop()
 	e.f.mu.Lock()
 	for !pred() {
 		if e.f.shutdown && e.addr.Server {
 			break
+		}
+		if crashOverdue() {
+			r := e.f.pipe.FirstCrashed()
+			e.f.mu.Unlock()
+			panic(abort{&pipeline.FaultError{Rank: r, Op: tag, Kind: pipeline.FaultCrash}})
 		}
 		if expired() {
 			e.f.mu.Unlock()
@@ -273,6 +357,43 @@ func (e *chanEnv) WaitUntil(tag string, pred func() bool) {
 		e.f.cond.Wait()
 	}
 	e.f.mu.Unlock()
+}
+
+func (e *chanEnv) WaitUntilFor(tag string, pred func() bool, d time.Duration) bool {
+	if d <= 0 {
+		e.WaitUntil(tag, pred)
+		return true
+	}
+	deadline := time.Now().Add(d)
+	t := time.AfterFunc(d, func() {
+		e.f.mu.Lock()
+		e.f.cond.Broadcast()
+		e.f.mu.Unlock()
+	})
+	defer t.Stop()
+	e.f.mu.Lock()
+	for !pred() {
+		if !time.Now().Before(deadline) {
+			e.f.mu.Unlock()
+			return false
+		}
+		e.f.cond.Wait()
+	}
+	e.f.mu.Unlock()
+	return true
+}
+
+func (e *chanEnv) Faults() pipeline.Faults { return e.f.pipe.Faults() }
+
+func (e *chanEnv) CrashedRank() int { return e.f.pipe.FirstCrashed() }
+
+func (e *chanEnv) FailStop(op string) {
+	e.f.pipe.CrashNow(e.addr.ID, op)
+	panic(failStop{})
+}
+
+func (e *chanEnv) AbortFault(err *pipeline.FaultError) {
+	panic(abort{err})
 }
 
 // opTimer arms the per-op deadline for one blocking operation: expired

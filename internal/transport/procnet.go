@@ -355,6 +355,55 @@ func (e *procEnv) WaitUntil(tag string, pred func() bool) {
 	e.f.mu.Unlock()
 }
 
+func (e *procEnv) WaitUntilFor(tag string, pred func() bool, d time.Duration) bool {
+	if d <= 0 {
+		e.WaitUntil(tag, pred)
+		return true
+	}
+	deadline := time.Now().Add(d)
+	t := time.AfterFunc(d, func() {
+		e.f.mu.Lock()
+		e.f.cond.Broadcast()
+		e.f.mu.Unlock()
+	})
+	defer t.Stop()
+	e.f.mu.Lock()
+	for !pred() {
+		if ferr := e.f.fault; ferr != nil {
+			e.f.mu.Unlock()
+			panic(abort{ferr})
+		}
+		if !time.Now().Before(deadline) {
+			e.f.mu.Unlock()
+			return false
+		}
+		e.f.cond.Wait()
+	}
+	e.f.mu.Unlock()
+	return true
+}
+
+func (e *procEnv) Faults() pipeline.Faults { return e.f.pipe.Faults() }
+
+// CrashedRank consults the process-local registry only: a rank
+// fail-stopped on another worker is detected by the cluster layer
+// (heartbeats / connection loss) as a FaultPeerLost instead. Lease-lock
+// waiters on this fabric therefore rely purely on TTL timing, which
+// needs no registry at all.
+func (e *procEnv) CrashedRank() int { return e.f.pipe.FirstCrashed() }
+
+// FailStop on the multi-process fabric is job-fatal: the crash registry
+// cannot cross process boundaries, so remote waiters could never
+// distinguish the fail-stop from a wedged peer. The run aborts with the
+// rank-attributed FaultError instead of silently dropping the actor.
+func (e *procEnv) FailStop(op string) {
+	panic(abort{e.f.pipe.CrashNow(e.addr.ID, op)})
+}
+
+func (e *procEnv) AbortFault(err *pipeline.FaultError) {
+	panic(abort{err})
+}
+
 // opTimer arms the per-op deadline for one blocking operation,
 // mirroring the channel and TCP fabrics' helper.
 func (e *procEnv) opTimer(exempt bool) (expired func() bool, stop func()) {

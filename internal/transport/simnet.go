@@ -108,10 +108,18 @@ func (f *SimFabric) Run() error {
 		deadline = time.Hour // virtual; generous default against runaways
 	}
 	err := f.kernel.Run(deadline)
-	if errors.Is(err, sim.ErrDeadlock) && f.shutdown {
-		// A deadlock after the last user finished is the expected way an
-		// idle simulation drains when a server has no poison support.
-		return nil
+	if errors.Is(err, sim.ErrDeadlock) {
+		if f.shutdown {
+			// A deadlock after the last user finished is the expected way an
+			// idle simulation drains when a server has no poison support.
+			return nil
+		}
+		if r := f.pipe.FirstCrashed(); r >= 0 {
+			// Survivors wedged on a fail-stopped peer: the virtual-time
+			// deadlock is that crash's fault, so attribute it to the dead
+			// rank instead of reporting an anonymous deadlock.
+			return &pipeline.FaultError{Rank: r, Op: "wait on crashed rank", Kind: pipeline.FaultCrash}
+		}
 	}
 	return err
 }
@@ -163,8 +171,16 @@ func (e *simEnv) Send(to msg.Addr, m *msg.Message) {
 		})
 	})
 	if err != nil {
-		// A crash or retry exhaustion fails the whole run with the
-		// structured error, not a generic panic message.
+		var fe *pipeline.FaultError
+		if errors.As(err, &fe) && fe.Kind == pipeline.FaultCrash && !e.addr.Server {
+			// An injected crash is a fail-stop of this actor only: register
+			// the death so crash-aware waiters (and the lease lock's repair
+			// path) can observe it, then vanish without failing the run.
+			e.f.pipe.NoteCrash(e.addr.ID)
+			panic(sim.Exit{})
+		}
+		// Retry exhaustion (or a server-side fault) fails the whole run
+		// with the structured error, not a generic panic message.
 		panic(sim.Abort{Err: err})
 	}
 }
@@ -191,6 +207,11 @@ func (e *simEnv) Recv(match msg.Match) *msg.Message {
 		return timedOut
 	})
 	if got == nil && timedOut {
+		if r := e.f.pipe.FirstCrashed(); r >= 0 {
+			// The wait outlived a fail-stopped peer: the timeout is the
+			// crash's fault, so attribute it to the dead rank.
+			panic(sim.Abort{Err: &pipeline.FaultError{Rank: r, Op: tag, Kind: pipeline.FaultCrash}})
+		}
 		panic(sim.Abort{Err: opTimeout(e.addr, tag).err})
 	}
 	if got != nil {
@@ -220,6 +241,9 @@ func (e *simEnv) WaitUntil(tag string, pred func() bool) {
 		return done || timedOut
 	})
 	if !done && timedOut {
+		if r := e.f.pipe.FirstCrashed(); r >= 0 {
+			panic(sim.Abort{Err: &pipeline.FaultError{Rank: r, Op: tag, Kind: pipeline.FaultCrash}})
+		}
 		panic(sim.Abort{Err: opTimeout(e.addr, tag).err})
 	}
 	if g := e.f.cfg.Model.PollGap; g > 0 {
@@ -227,4 +251,35 @@ func (e *simEnv) WaitUntil(tag string, pred func() bool) {
 		// spinning process noticing it.
 		e.p.Sleep(g)
 	}
+}
+
+func (e *simEnv) WaitUntilFor(tag string, pred func() bool, d time.Duration) bool {
+	if d <= 0 {
+		e.WaitUntil(tag, pred)
+		return true
+	}
+	timedOut := false
+	e.p.Kernel().After(d, func() { timedOut = true })
+	done := false
+	e.p.WaitUntil(tag, func() bool {
+		done = pred()
+		return done || timedOut
+	})
+	if g := e.f.cfg.Model.PollGap; g > 0 {
+		e.p.Sleep(g)
+	}
+	return done
+}
+
+func (e *simEnv) Faults() pipeline.Faults { return e.f.pipe.Faults() }
+
+func (e *simEnv) CrashedRank() int { return e.f.pipe.FirstCrashed() }
+
+func (e *simEnv) FailStop(op string) {
+	e.f.pipe.CrashNow(e.addr.ID, op)
+	panic(sim.Exit{})
+}
+
+func (e *simEnv) AbortFault(err *pipeline.FaultError) {
+	panic(sim.Abort{Err: err})
 }

@@ -69,6 +69,33 @@ type Env interface {
 	// shared memory or other fabric-visible state, so the fabric can
 	// re-evaluate it when that state changes. tag is diagnostic.
 	WaitUntil(tag string, pred func() bool)
+	// WaitUntilFor is the bounded form of WaitUntil: it blocks until
+	// pred() is true or d has elapsed (virtual time on the simulated
+	// fabric, wall time on the concurrent ones), reporting whether the
+	// predicate was satisfied. Unlike WaitUntil it never aborts on
+	// timeout — the caller owns the recovery decision (the lease lock's
+	// TTL spin is built on it). d <= 0 degrades to an unbounded wait.
+	WaitUntilFor(tag string, pred func() bool, d time.Duration) bool
+	// Faults returns the fault plan in force (zero value: no faults).
+	// The lock layer consults it for the crash-while-holding knobs.
+	Faults() pipeline.Faults
+	// CrashedRank returns the first user rank recorded as fail-stopped,
+	// or -1 while no rank has crashed. Crash-aware spins consult it to
+	// fail fast (or repair) instead of waiting on a dead peer.
+	CrashedRank() int
+	// FailStop terminates this actor as an injected fail-stop crash: the
+	// crash is counted once in the metrics, the rank enters the crash
+	// registry (waking crash-aware waiters), and the actor's goroutine
+	// unwinds — without failing the rest of the run, so survivors can
+	// recover. op names the operation for attribution. FailStop never
+	// returns. On the multi-process fabric a fail-stop is job-fatal:
+	// the crash registry is process-local, so remote waiters cannot
+	// learn of the crash and the run aborts with the FaultError instead.
+	FailStop(op string)
+	// AbortFault terminates the run with a structured fault error: the
+	// protocol layer raises it when a spin discovers it is waiting on a
+	// crashed peer. Never returns.
+	AbortFault(err *pipeline.FaultError)
 	// Trace returns the statistics collector (never nil).
 	Trace() *trace.Stats
 }
@@ -129,7 +156,22 @@ type Config struct {
 	// the concurrent ones; 0 disables the bound. Server Recvs are
 	// exempt: a data server idling in its serve loop is not an error.
 	OpDeadline time.Duration
+	// CrashGrace bounds, on the concurrent fabrics, how long a blocked
+	// wait may outlive a fail-stopped peer: once a crash is in the
+	// registry, any user-process Recv or WaitUntil still blocked
+	// CrashGrace later aborts with a FaultCrash attributed to the
+	// crashed rank. The default (1s wall time) is far above the default
+	// lease TTL, so lease-lock waiters repair and continue well before
+	// the grace fires — only waits with no recovery path (a plain queue
+	// lock behind a dead holder, a barrier missing a crashed rank) hit
+	// it. The simulated fabric needs no grace: a wedged survivor shows
+	// up as a virtual-time deadlock, which is converted the same way.
+	CrashGrace time.Duration
 }
+
+// defaultCrashGrace is the concurrent fabrics' crash-to-abort bound when
+// Config.CrashGrace is zero.
+const defaultCrashGrace = time.Second
 
 func (c *Config) normalize() error {
 	if c.Procs <= 0 {
@@ -152,6 +194,15 @@ func (c *Config) normalize() error {
 	}
 	if c.Faults.CrashAfterSends > 0 && c.Faults.CrashRank >= c.Procs {
 		return fmt.Errorf("transport: Faults.CrashRank %d out of range [0,%d)", c.Faults.CrashRank, c.Procs)
+	}
+	if c.Faults.CrashHeldAcquire > 0 && c.Faults.CrashHeldRank >= c.Procs {
+		return fmt.Errorf("transport: Faults.CrashHeldRank %d out of range [0,%d)", c.Faults.CrashHeldRank, c.Procs)
+	}
+	if c.CrashGrace < 0 {
+		return fmt.Errorf("transport: config needs CrashGrace >= 0, got %v", c.CrashGrace)
+	}
+	if c.CrashGrace == 0 {
+		c.CrashGrace = defaultCrashGrace
 	}
 	if c.ProcsPerNode <= 0 {
 		c.ProcsPerNode = 1
@@ -222,6 +273,14 @@ type Fabric interface {
 // actor with a structured error: runActor recovery propagates err
 // verbatim (the simulated fabric uses sim.Abort for the same purpose).
 type abort struct{ err error }
+
+// failStop is the panic value a concurrent-fabric actor raises to die
+// as an injected fail-stop crash: actor recovery treats it as a normal
+// completion — no error is recorded and no shutdown is triggered — so
+// the rest of the cluster keeps running and may recover (the simulated
+// fabric uses sim.Exit for the same purpose). The crash itself is
+// visible to survivors only through the pipeline's crash registry.
+type failStop struct{}
 
 // opTimeout builds the abort raised when one operation of the actor at a
 // exceeds Config.OpDeadline.

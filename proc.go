@@ -15,10 +15,11 @@ import (
 // method on it. A Proc is only valid inside the body passed to Run, and
 // only on the goroutine (or simulated process) that received it.
 type Proc struct {
-	eng   *proc.Engine
-	comm  *collective.Comm
-	sync  *core.Sync
-	locks *proc.LockTable
+	eng      *proc.Engine
+	comm     *collective.Comm
+	sync     *core.Sync
+	locks    *proc.LockTable
+	leaseTTL time.Duration
 }
 
 // Rank returns this process's rank, in [0, Size).
@@ -283,6 +284,10 @@ const (
 	// LockTicket is the pure ticket lock; callers must be on the lock's
 	// home node.
 	LockTicket
+	// LockLease is the crash-survivable queuing lock: MCS ordering plus
+	// an epoch-stamped lease, so waiters repair the lock when its holder
+	// fail-stops (see Options.LeaseTTL).
+	LockLease
 )
 
 func (a LockAlg) String() string {
@@ -295,6 +300,8 @@ func (a LockAlg) String() string {
 		return "queue-nocas"
 	case LockTicket:
 		return "ticket"
+	case LockLease:
+		return "lease"
 	}
 	return fmt.Sprintf("LockAlg(%d)", uint8(a))
 }
@@ -321,6 +328,8 @@ func (p *Proc) Mutex(idx int, alg LockAlg) Mutex {
 		return core.NewQueueLockNoCAS(p.eng, p.locks, idx)
 	case LockTicket:
 		return core.NewTicket(p.eng, p.locks, idx)
+	case LockLease:
+		return core.NewLeaseLock(p.eng, p.locks, idx, p.leaseTTL)
 	}
 	panic(fmt.Sprintf("armci: unknown lock algorithm %v", alg))
 }

@@ -14,10 +14,10 @@ go test ./...
 # GA and MP layers, and the conformance harness (-short trims its sweep
 # to the sim-fabric matrix).
 go test -race -short ./internal/... ./ga ./mp
-# The reliability suite (loss, retransmission, crash, op deadlines) under
-# the race detector; -short keeps the long soak out of this pass — run it
-# with `make soak`.
-go test -race -short -run 'Fault|Loss|Crash' .
+# The reliability suite (loss, retransmission, crash, op deadlines) and
+# the lease-lock recovery tests under the race detector; -short keeps the
+# long soak out of this pass — run it with `make soak`.
+go test -race -short -run 'Fault|Loss|Crash|Lease' .
 # The async-completion layer under the race detector: Nb* handles,
 # put-with-flag, and the per-destination coalescer, on the concurrent
 # fabrics where handle state and batched frames cross goroutines.
