@@ -55,4 +55,11 @@ explore:
 	$(GO) run ./cmd/armci-check -algs lease -syncs barrier \
 		-faults 'crashheld=1@1;crashheld=2@2;crashheld=5@3' \
 		-seeds 64
+	$(GO) run ./cmd/armci-check \
+		-workload 'stencil;paramserver;prodcons;mixed' -seeds 64
+	$(GO) run ./cmd/armci-check -fabrics sim,chan,tcp \
+		-workload 'stencil:rows=1,cols=9,halo=2;paramserver:hot=1,updates=6;prodcons:chunks=4,bytes=64,depth=4;mixed:skew=hot,nb=75,seed=9' \
+		-seeds 4
+	$(GO) run ./cmd/armci-check -coalesce \
+		-workload 'prodcons;mixed' -faults ';loss=0.1,dup=0.1,retry=12' -seeds 16
 	$(GO) run ./cmd/armci-check -mutations -seeds 64

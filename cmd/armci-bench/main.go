@@ -11,6 +11,8 @@
 //	armci-bench -fig 8 -fabric chan       # wall-clock sanity run
 //	armci-bench -fig crossover
 //	armci-bench -fig counts
+//	armci-bench -fig workloads            # named scenario makespans (internal/workload grammar)
+//	armci-bench -fig workloads -workload 'stencil:rows=16,halo=2;mixed:skew=hot'
 //
 // Baseline mode snapshots the repo's performance into a machine-readable
 // BENCH_<n>.json and gates later runs against it:
@@ -45,7 +47,8 @@ func main() {
 	log.SetPrefix("armci-bench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, crossover, counts, ablate, smallput, all")
+		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, crossover, counts, ablate, smallput, workloads, all")
+		workload = flag.String("workload", "", "with -fig workloads: semicolon-separated workload specs (default stencil;paramserver;prodcons;mixed)")
 		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: -fig 7 only, multi-process)")
 		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
 		procsF   = flag.String("procs", "", "comma-separated process counts (default per experiment)")
@@ -139,6 +142,8 @@ func main() {
 		runSensitivity(common)
 	case "smallput":
 		runSmallPut(common, procCounts)
+	case "workloads":
+		runWorkloads(common, *workload)
 	case "all":
 		runFig7(common, procCounts, csv)
 		fmt.Println()
@@ -157,6 +162,8 @@ func main() {
 		runSensitivity(common)
 		fmt.Println()
 		runSmallPut(common, procCounts)
+		fmt.Println()
+		runWorkloads(common, *workload)
 	default:
 		log.Fatalf("unknown -fig %q", *fig)
 	}
@@ -473,6 +480,22 @@ func runSmallPut(common bench.Opts, procCounts []int) {
 		log.Fatal(err)
 	}
 	fmt.Print(bench.FormatSmallPut(res))
+}
+
+func runWorkloads(common bench.Opts, specsF string) {
+	opts := bench.WorkloadsOpts{Opts: common}
+	if specsF != "" {
+		for _, s := range strings.Split(specsF, ";") {
+			if s = strings.TrimSpace(s); s != "" {
+				opts.Specs = append(opts.Specs, s)
+			}
+		}
+	}
+	res, err := bench.Workloads(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatWorkloads(res))
 }
 
 func runSensitivity(common bench.Opts) {

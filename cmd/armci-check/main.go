@@ -7,6 +7,18 @@
 // violation prints a minimal reproducer tuple that re-runs the exact
 // failing schedule.
 //
+// -workload swaps the default lock/put/notify workload for named
+// scenarios from the grammar in internal/workload — halo-exchange
+// stencil over ga arrays, accumulate parameter server, PutFlag/WaitFlag
+// producer-consumer chain, and a seeded adversarial mix — each carrying
+// its own invariant oracle (cell-exact replay, accumulate-sum
+// exactness, no-stale-read, model replay). Specs are
+// kind[:knob=val,...], e.g. "stencil:rows=16,halo=2",
+// "paramserver:hot=1,updates=8", "prodcons:chunks=4,depth=4",
+// "mixed:skew=hot,nb=75,seed=9"; separate several with ';' (specs
+// contain commas). Named workloads have no lock phase, so -algs is
+// ignored and crashheld fault plans are rejected.
+//
 // Cases run on a bounded worker pool (-j, default GOMAXPROCS); each
 // case owns its kernel and seed, and results are emitted in case order,
 // so the output is byte-identical at any -j.
@@ -19,6 +31,7 @@
 //	armci-check -fabrics sim,chan,tcp        # add the concurrent fabrics
 //	armci-check -faults 'loss=0.15,retry=12;dup=0.2;spike=1ms@0.2'
 //	armci-check -coalesce                    # sweep with batched (coalesced) wire frames
+//	armci-check -workload 'stencil;paramserver;prodcons;mixed'
 //	armci-check -mutations                   # oracle self-test: broken variants must be caught
 package main
 
@@ -49,6 +62,7 @@ func run(args []string, out io.Writer) int {
 	var (
 		fabricsF  = fs.String("fabrics", "sim", "comma-separated in-process fabrics: sim, chan, tcp")
 		algsF     = fs.String("algs", "queue,hybrid,ticket,queue-nocas,lease", "comma-separated lock algorithms (empty entry = no lock phase)")
+		workloadF = fs.String("workload", "", "semicolon-separated workload specs (specs contain commas), e.g. 'stencil:rows=16;mixed:skew=hot,nb=75'; replaces the lock/put/notify workload and ignores -algs")
 		syncsF    = fs.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
 		faultsF   = fs.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
 		procs     = fs.Int("procs", 6, "user processes")
@@ -75,8 +89,20 @@ func run(args []string, out io.Writer) int {
 		log.Print(err)
 		return 2
 	}
-	cases := check.Matrix(fabrics, splitList(*algsF), splitList(*syncsF),
-		splitPlans(*faultsF), *procs, *ppn, *seedStart, *seedStart+*seeds-1)
+	// A workload-targeted mutation (acc-lost-update, flag-before-data)
+	// carries its own scenario: default -workload and the spec's ppn
+	// override from it so a bare `-mutation <name>` reproducer replays
+	// without extra knobs, the way lease mutations default their TTL.
+	if *mutation != "" && *workloadF == "" {
+		if wl, wppn := check.MutationWorkload(*mutation); wl != "" {
+			*workloadF = wl
+			if wppn != 0 {
+				*ppn = wppn
+			}
+		}
+	}
+	cases := check.Matrix(fabrics, splitPlans(*workloadF), splitList(*algsF),
+		splitList(*syncsF), splitPlans(*faultsF), *procs, *ppn, *seedStart, *seedStart+*seeds-1)
 	for i := range cases {
 		cases[i].Iters = *iters
 		cases[i].Rounds = *rounds

@@ -151,9 +151,22 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 	det("lockcrash/handoff/us", lc.HandoffUS, "us")
 	det("lockcrash/recovery/us", lc.RecoveryUS, "us")
 
+	// Named workloads: deterministic virtual makespan and wire totals of
+	// each scenario kind at its default shape, so a protocol change that
+	// slows a whole communication pattern — not just one primitive — is
+	// caught.
+	wl, err := Workloads(WorkloadsOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline workloads: %w", err)
+	}
+	for _, row := range wl.Rows {
+		det("workload/"+row.Spec+"/us", row.US, "us")
+		det("workload/"+row.Spec+"/sends", float64(row.Sends), "sends")
+	}
+
 	// Conformance sweep: a fixed 160-case matrix. The protocol event
 	// count is deterministic; the wall time is the throughput trend.
-	cases := check.Matrix([]armci.FabricKind{armci.FabricSim},
+	cases := check.Matrix([]armci.FabricKind{armci.FabricSim}, nil,
 		[]string{"queue", "hybrid", "ticket", "queue-nocas", "lease"},
 		[]string{"barrier", "sync-old"}, nil, 6, 2, 1, 16)
 	start := time.Now()
@@ -166,6 +179,20 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 	det("explore/cases", float64(sweep.Cases), "cases")
 	det("explore/events", float64(sweep.Events), "events")
 	noisy("explore/wall", float64(wall)/float64(time.Millisecond), "ms")
+
+	// Workload sweep: the four named workloads through the harness
+	// matrix. The event count pins the generated programs — a grammar or
+	// generator change that alters them moves this number.
+	wcases := check.Matrix([]armci.FabricKind{armci.FabricSim},
+		[]string{"stencil", "paramserver", "prodcons", "mixed"}, nil,
+		[]string{"barrier", "sync-old"}, nil, 6, 2, 1, 8)
+	wsweep := check.RunAllParallel(wcases, 0, nil)
+	if len(wsweep.Violations) > 0 || len(wsweep.Errs) > 0 || wsweep.Panics > 0 {
+		return nil, fmt.Errorf("bench: baseline workload sweep not clean: %d violations, %d errors, %d panics",
+			len(wsweep.Violations), len(wsweep.Errs), wsweep.Panics)
+	}
+	det("explore/workloads/cases", float64(wsweep.Cases), "cases")
+	det("explore/workloads/events", float64(wsweep.Events), "events")
 
 	// Hot-path micro-benchmarks: ns/op is noisy, allocs/op is exact.
 	kernel := testing.Benchmark(benchKernelSchedule)

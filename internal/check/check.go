@@ -23,8 +23,11 @@
 //     strictly increasing pipeline sequence numbers — per-pair FIFO and
 //     exactly-once after duplicate suppression, including under loss and
 //     duplication fault plans;
-//   - state: the workload's own end-to-end assertions (critical-section
-//     counter total, put-round read-back);
+//   - state: the workload's own end-to-end assertions — the default
+//     workload's critical-section counter total and put-round
+//     read-back, or a named workload's oracle (stencil replay +
+//     boundary checksum, accumulate-sum exactness, notify
+//     no-stale-read, mixed-mode state replay; see internal/workload);
 //   - liveness: the run finished without a deadlock, fault abort, or
 //     deadline.
 //
@@ -40,6 +43,7 @@ import (
 	"time"
 
 	"armci"
+	"armci/internal/workload"
 )
 
 // Case is one conformance scenario: a workload under one configuration.
@@ -56,6 +60,13 @@ type Case struct {
 	// "queue", "hybrid", "ticket", "queue-nocas", "lease", or "" for no
 	// lock phase.
 	Alg string
+	// Workload selects a named workload program in the internal/workload
+	// grammar — "stencil", "paramserver:hot=2", "prodcons",
+	// "mixed:skew=hot,seed=9", each with its own invariant oracle
+	// reporting through the state channel. "" runs the default
+	// three-phase lock/put/notify workload. Named workloads have no lock
+	// phase (Alg must be empty) and no crashheld support.
+	Workload string
 	// Sync is the global synchronization variant: "barrier" (the paper's
 	// combined ARMCI_Barrier, the default), "sync-old" (serialized
 	// AllFence + MPI_Barrier) or "sync-old-pipelined".
@@ -127,6 +138,9 @@ func (c Case) withDefaults() Case {
 func (c Case) Reproducer() string {
 	s := fmt.Sprintf("{fabric=%s procs=%d ppn=%d alg=%s/%s faults=%q seed=%d",
 		c.Fabric, c.Procs, c.PPN, c.Alg, c.Sync, c.Faults, c.Seed)
+	if c.Workload != "" {
+		s += fmt.Sprintf(" workload=%q", c.Workload)
+	}
 	if c.Coalesce {
 		s += " coalesce"
 	}
@@ -265,19 +279,43 @@ func validateCase(c Case) error {
 	default:
 		return fmt.Errorf("check: unknown sync variant %q", c.Sync)
 	}
-	if c.Mutation != "" {
-		if _, ok := mutationSpecs[c.Mutation]; !ok {
-			return fmt.Errorf("check: unknown mutation %q", c.Mutation)
+	m, knownMut := mutationSpecs[c.Mutation]
+	if c.Mutation != "" && !knownMut {
+		return fmt.Errorf("check: unknown mutation %q", c.Mutation)
+	}
+	if c.Workload != "" {
+		sp, err := workload.Parse(c.Workload)
+		if err != nil {
+			return fmt.Errorf("check: bad workload: %w", err)
 		}
+		if err := sp.ValidateFor(c.Procs); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if c.Alg != "" {
+			return fmt.Errorf("check: workload %q has no lock phase; Alg must be empty, got %q", c.Workload, c.Alg)
+		}
+		if m.lock != nil || m.syncFn != nil {
+			return fmt.Errorf("check: mutation %q mutates the lock/sync phase, which workload %q does not run", c.Mutation, c.Workload)
+		}
+		if f, ferr := armci.ParseFaults(c.Faults); ferr == nil && f.CrashHeldAcquire > 0 {
+			return fmt.Errorf("check: crashheld plans require the default lock workload, not %q", c.Workload)
+		}
+	} else if m.hazards.Armed() {
+		return fmt.Errorf("check: mutation %q targets workload %q; set Workload", c.Mutation, m.workload)
 	}
 	return nil
 }
 
-// Matrix expands the cross product of fabrics × lock algorithms × sync
-// variants × fault plans × seeds [seedLo, seedHi] into cases. Dimension
-// slices may be empty to mean their single default ("" alg / "barrier" /
-// no faults).
-func Matrix(fabrics []armci.FabricKind, algs, syncs, faults []string, procs, ppn int, seedLo, seedHi int64) []Case {
+// Matrix expands the cross product of fabrics × workloads × lock
+// algorithms × sync variants × fault plans × seeds [seedLo, seedHi]
+// into cases. Dimension slices may be empty to mean their single
+// default ("" workload/alg, "barrier", no faults). A named workload has
+// no lock phase, so it crosses syncs × faults × seeds with Alg empty
+// instead of multiplying the algorithm dimension.
+func Matrix(fabrics []armci.FabricKind, workloads, algs, syncs, faults []string, procs, ppn int, seedLo, seedHi int64) []Case {
+	if len(workloads) == 0 {
+		workloads = []string{""}
+	}
 	if len(algs) == 0 {
 		algs = []string{""}
 	}
@@ -289,14 +327,20 @@ func Matrix(fabrics []armci.FabricKind, algs, syncs, faults []string, procs, ppn
 	}
 	var cases []Case
 	for _, f := range fabrics {
-		for _, alg := range algs {
-			for _, sy := range syncs {
-				for _, fp := range faults {
-					for seed := seedLo; seed <= seedHi; seed++ {
-						cases = append(cases, Case{
-							Fabric: f, Procs: procs, PPN: ppn,
-							Alg: alg, Sync: sy, Faults: fp, Seed: seed,
-						})
+		for _, w := range workloads {
+			as := algs
+			if w != "" {
+				as = []string{""}
+			}
+			for _, alg := range as {
+				for _, sy := range syncs {
+					for _, fp := range faults {
+						for seed := seedLo; seed <= seedHi; seed++ {
+							cases = append(cases, Case{
+								Fabric: f, Procs: procs, PPN: ppn, Workload: w,
+								Alg: alg, Sync: sy, Faults: fp, Seed: seed,
+							})
+						}
 					}
 				}
 			}

@@ -18,7 +18,7 @@ var (
 // 64 seeds × 4 lock algorithms × 2 sync variants on the simulated
 // fabric, every oracle silent.
 func TestShortSweep(t *testing.T) {
-	cases := Matrix([]armci.FabricKind{armci.FabricSim}, sweepAlgs, sweepSyncs, nil, 6, 2, 1, 64)
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, sweepAlgs, sweepSyncs, nil, 6, 2, 1, 64)
 	runSweep(t, cases)
 }
 
@@ -29,7 +29,7 @@ func TestShortSweep(t *testing.T) {
 // complete before barrier exits, and the byte-level read-back proves
 // within-batch apply order.
 func TestCoalescedSweep(t *testing.T) {
-	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue", "hybrid"},
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, []string{"queue", "hybrid"},
 		sweepSyncs, nil, 6, 2, 1, 32)
 	for i := range cases {
 		cases[i].Coalesce = true
@@ -46,7 +46,7 @@ func TestCoalescedFaultSweep(t *testing.T) {
 		t.Skip("coalesced fault sweep skipped in -short")
 	}
 	faults := []string{"loss=0.15,retry=12", "dup=0.2", "loss=0.1,dup=0.1,retry=12"}
-	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue"},
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, []string{"queue"},
 		[]string{"barrier"}, faults, 6, 2, 1, 16)
 	for i := range cases {
 		cases[i].Coalesce = true
@@ -66,7 +66,7 @@ func TestFaultPlanSweep(t *testing.T) {
 	}
 	faults := []string{"loss=0.15,retry=12", "dup=0.2", "loss=0.1,dup=0.1,retry=12",
 		"spike=1ms@0.2", "jitter=200us"}
-	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"queue", "hybrid"},
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, []string{"queue", "hybrid"},
 		[]string{"barrier"}, faults, 6, 2, 1, 16)
 	runSweep(t, cases)
 }
@@ -78,7 +78,7 @@ func TestFaultPlanSweep(t *testing.T) {
 // liveness all green.
 func TestLeaseCrashSweep(t *testing.T) {
 	faults := []string{"crashheld=1@1", "crashheld=2@2", "crashheld=5@3"}
-	cases := Matrix([]armci.FabricKind{armci.FabricSim}, []string{"lease"},
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, []string{"lease"},
 		[]string{"barrier"}, faults, 6, 2, 1, 16)
 	runSweep(t, cases)
 }
@@ -176,6 +176,8 @@ func TestMutationsTargetExpectedOracle(t *testing.T) {
 		MutEventPoolRecycle:  "liveness",
 		MutCoalesceReorder:   "state",
 		MutLeaseStaleRelease: "mutual-exclusion",
+		MutAccLostUpdate:     "state",
+		MutFlagBeforeData:    "state",
 	}
 	for name, oracle := range want {
 		found := false
@@ -202,11 +204,43 @@ func TestRunCaseRejectsBadConfig(t *testing.T) {
 		{Fabric: armci.FabricSim, Sync: "bogus"},
 		{Fabric: armci.FabricSim, Mutation: "bogus"},
 		{Fabric: armci.FabricSim, Faults: "loss=notanumber"},
+		{Fabric: armci.FabricSim, Workload: "bogus"},
+		{Fabric: armci.FabricSim, Workload: "stencil:rows=0"},
+		{Fabric: armci.FabricSim, Workload: "paramserver:hot=9"},   // hot >= procs (6)
+		{Fabric: armci.FabricSim, Workload: "mixed", Alg: "queue"}, // workloads have no lock phase
+		{Fabric: armci.FabricSim, Workload: "mixed", Mutation: MutTicketOffByOne},
+		{Fabric: armci.FabricSim, Workload: "prodcons", Faults: "crashheld=1@1"},
+		{Fabric: armci.FabricSim, Mutation: MutAccLostUpdate}, // hazard mutation needs its workload
 	} {
 		if r := RunCase(c); r.Err == nil {
 			t.Errorf("case %+v: want setup error, got none", c)
 		}
 	}
+}
+
+// TestWorkloadSweep drives the four named workloads through the matrix:
+// each body's own invariant oracle plus the trace-level oracles must
+// stay silent across both sync variants and a seed sweep.
+func TestWorkloadSweep(t *testing.T) {
+	workloads := []string{"stencil", "paramserver", "prodcons", "mixed"}
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, workloads, nil,
+		sweepSyncs, nil, 6, 2, 1, 8)
+	runSweep(t, cases)
+}
+
+// TestWorkloadSweepFaultsAndCoalesce spot-checks the named workloads on
+// the degraded paths: batched wire frames, and loss/dup retransmission.
+func TestWorkloadSweepFaultsAndCoalesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload fault sweep skipped in -short")
+	}
+	workloads := []string{"stencil", "paramserver", "prodcons", "mixed"}
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, workloads, nil,
+		[]string{"barrier"}, []string{"", "loss=0.1,dup=0.1,retry=12"}, 6, 2, 1, 4)
+	for i := range cases {
+		cases[i].Coalesce = cases[i].Faults == ""
+	}
+	runSweep(t, cases)
 }
 
 // TestSeedZeroIsFIFOBaseline documents the contract: seed 0 runs the

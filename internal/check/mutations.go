@@ -8,6 +8,7 @@ import (
 	"armci/internal/proc"
 	"armci/internal/shmem"
 	"armci/internal/trace"
+	"armci/internal/workload"
 )
 
 // Mutation self-test: deliberately broken variants of the algorithms
@@ -75,6 +76,25 @@ const (
 	// epoch granted twice, or an acquire while a never-deposed rank
 	// holds.
 	MutLeaseStaleRelease = "lease-stale-release"
+	// MutAccLostUpdate: the parameter-server workload's atomic
+	// Accumulate replaced by a non-atomic Get/Put read-modify-write
+	// (workload.Hazards.AccLostUpdate). With every rank hammering the
+	// same hot cells, two ranks routinely interleave their read and
+	// write and one of the updates vanishes — the classic lost update no
+	// trace-level oracle can see, because every individual message is
+	// delivered exactly once and fenced correctly. Only the workload's
+	// accumulate-sum exactness oracle (state) catches it.
+	MutAccLostUpdate = "acc-lost-update"
+	// MutFlagBeforeData: the producer-consumer workload's PutFlag
+	// replaced by a plain word store of the flag issued before the data
+	// chunks (workload.Hazards.FlagBeforeData). The store rides the
+	// control pipe while the puts ride the server pipe, so the flag
+	// overtakes its data and the consumer's WaitFlag wakes over a stale
+	// buffer. Per-pair delivery and fence oracles stay green — nothing
+	// was lost or reordered within a pipe; only the workload's
+	// no-stale-read byte verification (state) catches it. The case runs
+	// one rank per node so every hop crosses the wire.
+	MutFlagBeforeData = "flag-before-data"
 	// MutPanicCase: not an algorithm bug — the workload panics outright
 	// mid-case, simulating a harness defect. It exists to test that the
 	// sweep runner recovers per case, attributes the panic to its
@@ -108,6 +128,12 @@ type mutationSpec struct {
 	// a virtual-time sleep, so a tenure reliably outlives the lease TTL
 	// and waiters depose live holders mid-section.
 	csDelay time.Duration
+	// workload names the internal/workload spec the hazard lives in;
+	// hazards are consulted only by named workload bodies.
+	workload string
+	hazards  workload.Hazards
+	// ppn overrides the case's processes per node (0 = default).
+	ppn int
 }
 
 var mutationSpecs = map[string]mutationSpec{
@@ -121,7 +147,11 @@ var mutationSpecs = map[string]mutationSpec{
 	MutCoalesceReorder:   {sync: "barrier", coalesceHazard: true},
 	MutLeaseStaleRelease: {alg: "lease", sync: "barrier", faults: "crashheld=1@1",
 		leaseTTL: 10 * time.Microsecond, csDelay: 300 * time.Microsecond,
-		lock:     func(p *armci.Proc) armci.Mutex { return &brokenLeaseLock{p: p, idx: 0, ttl: 10 * time.Microsecond} }},
+		lock: func(p *armci.Proc) armci.Mutex { return &brokenLeaseLock{p: p, idx: 0, ttl: 10 * time.Microsecond} }},
+	MutAccLostUpdate: {workload: "paramserver", sync: "barrier",
+		hazards: workload.Hazards{AccLostUpdate: true}},
+	MutFlagBeforeData: {workload: "prodcons", sync: "barrier", ppn: 1,
+		hazards: workload.Hazards{FlagBeforeData: true}},
 	MutPanicCase: {alg: "queue", sync: "barrier", harnessPanic: true},
 }
 
@@ -129,7 +159,16 @@ var mutationSpecs = map[string]mutationSpec{
 func Mutations() []string {
 	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2,
 		MutSyncOldSkipFence, MutEventPoolRecycle, MutCoalesceReorder,
-		MutLeaseStaleRelease}
+		MutLeaseStaleRelease, MutAccLostUpdate, MutFlagBeforeData}
+}
+
+// MutationWorkload reports the workload spec a mutation targets (""
+// for lock/sync/harness mutations) and its processes-per-node override
+// (0 = none), so sweep drivers can default their case shape to the
+// mutation's own scenario the same way MutationCase does.
+func MutationWorkload(name string) (workloadSpec string, ppn int) {
+	m := mutationSpecs[name]
+	return m.workload, m.ppn
 }
 
 // MutationCase builds the sweep template of one mutation at one seed.
@@ -138,8 +177,10 @@ func MutationCase(name string, seed int64) Case {
 	return Case{
 		Fabric:   armci.FabricSim,
 		Alg:      m.alg,
+		Workload: m.workload,
 		Sync:     m.sync,
 		Faults:   m.faults,
+		PPN:      m.ppn,
 		Coalesce: m.coalesceHazard,
 		Seed:     seed,
 		Iters:    6,

@@ -37,7 +37,7 @@ func renderSweep(t *testing.T, cases []Case, workers int) string {
 func TestParallelSweepMatchesSequential(t *testing.T) {
 	cases := Matrix(
 		[]armci.FabricKind{armci.FabricSim},
-		sweepAlgs, sweepSyncs, nil,
+		nil, sweepAlgs, sweepSyncs, nil,
 		6, 2, 0, 31,
 	)
 	if len(cases) != 320 {

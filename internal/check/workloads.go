@@ -2,9 +2,11 @@ package check
 
 import (
 	"bytes"
+	"fmt"
 	"time"
 
 	"armci"
+	"armci/internal/workload"
 )
 
 // workloadBody builds the per-rank body of one case. The workload has
@@ -36,6 +38,23 @@ import (
 // variant (real or mutated), so a broken barrier is exposed to both the
 // trace-level fence oracle and the state-level read-back.
 func workloadBody(c Case, col *collector) func(p *armci.Proc) {
+	if c.Workload != "" {
+		// A named workload (internal/workload) replaces all three phases;
+		// its own invariant oracle reports through the state collector and
+		// its synchronization routes through the case's sync variant, so
+		// the trace-level fence/delivery oracles still apply. validateCase
+		// already accepted the spec.
+		sp, err := workload.Parse(c.Workload)
+		if err != nil {
+			panic(fmt.Sprintf("check: workloadBody on unvalidated case: %v", err))
+		}
+		return workload.Build(sp, workload.Config{
+			Seed:    c.Seed,
+			Sync:    c.Sync,
+			Report:  col.addf,
+			Hazards: mutationSpecs[c.Mutation].hazards,
+		})
+	}
 	if f, err := armci.ParseFaults(c.Faults); err == nil && f.CrashHeldAcquire > 0 {
 		// A crashheld plan fail-stops a rank inside the lock phase; the
 		// dead rank can join no collective, so the case runs the

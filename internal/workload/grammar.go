@@ -1,0 +1,341 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The workload grammar is
+//
+//	<kind>[:<knob>=<value>,<knob>=<value>,...]
+//
+// with one kind from Kinds() and kind-specific integer knobs, each
+// given at most once and with no whitespace. Every kind accepts a
+// seed=<int> knob overriding the case seed as the generator seed.
+// Errors carry the byte offset of the offending token (ParseError);
+// any accepted spec round-trips through Format, and Format output is a
+// canonical fixed point (defaults elided, knobs in a fixed order).
+
+// Workload kinds.
+const (
+	// KindStencil: halo-exchange Jacobi sweeps over a ga 2-D array.
+	// Knobs: rows, cols (grid shape), halo (neighbor distance — may
+	// exceed the per-rank tile), steps (sweep count).
+	KindStencil = "stencil"
+	// KindParamServer: all ranks Accumulate update vectors into one hot
+	// rank's parameter vector. Knobs: hot (server rank), updates (per
+	// rank), width (vector length in words).
+	KindParamServer = "paramserver"
+	// KindProdCons: pipelined producer→consumer chain via PutFlag /
+	// WaitFlag. Knobs: chunks (per item), bytes (per chunk), depth
+	// (items in flight).
+	KindProdCons = "prodcons"
+	// KindMixed: adversarial program sampled from the seeded grammar.
+	// Knobs: ops (per rank per round), rounds, skew
+	// (uniform|hot|neighbor), maxbytes (payload cap), nb (percent of
+	// eligible ops issued non-blocking).
+	KindMixed = "mixed"
+)
+
+// Kinds lists the workload kinds in sweep order.
+func Kinds() []string {
+	return []string{KindStencil, KindParamServer, KindProdCons, KindMixed}
+}
+
+// Spec is a parsed workload spec. The zero value of a knob means "use
+// the kind's default"; parse ranges exclude zero except where zero is
+// meaningful (hot, nb).
+type Spec struct {
+	// Kind is one of Kinds().
+	Kind string
+
+	// stencil
+	Rows, Cols, Halo, Steps int
+	// paramserver
+	Hot, Updates, Width int
+	// prodcons
+	Chunks, Bytes, Depth int
+	// mixed
+	Ops, Rounds, MaxBytes int
+	Skew                  string
+	NbPct                 int
+	// nbSet distinguishes an explicit nb=0 (all blocking) from the
+	// elided default (50).
+	nbSet bool
+
+	// GenSeed overrides the case seed as the generator seed (0 = use
+	// the case seed).
+	GenSeed int64
+}
+
+// ParseError is a workload-grammar syntax error, locating the
+// offending token by byte offset in the input.
+type ParseError struct {
+	Input string
+	Pos   int
+	Msg   string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("workload %q: pos %d: %s", e.Input, e.Pos, e.Msg)
+}
+
+// knobKinds maps each knob to the kinds it applies to.
+var knobKinds = map[string][]string{
+	"rows":     {KindStencil},
+	"cols":     {KindStencil},
+	"halo":     {KindStencil},
+	"steps":    {KindStencil},
+	"hot":      {KindParamServer},
+	"updates":  {KindParamServer},
+	"width":    {KindParamServer},
+	"chunks":   {KindProdCons},
+	"bytes":    {KindProdCons},
+	"depth":    {KindProdCons},
+	"ops":      {KindMixed},
+	"rounds":   {KindMixed},
+	"skew":     {KindMixed},
+	"maxbytes": {KindMixed},
+	"nb":       {KindMixed},
+	"seed":     {KindStencil, KindParamServer, KindProdCons, KindMixed},
+}
+
+// Parse parses a workload spec string. On error the returned error is
+// a *ParseError carrying the byte offset of the offending token.
+func Parse(s string) (Spec, error) {
+	var sp Spec
+	if s == "" {
+		return sp, &ParseError{Input: s, Pos: 0, Msg: "empty workload spec (want <kind>[:knob=value,...])"}
+	}
+	kind, rest, hasKnobs := strings.Cut(s, ":")
+	switch kind {
+	case KindStencil, KindParamServer, KindProdCons, KindMixed:
+	default:
+		return sp, &ParseError{Input: s, Pos: 0,
+			Msg: fmt.Sprintf("unknown workload kind %q (want %s)", kind, strings.Join(Kinds(), ", "))}
+	}
+	sp.Kind = kind
+	if !hasKnobs {
+		return sp, nil
+	}
+	off := len(kind) + 1
+	if rest == "" {
+		return sp, &ParseError{Input: s, Pos: off, Msg: "empty knob list after ':'"}
+	}
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok || key == "" {
+			return sp, &ParseError{Input: s, Pos: off,
+				Msg: fmt.Sprintf("bad knob %q (want key=value)", part)}
+		}
+		if seen[key] {
+			return sp, &ParseError{Input: s, Pos: off,
+				Msg: fmt.Sprintf("duplicate knob %q: each knob may be given at most once", key)}
+		}
+		seen[key] = true
+		if err := sp.setKnob(s, key, val, off, off+len(key)+1); err != nil {
+			return sp, err
+		}
+		off += len(part) + 1
+	}
+	return sp, nil
+}
+
+// setKnob validates and assigns one knob. keyPos / valPos are the byte
+// offsets of the key and value in the full input.
+func (sp *Spec) setKnob(input, key, val string, keyPos, valPos int) error {
+	kinds, known := knobKinds[key]
+	if !known {
+		return &ParseError{Input: input, Pos: keyPos,
+			Msg: fmt.Sprintf("unknown knob %q (%s knobs: %s)", key, sp.Kind, strings.Join(kindKnobs(sp.Kind), ", "))}
+	}
+	applies := false
+	for _, k := range kinds {
+		applies = applies || k == sp.Kind
+	}
+	if !applies {
+		return &ParseError{Input: input, Pos: keyPos,
+			Msg: fmt.Sprintf("knob %q does not apply to kind %q (%s knobs: %s)", key, sp.Kind, sp.Kind, strings.Join(kindKnobs(sp.Kind), ", "))}
+	}
+	intKnob := func(dst *int, lo, hi int) error {
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return &ParseError{Input: input, Pos: valPos,
+				Msg: fmt.Sprintf("bad %s value %q: want an integer", key, val)}
+		}
+		if n < lo || n > hi {
+			return &ParseError{Input: input, Pos: valPos,
+				Msg: fmt.Sprintf("%s=%d out of range [%d,%d]", key, n, lo, hi)}
+		}
+		*dst = n
+		return nil
+	}
+	switch key {
+	case "rows":
+		return intKnob(&sp.Rows, 1, 256)
+	case "cols":
+		return intKnob(&sp.Cols, 1, 256)
+	case "halo":
+		return intKnob(&sp.Halo, 1, 16)
+	case "steps":
+		return intKnob(&sp.Steps, 1, 32)
+	case "hot":
+		return intKnob(&sp.Hot, 0, 4095)
+	case "updates":
+		return intKnob(&sp.Updates, 1, 1024)
+	case "width":
+		return intKnob(&sp.Width, 1, 512)
+	case "chunks":
+		return intKnob(&sp.Chunks, 1, 64)
+	case "bytes":
+		return intKnob(&sp.Bytes, 1, 4096)
+	case "depth":
+		return intKnob(&sp.Depth, 1, 64)
+	case "ops":
+		return intKnob(&sp.Ops, 1, 4096)
+	case "rounds":
+		return intKnob(&sp.Rounds, 1, 64)
+	case "maxbytes":
+		return intKnob(&sp.MaxBytes, 8, 4096)
+	case "skew":
+		switch val {
+		case "uniform", "hot", "neighbor":
+			sp.Skew = val
+			return nil
+		}
+		return &ParseError{Input: input, Pos: valPos,
+			Msg: fmt.Sprintf("bad skew %q (want uniform, hot or neighbor)", val)}
+	case "nb":
+		if err := intKnob(&sp.NbPct, 0, 100); err != nil {
+			return err
+		}
+		sp.nbSet = true
+		return nil
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return &ParseError{Input: input, Pos: valPos,
+				Msg: fmt.Sprintf("bad seed %q: want a non-negative integer", val)}
+		}
+		sp.GenSeed = n
+		return nil
+	}
+	panic("workload: knob table and switch out of sync for " + key)
+}
+
+// kindKnobs lists the knobs valid for a kind, in canonical order.
+func kindKnobs(kind string) []string {
+	switch kind {
+	case KindStencil:
+		return []string{"rows", "cols", "halo", "steps", "seed"}
+	case KindParamServer:
+		return []string{"hot", "updates", "width", "seed"}
+	case KindProdCons:
+		return []string{"chunks", "bytes", "depth", "seed"}
+	case KindMixed:
+		return []string{"ops", "rounds", "skew", "maxbytes", "nb", "seed"}
+	}
+	return nil
+}
+
+// Format renders the canonical spec string: knobs in fixed order with
+// defaults (zero values) elided. Parse(Format(sp)) returns sp for any
+// sp produced by Parse, and Format(Parse(Format(sp))) is a fixed
+// point.
+func Format(sp Spec) string {
+	var knobs []string
+	addInt := func(key string, v int) {
+		if v != 0 {
+			knobs = append(knobs, fmt.Sprintf("%s=%d", key, v))
+		}
+	}
+	switch sp.Kind {
+	case KindStencil:
+		addInt("rows", sp.Rows)
+		addInt("cols", sp.Cols)
+		addInt("halo", sp.Halo)
+		addInt("steps", sp.Steps)
+	case KindParamServer:
+		addInt("hot", sp.Hot)
+		addInt("updates", sp.Updates)
+		addInt("width", sp.Width)
+	case KindProdCons:
+		addInt("chunks", sp.Chunks)
+		addInt("bytes", sp.Bytes)
+		addInt("depth", sp.Depth)
+	case KindMixed:
+		addInt("ops", sp.Ops)
+		addInt("rounds", sp.Rounds)
+		if sp.Skew != "" {
+			knobs = append(knobs, "skew="+sp.Skew)
+		}
+		addInt("maxbytes", sp.MaxBytes)
+		if sp.nbSet {
+			knobs = append(knobs, fmt.Sprintf("nb=%d", sp.NbPct))
+		}
+	}
+	if sp.GenSeed != 0 {
+		knobs = append(knobs, fmt.Sprintf("seed=%d", sp.GenSeed))
+	}
+	if len(knobs) == 0 {
+		return sp.Kind
+	}
+	return sp.Kind + ":" + strings.Join(knobs, ",")
+}
+
+// ValidateFor checks the knobs that depend on the run shape: Parse
+// cannot know the process count.
+func (sp Spec) ValidateFor(procs int) error {
+	if sp.Kind == KindParamServer && sp.Hot >= procs {
+		return fmt.Errorf("workload %q: hot rank %d out of range for %d procs", Format(sp), sp.Hot, procs)
+	}
+	return nil
+}
+
+// withDefaults fills unset knobs with the kind's defaults, sized so a
+// default case stays fast under a seed sweep while still exercising
+// multi-chunk, multi-round geometry.
+func (sp Spec) withDefaults() Spec {
+	def := func(dst *int, v int) {
+		if *dst == 0 {
+			*dst = v
+		}
+	}
+	switch sp.Kind {
+	case KindStencil:
+		def(&sp.Rows, 8)
+		def(&sp.Cols, 8)
+		def(&sp.Halo, 1)
+		def(&sp.Steps, 2)
+	case KindParamServer:
+		def(&sp.Updates, 4)
+		def(&sp.Width, 8)
+	case KindProdCons:
+		def(&sp.Chunks, 3)
+		def(&sp.Bytes, 128)
+		def(&sp.Depth, 2)
+	case KindMixed:
+		def(&sp.Ops, 12)
+		def(&sp.Rounds, 2)
+		if sp.Skew == "" {
+			sp.Skew = "uniform"
+		}
+		def(&sp.MaxBytes, 256)
+		if !sp.nbSet {
+			sp.NbPct = 50
+			sp.nbSet = true
+		}
+	}
+	return sp
+}
+
+// genSeed resolves the effective generator seed: the spec's own, or
+// the case seed so a seed sweep also sweeps generated programs.
+func (sp Spec) genSeed(caseSeed int64) int64 {
+	if sp.GenSeed != 0 {
+		return sp.GenSeed
+	}
+	return caseSeed
+}

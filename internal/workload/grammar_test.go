@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestParseRoundTrip: every accepted spec round-trips through Format,
+// and Format output is a canonical fixed point.
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"stencil",
+		"stencil:rows=12,cols=3,halo=2,steps=4",
+		"stencil:halo=5,seed=7",
+		"paramserver",
+		"paramserver:hot=2,updates=6,width=16",
+		"prodcons:chunks=4,bytes=256,depth=3",
+		"mixed",
+		"mixed:ops=48,skew=hot,maxbytes=512,nb=75,rounds=2,seed=9",
+		"mixed:nb=0",
+		"mixed:skew=neighbor",
+	} {
+		sp, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		canon := Format(sp)
+		sp2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(Format(%q)=%q): %v", s, canon, err)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Errorf("round trip of %q via %q: %+v != %+v", s, canon, sp, sp2)
+		}
+		if again := Format(sp2); again != canon {
+			t.Errorf("Format not a fixed point for %q: %q -> %q", s, canon, again)
+		}
+	}
+}
+
+// TestParseRejectsWithPosition: invalid specs are rejected with a
+// *ParseError pointing at the offending byte.
+func TestParseRejectsWithPosition(t *testing.T) {
+	for _, tc := range []struct {
+		in  string
+		pos int
+	}{
+		{"", 0},
+		{"bogus", 0},
+		{"stencil2:rows=4", 0},
+		{"stencil:", 8},
+		{"stencil:rows", 8},
+		{"stencil:rows=4,,halo=1", 15},
+		{"stencil:rows=4,rows=5", 15},
+		{"stencil:rows=x", 13},
+		{"stencil:rows=0", 13},
+		{"stencil:rows=257", 13},
+		{"stencil:hot=2", 8},        // paramserver knob on stencil
+		{"paramserver:bogus=1", 12}, // unknown knob
+		{"mixed:skew=sideways", 11},
+		{"mixed:nb=101", 9},
+		{"mixed:seed=-1", 11},
+		{"prodcons:chunks=2,seed=zzz", 23},
+	} {
+		_, err := Parse(tc.in)
+		if err == nil {
+			t.Errorf("Parse(%q): want error, got none", tc.in)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q): error %v is not a *ParseError", tc.in, err)
+			continue
+		}
+		if pe.Pos != tc.pos {
+			t.Errorf("Parse(%q): error at pos %d, want %d (%v)", tc.in, pe.Pos, tc.pos, err)
+		}
+	}
+}
+
+// TestValidateFor covers the shape-dependent checks Parse cannot do.
+func TestValidateFor(t *testing.T) {
+	sp, err := Parse("paramserver:hot=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.ValidateFor(6); err == nil {
+		t.Error("hot=6 with 6 procs: want error, got none")
+	}
+	if err := sp.ValidateFor(8); err != nil {
+		t.Errorf("hot=6 with 8 procs: %v", err)
+	}
+}
+
+// FuzzWorkloadGrammar mirrors FuzzParseFaults: any input either parses
+// — and then must round-trip with Format as a canonical fixed point —
+// or is rejected with a *ParseError whose position lies inside the
+// input.
+func FuzzWorkloadGrammar(f *testing.F) {
+	for _, s := range []string{
+		"stencil",
+		"stencil:rows=12,cols=3,halo=2,steps=4,seed=5",
+		"paramserver:hot=2,updates=6,width=16",
+		"prodcons:chunks=4,bytes=256,depth=3",
+		"mixed:ops=48,skew=hot,maxbytes=512,nb=0,rounds=2,seed=9",
+		"mixed:skew=neighbor,nb=100",
+		"bogus",
+		"stencil:rows=4,rows=5",
+		"paramserver:hot=",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := Parse(s)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q): rejection %v is not a *ParseError", s, err)
+			}
+			if pe.Pos < 0 || pe.Pos > len(s) {
+				t.Fatalf("Parse(%q): error position %d outside input of length %d", s, pe.Pos, len(s))
+			}
+			return
+		}
+		canon := Format(sp)
+		sp2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted %q does not reparse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(sp, sp2) {
+			t.Fatalf("round trip of %q via %q: %+v != %+v", s, canon, sp, sp2)
+		}
+		if again := Format(sp2); again != canon {
+			t.Fatalf("Format not a fixed point: %q -> %q", canon, again)
+		}
+	})
+}

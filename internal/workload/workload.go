@@ -1,0 +1,133 @@
+// Package workload is the grammar-driven scenario generator of the
+// conformance harness: it turns a compact spec string ("stencil",
+// "paramserver:hot=2,updates=8", "mixed:skew=hot,nb=75,seed=9") into a
+// deterministic per-rank program over the public armci surface, paired
+// with a workload-specific invariant oracle. The four kinds stress
+// protocol paths the harness's default lock/put/notify workload does
+// not:
+//
+//   - stencil: halo-exchange Jacobi sweeps over ga 2-D block-distributed
+//     arrays — strided multi-block gets and puts, with a cell-exact
+//     sequential replay plus a global boundary checksum as the oracle;
+//   - paramserver: every rank streams Accumulate updates (blocking and
+//     NbAcc) into one hot rank's parameter vector — accumulate
+//     contention, with exact-sum verification (updates are
+//     integer-valued, so float/int accumulation is order-independent
+//     and exact);
+//   - prodcons: a pipelined producer→consumer chain over PutFlag /
+//     WaitFlag with per-item flags — notify ordering, with
+//     byte-for-byte no-stale-read verification at every hop;
+//   - mixed: an adversarial program sampled from a seeded grammar (op
+//     kind × target skew × payload size × nb/blocking), replayed
+//     against a local model for state-exact verification.
+//
+// Every body routes its global synchronization through the case's sync
+// variant, so the trace-level fence oracle applies to each workload for
+// free, and every payload is a pure function of (round, writer, index):
+// a stale or misrouted byte is unambiguous. Hazards carries the
+// deliberately broken variants behind the harness's mutation self-test.
+package workload
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"armci"
+	"armci/ga"
+)
+
+// Config is the harness-side context a workload body runs under.
+type Config struct {
+	// Seed is the generator seed used when the spec carries no seed=
+	// knob (the mixed workload's program, in particular, is a pure
+	// function of it).
+	Seed int64
+	// Sync selects the global synchronization variant, as in
+	// check.Case: "barrier" (default), "sync-old", "sync-old-pipelined".
+	Sync string
+	// Report receives invariant-oracle failures (printf-style). Nil
+	// panics on the first failure — the right default for standalone
+	// runs; the harness passes its state collector.
+	Report func(format string, args ...any)
+	// Hazards arms deliberately broken variants (mutation self-test).
+	Hazards Hazards
+}
+
+// Hazards are the workload-level deliberately broken variants. Each
+// reintroduces a bug class only the workload oracles can catch; the
+// harness's mutation self-test (check.Mutations) proves they are.
+type Hazards struct {
+	// AccLostUpdate replaces the parameter-server's atomic Accumulate
+	// with a non-atomic Load / Store read-modify-write, so concurrent
+	// updates from different ranks interleave and increments are lost.
+	// Caught by the accumulate-sum exactness oracle.
+	AccLostUpdate bool
+	// FlagBeforeData makes the producer publish its notify flag with a
+	// plain word store issued before the data chunks (the store rides
+	// the control pipe, the data the server pipe), so the consumer's
+	// WaitFlag wakes while the chunks are still in flight. Caught by the
+	// no-stale-read byte verification.
+	FlagBeforeData bool
+}
+
+// Armed reports whether any hazard is enabled.
+func (h Hazards) Armed() bool { return h != Hazards{} }
+
+// Build compiles a parsed spec into a per-rank body for armci.Run. The
+// spec must come from Parse (or be otherwise valid); an unknown kind
+// panics.
+func Build(sp Spec, cfg Config) func(*armci.Proc) {
+	sp = sp.withDefaults()
+	switch sp.Kind {
+	case KindStencil:
+		return stencilBody(sp, cfg)
+	case KindParamServer:
+		return paramServerBody(sp, cfg)
+	case KindProdCons:
+		return prodConsBody(sp, cfg)
+	case KindMixed:
+		return mixedBody(sp, cfg)
+	}
+	panic(fmt.Sprintf("workload: Build on spec with unknown kind %q", sp.Kind))
+}
+
+// reportf routes an oracle failure to the configured sink.
+func (cfg Config) reportf(format string, args ...any) {
+	if cfg.Report != nil {
+		cfg.Report(format, args...)
+		return
+	}
+	panic(fmt.Sprintf("workload: "+format, args...))
+}
+
+// syncFor maps the config's sync-variant name to the proc's collective.
+func syncFor(p *armci.Proc, mode string) func() {
+	switch mode {
+	case "sync-old":
+		return p.SyncOld
+	case "sync-old-pipelined":
+		return p.SyncOldPipelined
+	}
+	return p.Barrier
+}
+
+// gaMode maps the config's sync-variant name to the ga SyncMode.
+func gaMode(mode string) ga.SyncMode {
+	switch mode {
+	case "sync-old":
+		return ga.SyncOld
+	case "sync-old-pipelined":
+		return ga.SyncOldPipelined
+	}
+	return ga.SyncNew
+}
+
+// leWords encodes int64 values little-endian, the wire layout of
+// AccInt64 regions.
+func leWords(vals []int64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return b
+}

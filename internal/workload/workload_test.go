@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"armci"
+)
+
+// runWorkload executes one spec on the simulated fabric and returns the
+// oracle reports.
+func runWorkload(t *testing.T, spec string, seed int64, hz Hazards) []string {
+	t.Helper()
+	sp, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	var mu sync.Mutex
+	var reports []string
+	_, err = armci.Run(armci.Options{
+		Procs:        6,
+		ProcsPerNode: 2,
+		Fabric:       armci.FabricSim,
+		Preset:       armci.PresetMyrinet2000,
+		ScheduleSeed: seed,
+	}, Build(sp, Config{
+		Seed: seed,
+		Report: func(format string, args ...any) {
+			mu.Lock()
+			reports = append(reports, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+		Hazards: hz,
+	}))
+	if err != nil {
+		t.Fatalf("run %q: %v", spec, err)
+	}
+	return reports
+}
+
+// TestWorkloadsClean: every kind, defaults and a non-default shape,
+// runs with its oracle silent across a few schedule seeds.
+func TestWorkloadsClean(t *testing.T) {
+	specs := []string{
+		"stencil",
+		"stencil:rows=1,cols=9,halo=2", // 1×N with halo wider than the tile
+		"stencil:rows=9,cols=1,halo=3", // N×1
+		"paramserver",
+		"paramserver:hot=3,updates=6,width=4",
+		"prodcons",
+		"prodcons:chunks=4,bytes=64,depth=4",
+		"mixed",
+		"mixed:skew=hot,nb=0",
+		"mixed:skew=neighbor,nb=100,ops=8",
+	}
+	for _, spec := range specs {
+		for _, seed := range []int64{0, 1, 7} {
+			if reports := runWorkload(t, spec, seed, Hazards{}); len(reports) > 0 {
+				t.Errorf("%q seed %d: %d oracle reports, first: %s", spec, seed, len(reports), reports[0])
+			}
+		}
+	}
+}
+
+// TestWorkloadSyncVariants: the bodies route synchronization through
+// the configured variant; each must keep the oracles silent.
+func TestWorkloadSyncVariants(t *testing.T) {
+	for _, mode := range []string{"barrier", "sync-old", "sync-old-pipelined"} {
+		sp, err := Parse("mixed:ops=6")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var reports []string
+		_, err = armci.Run(armci.Options{
+			Procs: 4, ProcsPerNode: 2, Fabric: armci.FabricSim,
+			Preset: armci.PresetMyrinet2000, ScheduleSeed: 1,
+		}, Build(sp, Config{Seed: 1, Sync: mode, Report: func(format string, args ...any) {
+			mu.Lock()
+			reports = append(reports, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}}))
+		if err != nil {
+			t.Fatalf("sync %s: %v", mode, err)
+		}
+		if len(reports) > 0 {
+			t.Errorf("sync %s: %s", mode, reports[0])
+		}
+	}
+}
+
+// TestHazardsAreCaught: each deliberately broken variant must trip its
+// workload's oracle — the package-level half of the harness's mutation
+// self-test.
+func TestHazardsAreCaught(t *testing.T) {
+	for _, tc := range []struct {
+		spec string
+		hz   Hazards
+		want string
+	}{
+		{"paramserver", Hazards{AccLostUpdate: true}, "accumulate was lost"},
+		{"prodcons", Hazards{FlagBeforeData: true}, "stale"},
+	} {
+		caught := false
+		for seed := int64(1); seed <= 16 && !caught; seed++ {
+			for _, r := range runWorkload(t, tc.spec, seed, tc.hz) {
+				if strings.Contains(r, tc.want) {
+					caught = true
+					break
+				}
+			}
+		}
+		if !caught {
+			t.Errorf("hazard %+v on %q: no oracle report containing %q in 16 seeds", tc.hz, tc.spec, tc.want)
+		}
+	}
+}

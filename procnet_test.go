@@ -19,6 +19,7 @@ import (
 	"armci/internal/msg"
 	"armci/internal/pipeline"
 	"armci/internal/trace"
+	"armci/internal/workload"
 	"armci/mp"
 )
 
@@ -39,6 +40,8 @@ func TestMain(m *testing.M) {
 		os.Exit(procWorkerDie())
 	case "fig7":
 		os.Exit(procWorkerFig7())
+	case "workload":
+		os.Exit(procWorkerWorkload())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown ARMCI_PROCNET_TEST_WORKLOAD %q\n", wl)
 		os.Exit(2)
@@ -222,6 +225,47 @@ func procWorkerDie() int {
 	return 1
 }
 
+// procWorkloadSeed pins the generator seed of the parity runs, so every
+// fabric executes the identical generated program.
+const procWorkloadSeed = 42
+
+// procWorkerWorkload runs one generated workload (internal/workload) as
+// a cluster worker and prints the fingerprint of its own rank's sends.
+// Only user-endpoint traffic is digested: a rank's program is sequential
+// so its request stream is program-ordered, while its data server
+// interleaves requests from whoever arrives first.
+func procWorkerWorkload() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "workload worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	sp, err := workload.Parse(os.Getenv("ARMCI_PROCNET_TEST_SPEC"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        we.Procs,
+		ProcsPerNode: we.ProcsPerNode,
+		Fabric:       armci.FabricProc,
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, workload.Build(sp, workload.Config{Seed: procWorkloadSeed}))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var own []trace.Event
+	for _, e := range rep.Stats.Events() {
+		if e.Src == msg.User(we.Node) { // ppn=1: rank == node
+			own = append(own, e)
+		}
+	}
+	fmt.Printf("WL_FP node=%d fp=%s\n", we.Node, trace.FingerprintEvents(own))
+	return 0
+}
+
 // procWorkerFig7 runs the smoke-sized Figure 7 point; the launch size
 // comes from the cluster environment.
 func procWorkerFig7() int {
@@ -386,6 +430,91 @@ func TestProcnetCoalescedRingParityWithTCP(t *testing.T) {
 		if got[node] != want[node] {
 			t.Errorf("node %d batched send stream diverged between fabrics:\ntcp  %s\nproc %s", node, want[node], got[node])
 		}
+	}
+}
+
+// TestProcnetWorkloadParityWithTCP extends the per-node parity check to
+// generated workloads: each rank's user-endpoint send stream under a
+// multi-process launch must match the same rank's stream in an
+// in-process TCP run of the identical generated program. prodcons puts
+// the notify-ordering path (NbPut + PutFlag + WaitFlag) across real OS
+// processes; mixed drives puts, word stores and accumulates sampled
+// from the seeded grammar. The workload oracles run armed in both runs
+// (Report nil panics), so parity is only ever measured over verified
+// executions.
+func TestProcnetWorkloadParityWithTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const procs = 4
+	for _, spec := range []string{
+		"prodcons:chunks=3,bytes=64,depth=2",
+		"mixed:ops=8,rounds=1",
+	} {
+		spec := spec
+		t.Run(strings.SplitN(spec, ":", 2)[0], func(t *testing.T) {
+			sp, err := workload.Parse(spec)
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", spec, err)
+			}
+			rep, err := armci.Run(armci.Options{
+				Procs:        procs,
+				Fabric:       armci.FabricTCP,
+				CaptureTrace: true,
+				OpDeadline:   30 * time.Second,
+			}, workload.Build(sp, workload.Config{Seed: procWorkloadSeed}))
+			if err != nil {
+				t.Fatalf("tcp baseline: %v", err)
+			}
+			want := make([]string, procs)
+			for node := range want {
+				var own []trace.Event
+				for _, e := range rep.Stats.Events() {
+					if e.Src == msg.User(node) {
+						own = append(own, e)
+					}
+				}
+				want[node] = trace.FingerprintEvents(own)
+				if want[node] == "" {
+					t.Fatalf("tcp baseline captured no sends from rank %d", node)
+				}
+			}
+
+			got := make([]string, procs)
+			var mu sync.Mutex
+			out, err := cluster.Launch(cluster.Spec{
+				Procs:   procs,
+				Command: []string{testExe(t)},
+				ExtraEnv: []string{"ARMCI_PROCNET_TEST_WORKLOAD=workload",
+					"ARMCI_PROCNET_TEST_SPEC=" + spec},
+				Output:     io.Discard,
+				RunTimeout: 2 * time.Minute,
+				OnLine: func(node int, line string) {
+					fp, ok := parseTagged(line, "WL_FP", "fp")
+					if !ok {
+						return
+					}
+					mu.Lock()
+					got[node] = fp
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatalf("proc launch: %v (outcome %+v)", err, out)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for node := range want {
+				if got[node] == "" {
+					t.Errorf("node %d printed no WL_FP line", node)
+					continue
+				}
+				if got[node] != want[node] {
+					t.Errorf("node %d send stream diverged between fabrics:\ntcp  %s\nproc %s",
+						node, want[node], got[node])
+				}
+			}
+		})
 	}
 }
 

@@ -22,6 +22,11 @@ go test -race -short -run 'Fault|Loss|Crash|Lease' .
 # put-with-flag, and the per-destination coalescer, on the concurrent
 # fabrics where handle state and batched frames cross goroutines.
 go test -race -short -run 'Coalesc|Handle|Flag|Batch|Nb' .
+# The generated workloads (internal/workload, covered by the internal
+# race pass above) driven end-to-end: per-rank fingerprint parity of
+# the generated programs across sim seeds and the concurrent fabrics,
+# under the race detector.
+go test -race -run 'WorkloadFingerprintParity' .
 # The multi-process smoke: a 4-rank smoke-sized Fig. 7 point through
 # armci-run — real OS processes, rendezvous, routed puts, clean drain.
 go run ./cmd/armci-run -n 4 -workload fig7-small
