@@ -52,6 +52,11 @@ explore:
 	$(GO) run ./cmd/armci-check -coalesce -algs queue -syncs barrier \
 		-faults 'loss=0.15,retry=12;dup=0.2;loss=0.1,dup=0.1,retry=12' \
 		-seeds 32
+	$(GO) run ./cmd/armci-check -algs queue,hybrid,lease \
+		-syncs barrier-knomial,barrier-hier,barrier-hier-nic -seeds 64
+	$(GO) run ./cmd/armci-check -algs queue \
+		-syncs barrier-knomial,barrier-hier,barrier-hier-nic \
+		-faults 'loss=0.1,dup=0.1,retry=12;spike=1ms@0.2' -seeds 32
 	$(GO) run ./cmd/armci-check -algs lease -syncs barrier \
 		-faults 'crashheld=1@1;crashheld=2@2;crashheld=5@3' \
 		-seeds 64

@@ -144,7 +144,26 @@ const (
 	BarrierPairwise      = collective.BarrierPairwise
 	BarrierDissemination = collective.BarrierDissemination
 	BarrierCentral       = collective.BarrierCentral
+	BarrierKnomial       = collective.BarrierKnomial
+	BarrierHierarchical  = collective.BarrierHierarchical
 )
+
+// ParseBarrierAlg resolves a barrier algorithm name — the shared
+// vocabulary of the command-line tools ("auto", "pairwise",
+// "dissemination", "central", "knomial", "hierarchical").
+func ParseBarrierAlg(s string) (BarrierAlg, error) {
+	for _, a := range []BarrierAlg{BarrierAuto, BarrierPairwise, BarrierDissemination,
+		BarrierCentral, BarrierKnomial, BarrierHierarchical} {
+		if s == a.String() {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("armci: unknown barrier algorithm %q (want auto, pairwise, dissemination, central, knomial or hierarchical)", s)
+}
+
+// Topology is the synthetic node layout of the in-process fabrics (see
+// Options.Topology).
+type Topology = model.Topology
 
 // FabricKind selects the execution fabric.
 type FabricKind uint8
@@ -236,8 +255,31 @@ type Options struct {
 	Preset CostPreset
 	// FenceMode selects put-completion detection; default FenceRequest.
 	FenceMode FenceMode
-	// BarrierAlg selects the barrier pattern; default BarrierAuto.
+	// BarrierAlg selects the barrier pattern; default BarrierAuto. It
+	// also selects the combined barrier's stage-1 allreduce pattern
+	// (BarrierKnomial and BarrierHierarchical route the counter
+	// exchange over their trees).
 	BarrierAlg BarrierAlg
+	// BarrierRadix sets the k-nomial tree radix used by BarrierKnomial
+	// and the tree-based reductions; 0 selects collective.DefaultRadix
+	// (4). Must be >= 2 when set.
+	BarrierRadix int
+	// Topology is an alternative way to describe the node layout of the
+	// in-process fabrics: Nodes SMP nodes of PPN consecutive ranks,
+	// mirroring armci-run's -n/-ppn. When set it must satisfy
+	// Nodes*PPN == Procs and agree with ProcsPerNode if both are given.
+	// Intra-node traffic costs model.Params.LocalLatency, inter-node
+	// traffic the full Latency — the gradient the hierarchical barrier
+	// exploits. The zero value defers to ProcsPerNode.
+	Topology Topology
+	// NICFenceOffload makes every data server answer fence round-trips
+	// at NIC cost (model.Params.NICService) without a host wake-up or
+	// the ServiceFence PCI drain, and switches the combined Barrier to
+	// one pipelined fence round-trip per written node instead of the
+	// counter exchange. Unlike NICAssist it adds no extra agents: the
+	// NIC answers on the server's own channel, so per-pair FIFO still
+	// proves completion.
+	NICFenceOffload bool
 	// NumMutexes is how many cluster locks to create. Lock i is homed at
 	// rank LockHomes[i] if given, else at rank i modulo Procs.
 	NumMutexes int
@@ -335,6 +377,23 @@ func (o *Options) normalize() (model.Params, error) {
 	}
 	if o.ScheduleSeed < 0 {
 		return model.Params{}, fmt.Errorf("armci: Options.ScheduleSeed must be >= 0, got %d", o.ScheduleSeed)
+	}
+	if o.BarrierRadix != 0 && o.BarrierRadix < 2 {
+		return model.Params{}, fmt.Errorf("armci: Options.BarrierRadix must be >= 2, got %d", o.BarrierRadix)
+	}
+	if o.Topology != (Topology{}) {
+		if err := o.Topology.Validate(); err != nil {
+			return model.Params{}, err
+		}
+		if o.Topology.Procs() != o.Procs {
+			return model.Params{}, fmt.Errorf("armci: Topology %dx%d describes %d ranks, Procs is %d",
+				o.Topology.Nodes, o.Topology.PPN, o.Topology.Procs(), o.Procs)
+		}
+		if o.ProcsPerNode != 0 && o.ProcsPerNode != o.Topology.PPN {
+			return model.Params{}, fmt.Errorf("armci: ProcsPerNode %d disagrees with Topology PPN %d",
+				o.ProcsPerNode, o.Topology.PPN)
+		}
+		o.ProcsPerNode = o.Topology.PPN
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return model.Params{}, fmt.Errorf("armci: bad fault plan: %w", err)
@@ -443,6 +502,7 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 			server.New(env, layout, server.Options{
 				FenceMode: opt.FenceMode,
 				Locks:     locks,
+				NICFence:  opt.NICFenceOffload,
 			}).Serve()
 		})
 	}
@@ -463,8 +523,12 @@ func Run(opt Options, body func(p *Proc)) (*Report, error) {
 			eng.SetNICAssist(opt.NICAssist)
 			eng.SetCoalescing(opt.Coalesce)
 			comm := collective.New(env)
+			if opt.BarrierRadix != 0 {
+				comm.SetRadix(opt.BarrierRadix)
+			}
 			sync := core.NewSync(eng, comm)
 			sync.BarrierAlg = opt.BarrierAlg
+			sync.NICFence = opt.NICFenceOffload
 			body(&Proc{eng: eng, comm: comm, sync: sync, locks: locks, leaseTTL: opt.LeaseTTL})
 		})
 	}

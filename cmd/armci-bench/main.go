@@ -10,6 +10,7 @@
 //	armci-bench -fig 7 -procs 2,4,8,16,32 # extend the sweep
 //	armci-bench -fig 8 -fabric chan       # wall-clock sanity run
 //	armci-bench -fig crossover
+//	armci-bench -fig crossover-n            # barrier algorithms vs cluster size, 16..4096 ranks
 //	armci-bench -fig counts
 //	armci-bench -fig workloads            # named scenario makespans (internal/workload grammar)
 //	armci-bench -fig workloads -workload 'stencil:rows=16,halo=2;mixed:skew=hot'
@@ -47,9 +48,9 @@ func main() {
 	log.SetPrefix("armci-bench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, crossover, counts, ablate, smallput, workloads, all")
+		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, crossover, crossover-n, counts, ablate, smallput, workloads, all")
 		workload = flag.String("workload", "", "with -fig workloads: semicolon-separated workload specs (default stencil;paramserver;prodcons;mixed)")
-		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: -fig 7 only, multi-process)")
+		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: multi-process, see -fabric proc notes)")
 		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
 		procsF   = flag.String("procs", "", "comma-separated process counts (default per experiment)")
 		reps     = flag.Int("reps", 0, "timed repetitions per point (default per experiment)")
@@ -99,16 +100,17 @@ func main() {
 
 	if fk == armci.FabricProc {
 		// Each proc-fabric point is a separate multi-process launch that
-		// re-executes this binary as the workers; only the Fig. 7 sweep
-		// is wired for that.
-		if *fig != "7" {
-			log.Fatalf("-fabric proc supports only -fig 7; run the other figures on sim, chan or tcp")
-		}
-		if *faultsF != "" || *hist || *timeline != "" {
+		// re-executes this binary as the workers; only the figures listed
+		// in procFigs are wired for that.
+		if launch, ok := procFigs[*fig]; !ok {
+			log.Fatalf("-fabric proc supports %s; run the other figures on sim, chan or tcp",
+				procFigList())
+		} else if *faultsF != "" || *hist || *timeline != "" {
 			log.Fatal("-fabric proc does not combine with -faults, -hist or -timeline")
+		} else {
+			launch(procCounts, *reps, csv)
+			return
 		}
-		runFig7Proc(procCounts, *reps, csv)
-		return
 	}
 
 	if *timeline != "" {
@@ -132,6 +134,8 @@ func main() {
 		runLockCrash(common, procCounts)
 	case "crossover":
 		runCrossover(common, procCounts, csv)
+	case "crossover-n":
+		runCrossoverN(common, procCounts, csv)
 	case "counts":
 		runCounts(procCounts)
 	case "ablate":
@@ -152,6 +156,8 @@ func main() {
 		runLockCrash(common, procCounts)
 		fmt.Println()
 		runCrossover(common, nil, csv)
+		fmt.Println()
+		runCrossoverN(common, nil, csv)
 		fmt.Println()
 		runCounts(procCounts)
 		fmt.Println()
@@ -302,6 +308,23 @@ func parseProcs(s string) ([]int, error) {
 	return out, nil
 }
 
+// procFigs enumerates the figures wired for the multi-process proc
+// fabric, each as its own launcher: adding a proc-capable experiment
+// means one table entry, not another copy of the restriction message.
+var procFigs = map[string]func(procCounts []int, reps int, csv bool){
+	"7": runFig7Proc,
+}
+
+// procFigList renders the proc-capable figures for the error message.
+func procFigList() string {
+	figs := make([]string, 0, len(procFigs))
+	for f := range procFigs {
+		figs = append(figs, "-fig "+f)
+	}
+	sort.Strings(figs)
+	return "only " + strings.Join(figs, ", ")
+}
+
 // runProcFig7Worker is the worker-side dispatch of -fabric proc: the
 // launcher re-executes this binary with the hidden flag inside the
 // cluster rendezvous environment.
@@ -409,6 +432,20 @@ func runCrossover(common bench.Opts, procCounts []int, csv bool) {
 		return
 	}
 	fmt.Print(bench.FormatCrossover(res))
+}
+
+// runCrossoverN sweeps one combined barrier across cluster sizes and
+// algorithms; -procs overrides the default N values.
+func runCrossoverN(common bench.Opts, procCounts []int, csv bool) {
+	res, err := bench.CrossoverN(bench.CrossoverNOpts{Opts: common, NValues: procCounts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if csv {
+		fmt.Print(bench.CSVCrossoverN(res))
+		return
+	}
+	fmt.Print(bench.FormatCrossoverN(res))
 }
 
 // writeTimeline captures one combined barrier under the cost model and

@@ -63,7 +63,7 @@ func run(args []string, out io.Writer) int {
 		fabricsF  = fs.String("fabrics", "sim", "comma-separated in-process fabrics: sim, chan, tcp")
 		algsF     = fs.String("algs", "queue,hybrid,ticket,queue-nocas,lease", "comma-separated lock algorithms (empty entry = no lock phase)")
 		workloadF = fs.String("workload", "", "semicolon-separated workload specs (specs contain commas), e.g. 'stencil:rows=16;mixed:skew=hot,nb=75'; replaces the lock/put/notify workload and ignores -algs")
-		syncsF    = fs.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined")
+		syncsF    = fs.String("syncs", "barrier,sync-old", "comma-separated sync variants: barrier, sync-old, sync-old-pipelined, barrier-knomial, barrier-hier, barrier-hier-nic")
 		faultsF   = fs.String("faults", "", "semicolon-separated fault plans (plans contain commas), e.g. 'loss=0.15,retry=12;dup=0.2'")
 		procs     = fs.Int("procs", 6, "user processes")
 		ppn       = fs.Int("ppn", 2, "processes per node (ticket forces ppn=procs)")
@@ -100,6 +100,12 @@ func run(args []string, out io.Writer) int {
 				*ppn = wppn
 			}
 		}
+	}
+	// The self-test sweeps mutations at MutationCase's deeper iteration
+	// count; a replayed reproducer must run the identical case or the
+	// printed seed may come up clean.
+	if *mutation != "" && *iters == 0 {
+		*iters = check.MutationIters
 	}
 	cases := check.Matrix(fabrics, splitPlans(*workloadF), splitList(*algsF),
 		splitList(*syncsF), splitPlans(*faultsF), *procs, *ppn, *seedStart, *seedStart+*seeds-1)

@@ -142,6 +142,32 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 			sp.Factor, ratioPct)
 	}
 
+	// Large-N barrier crossover: one combined barrier per algorithm at
+	// cluster sizes up to 1024 ranks (the CLI sweep goes to 4096; the
+	// 4096 point costs a minute of simulation, too heavy for a gate
+	// that also runs under go test). Every point is a deterministic
+	// virtual time. The structural floor mirrors the sweep's headline
+	// claim: at N >= 1024 the hierarchical barrier with the NIC-offload
+	// fence must beat the flat dissemination exchange — a baseline
+	// recording a lost topology win must never be writable.
+	xn, err := CrossoverN(CrossoverNOpts{NValues: []int{64, 256, 1024}})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline crossover-n: %w", err)
+	}
+	for _, row := range xn.Rows {
+		for i, v := range xn.Variants {
+			det(fmt.Sprintf("crossover/%s/n%d/us", v.Name, row.N), row.US[i], "us")
+		}
+		if row.N >= 1024 {
+			hier := xn.VariantUS(row, "hier-nicfence")
+			diss := xn.VariantUS(row, "dissemination")
+			if hier >= diss {
+				return nil, fmt.Errorf("bench: hierarchical+NIC barrier lost to dissemination at N=%d (%.1fus >= %.1fus), below the structural crossover floor",
+					row.N, hier, diss)
+			}
+		}
+	}
+
 	// Holder-crash recovery: crash-free hand-off vs crash-recovery
 	// latency of the lease lock, both deterministic virtual times.
 	lc, err := LockCrash(LockCrashOpts{})

@@ -82,6 +82,52 @@ func FormatCrossover(r *CrossoverResult) string {
 	return b.String()
 }
 
+// FormatCrossoverN renders the large-N barrier crossover sweep: one
+// column per algorithm, one row per cluster size, then the crossover
+// analysis — from which N each structured variant beats the flat
+// dissemination exchange.
+func FormatCrossoverN(r *CrossoverNResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Crossover-N: ARMCI_Barrier time vs cluster size, ppn %d (%s fabric, %s model)\n",
+		r.Opts.PPN, fabricName(r.Opts.Fabric), presetName(r.Opts.Preset))
+	fmt.Fprintf(&b, "%8s", "procs")
+	for _, v := range r.Variants {
+		fmt.Fprintf(&b, " %14s", v.Name)
+	}
+	fmt.Fprintf(&b, " %14s\n", "winner")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d", row.N)
+		for _, t := range row.US {
+			fmt.Fprintf(&b, " %14.1f", t)
+		}
+		fmt.Fprintf(&b, " %14s\n", r.Winner(row))
+	}
+	for _, name := range []string{"knomial4", "hierarchical", "hier-nicfence"} {
+		if n := crossoverNAgainst(r, name, "dissemination"); n > 0 {
+			fmt.Fprintf(&b, "%s beats dissemination from N=%d\n", name, n)
+		} else {
+			fmt.Fprintf(&b, "%s never beats dissemination in this sweep\n", name)
+		}
+	}
+	return b.String()
+}
+
+// crossoverNAgainst returns the smallest swept N from which variant a
+// stays faster than variant b for every larger N, or 0 if none.
+func crossoverNAgainst(r *CrossoverNResult, a, b string) int {
+	n := 0
+	for _, row := range r.Rows {
+		if r.VariantUS(row, a) < r.VariantUS(row, b) {
+			if n == 0 {
+				n = row.N
+			}
+		} else {
+			n = 0
+		}
+	}
+	return n
+}
+
 // FormatMessageCounts renders the analytical message-count check.
 func FormatMessageCounts(cs []*MessageCounts) string {
 	var b strings.Builder
@@ -128,6 +174,24 @@ func CSVCrossover(r *CrossoverResult) string {
 	b.WriteString("targets,old_us,new_us\n")
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "%d,%.3f,%.3f\n", row.K, row.OldUS, row.NewUS)
+	}
+	return b.String()
+}
+
+// CSVCrossoverN renders the large-N barrier sweep as CSV.
+func CSVCrossoverN(r *CrossoverNResult) string {
+	var b strings.Builder
+	b.WriteString("procs")
+	for _, v := range r.Variants {
+		b.WriteString("," + v.Name + "_us")
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d", row.N)
+		for _, t := range row.US {
+			fmt.Fprintf(&b, ",%.3f", t)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

@@ -69,7 +69,11 @@ type Case struct {
 	Workload string
 	// Sync is the global synchronization variant: "barrier" (the paper's
 	// combined ARMCI_Barrier, the default), "sync-old" (serialized
-	// AllFence + MPI_Barrier) or "sync-old-pipelined".
+	// AllFence + MPI_Barrier), "sync-old-pipelined", or a topology-aware
+	// flavor of the combined barrier — "barrier-knomial" (radix-4
+	// k-nomial exchange stages), "barrier-hier" (two-level hierarchical
+	// exchange through per-node leaders), "barrier-hier-nic"
+	// (hierarchical with the servers answering fences at NIC cost).
 	Sync string
 	// Faults is a fault plan in the armci.ParseFaults grammar ("" = no
 	// faults). A plan without an explicit seed= knob is seeded with Seed,
@@ -229,13 +233,16 @@ func RunCase(c Case) Result {
 		panic(fmt.Sprintf("check: deliberate harness panic for case %s", c.Reproducer()))
 	}
 	col := &collector{}
+	alg, nicFence := syncOptions(c.Sync)
 	rep, runErr := armci.Run(armci.Options{
-		Procs:        c.Procs,
-		ProcsPerNode: c.PPN,
-		Fabric:       c.Fabric,
-		Preset:       c.Preset,
-		NumMutexes:   1,
-		ScheduleSeed: c.Seed,
+		Procs:           c.Procs,
+		ProcsPerNode:    c.PPN,
+		Fabric:          c.Fabric,
+		Preset:          c.Preset,
+		NumMutexes:      1,
+		ScheduleSeed:    c.Seed,
+		BarrierAlg:      alg,
+		NICFenceOffload: nicFence,
 		Coalesce: armci.Coalesce{
 			Enabled:       c.Coalesce || spec.coalesceHazard,
 			ReorderHazard: spec.coalesceHazard,
@@ -266,6 +273,23 @@ func RunCase(c Case) Result {
 	return r
 }
 
+// syncOptions maps a topology-aware sync variant to the run options it
+// requires: the barrier exchange algorithm (which also drives the
+// combined barrier's stage-1 allreduce pattern) and whether the data
+// servers answer fence round-trips at NIC cost. The classic variants
+// keep the defaults.
+func syncOptions(sync string) (alg armci.BarrierAlg, nicFence bool) {
+	switch sync {
+	case "barrier-knomial":
+		return armci.BarrierKnomial, false
+	case "barrier-hier":
+		return armci.BarrierHierarchical, false
+	case "barrier-hier-nic":
+		return armci.BarrierHierarchical, true
+	}
+	return armci.BarrierAuto, false
+}
+
 // validateCase rejects unknown algorithm / sync / mutation names before
 // spending a run on them.
 func validateCase(c Case) error {
@@ -275,7 +299,8 @@ func validateCase(c Case) error {
 		return fmt.Errorf("check: unknown lock algorithm %q", c.Alg)
 	}
 	switch c.Sync {
-	case "barrier", "sync-old", "sync-old-pipelined":
+	case "barrier", "sync-old", "sync-old-pipelined",
+		"barrier-knomial", "barrier-hier", "barrier-hier-nic":
 	default:
 		return fmt.Errorf("check: unknown sync variant %q", c.Sync)
 	}

@@ -12,6 +12,10 @@ import (
 var (
 	sweepAlgs  = []string{"queue", "hybrid", "ticket", "queue-nocas", "lease"}
 	sweepSyncs = []string{"barrier", "sync-old"}
+	// topoSyncs are the topology-aware flavors of the combined barrier;
+	// they get their own sweep so the classic matrix stays comparable
+	// release to release.
+	topoSyncs = []string{"barrier-knomial", "barrier-hier", "barrier-hier-nic"}
 )
 
 // TestShortSweep is the conformance sweep that runs even under -short:
@@ -19,6 +23,30 @@ var (
 // fabric, every oracle silent.
 func TestShortSweep(t *testing.T) {
 	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, sweepAlgs, sweepSyncs, nil, 6, 2, 1, 64)
+	runSweep(t, cases)
+}
+
+// TestTopologySyncSweep runs the conformance matrix over the
+// topology-aware barrier variants: every lock algorithm under the
+// k-nomial and hierarchical combined barriers (the latter with and
+// without the NIC-offload fence), 32 schedule-shuffle seeds each, at a
+// multi-rank-per-node shape so the hierarchical tree has real intra- and
+// inter-node stages. The fence oracle must hold exactly as it does for
+// the flat barrier. Runs even under -short: these are new algorithms.
+func TestTopologySyncSweep(t *testing.T) {
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, sweepAlgs, topoSyncs, nil, 6, 2, 1, 32)
+	runSweep(t, cases)
+}
+
+// TestTopologySyncFaultSweep drives the topology-aware barriers through
+// latency spikes and loss/dup retransmission: the exchange trees must
+// deliver the fence guarantee on the degraded paths too.
+func TestTopologySyncFaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("topology fault sweep skipped in -short")
+	}
+	cases := Matrix([]armci.FabricKind{armci.FabricSim}, nil, []string{"queue"},
+		topoSyncs, []string{"spike=1ms@0.2", "loss=0.1,dup=0.1,retry=12"}, 6, 2, 1, 16)
 	runSweep(t, cases)
 }
 
@@ -169,15 +197,16 @@ func TestMutationsTargetExpectedOracle(t *testing.T) {
 		t.Skip("oracle-attribution sweep skipped in -short")
 	}
 	want := map[string]string{
-		MutQueueSkipLinkWait: "liveness",
-		MutTicketOffByOne:    "mutual-exclusion",
-		MutBarrierSkipStage2: "fence",
-		MutSyncOldSkipFence:  "fence",
-		MutEventPoolRecycle:  "liveness",
-		MutCoalesceReorder:   "state",
-		MutLeaseStaleRelease: "mutual-exclusion",
-		MutAccLostUpdate:     "state",
-		MutFlagBeforeData:    "state",
+		MutQueueSkipLinkWait:  "liveness",
+		MutTicketOffByOne:     "mutual-exclusion",
+		MutBarrierSkipStage2:  "fence",
+		MutSyncOldSkipFence:   "fence",
+		MutEventPoolRecycle:   "liveness",
+		MutCoalesceReorder:    "state",
+		MutLeaseStaleRelease:  "mutual-exclusion",
+		MutAccLostUpdate:      "state",
+		MutFlagBeforeData:     "state",
+		MutKnomialSkipSubtree: "fence",
 	}
 	for name, oracle := range want {
 		found := false

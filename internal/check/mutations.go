@@ -1,10 +1,12 @@
 package check
 
 import (
+	"fmt"
 	"time"
 
 	"armci"
 	"armci/internal/collective"
+	"armci/internal/msg"
 	"armci/internal/proc"
 	"armci/internal/shmem"
 	"armci/internal/trace"
@@ -95,6 +97,21 @@ const (
 	// no-stale-read byte verification (state) catches it. The case runs
 	// one rank per node so every hop crosses the wire.
 	MutFlagBeforeData = "flag-before-data"
+	// MutKnomialSkipSubtree: a combined barrier whose stage-iii k-nomial
+	// exchange releases early — the parent skips receiving its last
+	// child's subtree report but still sends every release, so the
+	// ranks outside that subtree exit while the skipped subtree may
+	// still be in stage ii waiting for its node's op_done. Stages i and
+	// ii are correct, so a rank's own node is always fenced; the bug is
+	// only visible when a spike-delayed put TO the skipped subtree's
+	// node is still in flight as the root exits. The sweep's spike plan
+	// is large-and-rare (5ms at 5%) rather than the barrier mutations'
+	// 1ms at 20%: frequent spikes also stagger the ranks' barrier
+	// entries by more than the spike itself, closing the window — the
+	// delayed put must outlive the whole exchange, not just one stage.
+	// Detected by the fence oracle (a pre-entry operation completing
+	// after some rank's exit).
+	MutKnomialSkipSubtree = "knomial-skip-subtree"
 	// MutPanicCase: not an algorithm bug — the workload panics outright
 	// mid-case, simulating a harness defect. It exists to test that the
 	// sweep runner recovers per case, attributes the panic to its
@@ -152,6 +169,8 @@ var mutationSpecs = map[string]mutationSpec{
 		hazards: workload.Hazards{AccLostUpdate: true}},
 	MutFlagBeforeData: {workload: "prodcons", sync: "barrier", ppn: 1,
 		hazards: workload.Hazards{FlagBeforeData: true}},
+	MutKnomialSkipSubtree: {alg: "queue", sync: "barrier-knomial", faults: "spike=5ms@0.05",
+		syncFn: brokenKnomialBarrier},
 	MutPanicCase: {alg: "queue", sync: "barrier", harnessPanic: true},
 }
 
@@ -159,7 +178,8 @@ var mutationSpecs = map[string]mutationSpec{
 func Mutations() []string {
 	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2,
 		MutSyncOldSkipFence, MutEventPoolRecycle, MutCoalesceReorder,
-		MutLeaseStaleRelease, MutAccLostUpdate, MutFlagBeforeData}
+		MutLeaseStaleRelease, MutAccLostUpdate, MutFlagBeforeData,
+		MutKnomialSkipSubtree}
 }
 
 // MutationWorkload reports the workload spec a mutation targets (""
@@ -170,6 +190,12 @@ func MutationWorkload(name string) (workloadSpec string, ppn int) {
 	m := mutationSpecs[name]
 	return m.workload, m.ppn
 }
+
+// MutationIters is the per-rank critical-section count the mutation
+// self-test sweeps at — deeper than the default case so narrow race
+// windows get more chances per seed. Reproducer replays must use the
+// same count (cmd/armci-check defaults -iters from it under -mutation).
+const MutationIters = 6
 
 // MutationCase builds the sweep template of one mutation at one seed.
 func MutationCase(name string, seed int64) Case {
@@ -183,7 +209,7 @@ func MutationCase(name string, seed int64) Case {
 		PPN:      m.ppn,
 		Coalesce: m.coalesceHazard,
 		Seed:     seed,
-		Iters:    6,
+		Iters:    MutationIters,
 		Mutation: name,
 		LeaseTTL: m.leaseTTL,
 	}
@@ -509,6 +535,64 @@ func brokenBarrier(p *armci.Proc, epoch *int) func() {
 		// BUG: stage ii — the wait for op_done[myNode] >= sum[myNode] —
 		// is skipped.
 		p.Comm().Barrier(collective.BarrierAuto)
+		recordSyncOp(p, trace.OpSyncExit, *epoch)
+	}
+}
+
+// mutTagBase is a private tag space for the mutated barrier's raw
+// point-to-point traffic: above any user tag the workloads use and below
+// mp's reserved collectives (1<<30), so a report the bug leaves
+// unconsumed can never be matched by a later receive.
+const mutTagBase = 1 << 29
+
+// brokenKnomialBarrier runs stages i and ii of the combined barrier
+// correctly — distribute op_init, wait for the local server's op_done —
+// then replaces the stage-iii k-nomial barrier with a variant whose
+// gather phase skips the parent's LAST child: the parent releases the
+// whole tree without proof that the skipped subtree reached the barrier.
+// A rank's own node is always fenced (stage ii is intact), so only a
+// spike-delayed put to the skipped subtree's node — still in flight
+// while the subtree sits in stage ii — exposes the hole.
+func brokenKnomialBarrier(p *armci.Proc, epoch *int) func() {
+	return func() {
+		*epoch++
+		recordSyncOp(p, trace.OpSyncEnter, *epoch)
+		env := p.Env()
+
+		// Stage i, correct: distribute op_init.
+		sum := make([]int64, p.NumNodes())
+		copy(sum, p.Engine().OpInit())
+		p.Comm().AllReduceSumInt64(sum)
+
+		// Stage ii, correct: wait for the local server to catch up.
+		myNode := env.Node(env.Rank())
+		opDone := p.Engine().Layout().OpDone[myNode]
+		want := sum[myNode]
+		env.WaitUntil(fmt.Sprintf("mut-knomial-op_done>=%d", want), func() bool {
+			return env.Space().Load(opDone) >= want
+		})
+
+		// Stage iii, broken: k-nomial gather/release over raw sends, but
+		// the parent never awaits the last child's subtree report.
+		n, me := p.Size(), p.Rank()
+		if n > 1 {
+			gather := mutTagBase + *epoch<<1
+			release := gather + 1
+			parent, children := collective.KnomialTree(n, me, 4)
+			for i, child := range children {
+				if i == len(children)-1 {
+					continue // BUG: last subtree releases unproven
+				}
+				env.Recv(msg.MatchSrcTag(msg.KindSend, msg.User(child), gather))
+			}
+			if parent >= 0 {
+				env.Send(msg.User(parent), &msg.Message{Kind: msg.KindSend, Tag: gather})
+				env.Recv(msg.MatchSrcTag(msg.KindSend, msg.User(parent), release))
+			}
+			for _, child := range children {
+				env.Send(msg.User(child), &msg.Message{Kind: msg.KindSend, Tag: release})
+			}
+		}
 		recordSyncOp(p, trace.OpSyncExit, *epoch)
 	}
 }

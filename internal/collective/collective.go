@@ -9,7 +9,10 @@
 //     of the new ARMCI_Barrier;
 //   - a dissemination barrier for process counts that are not powers of
 //     two;
-//   - a linear central barrier kept as an ablation baseline.
+//   - a linear central barrier kept as an ablation baseline;
+//   - a radix-r k-nomial tree barrier/allreduce and a hierarchical
+//     two-level barrier (per-node leader + inter-node exchange) for the
+//     large-N sweeps — see knomial.go.
 //
 // All algorithms communicate directly between user processes with
 // KindColl messages; data servers are not involved.
@@ -31,8 +34,10 @@ import (
 // concurrent phases of consecutive collectives from matching each other's
 // messages.
 type Comm struct {
-	env transport.Env
-	seq int
+	env   transport.Env
+	seq   int
+	radix int       // k-nomial tree radix (0 = DefaultRadix)
+	nodes *topology // lazily derived node layout (see knomial.go)
 }
 
 // New builds a collective communicator over env.
@@ -75,6 +80,13 @@ const (
 	BarrierDissemination
 	// BarrierCentral is the linear gather-to-0/release baseline.
 	BarrierCentral
+	// BarrierKnomial is the radix-r tree barrier (gather up the
+	// k-nomial tree, release down it); radix set by SetRadix.
+	BarrierKnomial
+	// BarrierHierarchical is the two-level barrier: intra-node
+	// gather/release through a per-node leader plus a dissemination
+	// exchange among the leaders only.
+	BarrierHierarchical
 )
 
 func (a BarrierAlg) String() string {
@@ -87,6 +99,10 @@ func (a BarrierAlg) String() string {
 		return "dissemination"
 	case BarrierCentral:
 		return "central"
+	case BarrierKnomial:
+		return "knomial"
+	case BarrierHierarchical:
+		return "hierarchical"
 	}
 	return fmt.Sprintf("BarrierAlg(%d)", uint8(a))
 }
@@ -113,6 +129,10 @@ func (c *Comm) Barrier(alg BarrierAlg) {
 		c.barrierDissemination()
 	case BarrierCentral:
 		c.barrierCentral()
+	case BarrierKnomial:
+		c.barrierKnomial()
+	case BarrierHierarchical:
+		c.barrierHierarchical()
 	default:
 		panic(fmt.Sprintf("collective: unknown barrier algorithm %v", alg))
 	}

@@ -21,8 +21,18 @@ type Sync struct {
 	comm *collective.Comm
 
 	// BarrierAlg is the stage-3 / MPI_Barrier algorithm; BarrierAuto by
-	// default.
+	// default. It also selects the stage-1 allreduce pattern (k-nomial
+	// tree or two-level hierarchical where applicable).
 	BarrierAlg collective.BarrierAlg
+
+	// NICFence switches Barrier to the NIC-offload fence protocol: the
+	// servers answer fence round-trips at NIC cost without a host
+	// wake-up (server.Options.NICFence), so instead of the counter
+	// exchange the combined barrier pipelines one cheap fence round
+	// trip per written node and then synchronizes. The semantics are
+	// unchanged — no rank exits before every rank's prior operations
+	// completed — only the accounting path differs.
+	NICFence bool
 
 	// epoch counts this rank's global synchronizations (Barrier, SyncOld,
 	// SyncOldPipelined), numbering the SyncEnter/SyncExit trace events the
@@ -103,12 +113,25 @@ func (s *Sync) Barrier() {
 	// seen.
 	s.eng.FlushAll()
 
+	if s.NICFence {
+		// NIC-offload path: a fence ack from a NICFence server proves
+		// (per-pair FIFO) that every operation this rank issued to that
+		// node completed, at NICService cost instead of a host wake.
+		// One pipelined round trip per written node replaces the
+		// op_init exchange and the op_done wait; the trailing barrier
+		// then guarantees nobody exits before everyone fenced.
+		s.eng.AllFencePipelined()
+		s.MPIBarrier()
+		s.exit()
+		return
+	}
+
 	// Stage 1: distribute op_init[]. The engine's counters are
 	// cumulative for the life of the run (as are the servers' op_done
 	// counters), so the summed vector is directly comparable.
 	sum := make([]int64, env.NumNodes())
 	copy(sum, s.eng.OpInit())
-	s.comm.AllReduceSumInt64(sum)
+	s.comm.AllReduceSumInt64Alg(sum, s.BarrierAlg)
 
 	// Stage 2: wait for the local server to catch up.
 	myNode := env.Node(env.Rank())

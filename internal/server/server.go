@@ -37,6 +37,12 @@ type Options struct {
 	FenceMode proc.FenceMode
 	// Locks is the cluster lock table; nil if the run creates no locks.
 	Locks *proc.LockTable
+	// NICFence answers fence round-trips at NIC cost on the host
+	// server's channel: the NIC's descriptor queue already knows every
+	// prior DMA from this origin has landed (per-pair FIFO), so the
+	// reply charges only NICService — no host wake-up, no ServiceFence
+	// PCI drain — and leaves the host's busy/idle accounting untouched.
+	NICFence bool
 }
 
 // waiter is a queued remote lock request.
@@ -129,6 +135,21 @@ func (s *Server) HandleOne(m *msg.Message) {
 	p := s.env.Params()
 	if s.nic {
 		s.handleOneNIC(m)
+		return
+	}
+	if m.Kind == msg.KindFenceReq && s.opt.NICFence {
+		// NIC-offload fence: the reply comes straight from the NIC's
+		// descriptor-queue state. Every store this origin issued to this
+		// node was already applied when its message was handled earlier
+		// in this mailbox order (per-pair FIFO), so answering is sound;
+		// the host thread never wakes, so neither the wake penalty nor
+		// the busy-period clock moves.
+		s.env.Charge(p.NICService)
+		s.env.Send(msg.User(m.Origin), &msg.Message{
+			Kind:   msg.KindFenceAck,
+			Origin: m.Origin,
+			Token:  m.Token,
+		})
 		return
 	}
 	now := s.env.Clock().Now()

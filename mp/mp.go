@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"armci"
+	"armci/internal/collective"
 	"armci/internal/msg"
 )
 
@@ -129,6 +130,30 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 		if vr+bit < n {
 			c.send((vr+bit+root)%n, c.ctag(0), data)
 		}
+	}
+	c.seq++
+	return data
+}
+
+// BcastTree is Bcast over a radix-r k-nomial tree: ⌈log_r N⌉ rounds
+// instead of the binomial tree's ⌈log₂ N⌉, at the price of the root
+// sending radix−1 copies per round. BcastTree(root, 2, data) is
+// shape-identical to Bcast. All ranks must call it with the same root
+// and radix; non-root ranks may pass nil.
+func (c *Comm) BcastTree(root, radix int, data []byte) []byte {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		c.seq++
+		return data
+	}
+	// Rotate so the root is virtual rank 0, as in Bcast.
+	vr := (me - root + n) % n
+	parent, children := collective.KnomialTree(n, vr, radix)
+	if parent >= 0 {
+		data = c.recv((parent+root)%n, c.ctag(0))
+	}
+	for _, child := range children {
+		c.send((child+root)%n, c.ctag(0), data)
 	}
 	c.seq++
 	return data

@@ -94,6 +94,36 @@ func TestBcastAllRootsAllSizes(t *testing.T) {
 	}
 }
 
+// TestBcastTreeAllRootsAllRadices: the k-nomial broadcast distributes
+// correctly for every root, radices 2-5, and sizes on both sides of the
+// radix powers; interleaved with Bcast to check tag sequencing.
+func TestBcastTreeAllRootsAllRadices(t *testing.T) {
+	for _, radix := range []int{2, 3, 4, 5} {
+		for _, procs := range []int{1, 2, 3, 5, 8, 9} {
+			for root := 0; root < procs; root += 2 {
+				t.Run(fmt.Sprintf("radix=%d/procs=%d/root=%d", radix, procs, root), func(t *testing.T) {
+					payload := []byte(fmt.Sprintf("tree-%d-%d", radix, root))
+					runMP(t, procs, func(c *mp.Comm) {
+						var in []byte
+						if c.Rank() == root {
+							in = payload
+						}
+						got := c.BcastTree(root, radix, in)
+						if !bytes.Equal(got, payload) {
+							panic(fmt.Sprintf("rank %d got %q", c.Rank(), got))
+						}
+						// A binomial Bcast right behind it must not cross tags.
+						got = c.Bcast(root, in)
+						if !bytes.Equal(got, payload) {
+							panic(fmt.Sprintf("rank %d follow-up got %q", c.Rank(), got))
+						}
+					})
+				})
+			}
+		}
+	}
+}
+
 func TestGather(t *testing.T) {
 	for _, procs := range []int{1, 3, 4, 6} {
 		runMP(t, procs, func(c *mp.Comm) {

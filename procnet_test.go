@@ -42,6 +42,8 @@ func TestMain(m *testing.M) {
 		os.Exit(procWorkerFig7())
 	case "workload":
 		os.Exit(procWorkerWorkload())
+	case "hier":
+		os.Exit(procWorkerHier())
 	default:
 		fmt.Fprintf(os.Stderr, "unknown ARMCI_PROCNET_TEST_WORKLOAD %q\n", wl)
 		os.Exit(2)
@@ -263,6 +265,81 @@ func procWorkerWorkload() int {
 		}
 	}
 	fmt.Printf("WL_FP node=%d fp=%s\n", we.Node, trace.FingerprintEvents(own))
+	return 0
+}
+
+// Hierarchical parity shape: two ranks per worker process, so the
+// hierarchical barrier's intra-node stage runs inside one OS process
+// while its leader exchange crosses real sockets.
+const (
+	procHierProcs  = 6
+	procHierPPN    = 2
+	procHierRounds = 3
+)
+
+// procHierBody is the put-round workload of the hierarchical parity
+// tests: store to a rotating peer, synchronize with the hierarchical
+// combined barrier, verify the fence made the store visible, and
+// synchronize again before the next round overwrites. Every send is
+// program-ordered and data-dependent, so per-rank fingerprints are
+// fabric-invariant.
+func procHierBody(p *armci.Proc) {
+	me, n := p.Rank(), p.Size()
+	slots := p.MallocWords(n)
+	for r := 0; r < procHierRounds; r++ {
+		shift := 1 + r%(n-1)
+		dst := (me + shift) % n
+		p.Store(slots[dst].Add(int64(me)), int64((r+1)*1000+me+1))
+		p.Barrier()
+		src := ((me-shift)%n + n) % n
+		if got := p.Load(slots[me].Add(int64(src))); got != int64((r+1)*1000+src+1) {
+			panic(fmt.Sprintf("round %d: rank %d read %d from rank %d (store escaped the fence)",
+				r, me, got, src))
+		}
+		p.Barrier()
+	}
+}
+
+// procHierNodeFingerprint digests one node's sends as per-rank parts
+// joined in rank order: a rank's own stream is program-ordered, but the
+// interleaving of the node's two ranks in the capture is
+// schedule-dependent and must not enter the digest.
+func procHierNodeFingerprint(events []trace.Event, node int) string {
+	var parts []string
+	for r := node * procHierPPN; r < (node+1)*procHierPPN && r < procHierProcs; r++ {
+		var own []trace.Event
+		for _, e := range events {
+			if e.Src == msg.User(r) {
+				own = append(own, e)
+			}
+		}
+		parts = append(parts, fmt.Sprintf("r%d:%s", r, trace.FingerprintEvents(own)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// procWorkerHier runs the hierarchical-barrier put rounds as one
+// cluster worker (hosting a whole node's ranks) and prints its node's
+// per-rank send fingerprints for the launcher-side parity check.
+func procWorkerHier() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "hier worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        we.Procs,
+		ProcsPerNode: we.ProcsPerNode,
+		Fabric:       armci.FabricProc,
+		BarrierAlg:   armci.BarrierHierarchical,
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, procHierBody)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("HIER_FP node=%d fp=%s\n", we.Node, procHierNodeFingerprint(rep.Stats.Events(), we.Node))
 	return 0
 }
 
@@ -515,6 +592,75 @@ func TestProcnetWorkloadParityWithTCP(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestProcnetHierarchicalParityWithTCP is the cross-fabric parity check
+// for the topology-aware barrier: the hierarchical put-round workload's
+// per-node projection — each node's per-rank send fingerprints — must
+// be identical between the in-process TCP fabric and a multi-process
+// launch hosting two ranks per worker process. This is the only test
+// where the hierarchical barrier's intra-node stage runs between ranks
+// of one real OS process while the leader exchange crosses sockets, so
+// it pins the leader election and stage ordering to the topology, not
+// to any in-process scheduling accident.
+func TestProcnetHierarchicalParityWithTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	rep, err := armci.Run(armci.Options{
+		Procs:        procHierProcs,
+		ProcsPerNode: procHierPPN,
+		Fabric:       armci.FabricTCP,
+		BarrierAlg:   armci.BarrierHierarchical,
+		CaptureTrace: true,
+		OpDeadline:   30 * time.Second,
+	}, procHierBody)
+	if err != nil {
+		t.Fatalf("tcp baseline: %v", err)
+	}
+	numNodes := (procHierProcs + procHierPPN - 1) / procHierPPN
+	want := make([]string, numNodes)
+	for node := range want {
+		want[node] = procHierNodeFingerprint(rep.Stats.Events(), node)
+		if strings.Contains(want[node], "r"+strconv.Itoa(node*procHierPPN)+":,") || want[node] == "" {
+			t.Fatalf("tcp baseline captured no sends for node %d: %q", node, want[node])
+		}
+	}
+
+	got := make([]string, numNodes)
+	var mu sync.Mutex
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:        procHierProcs,
+		ProcsPerNode: procHierPPN,
+		Command:      []string{testExe(t)},
+		ExtraEnv:     []string{"ARMCI_PROCNET_TEST_WORKLOAD=hier"},
+		Output:       io.Discard,
+		RunTimeout:   2 * time.Minute,
+		OnLine: func(node int, line string) {
+			fp, ok := parseTagged(line, "HIER_FP", "fp")
+			if !ok {
+				return
+			}
+			mu.Lock()
+			got[node] = fp
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("proc launch: %v (outcome %+v)", err, out)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node := range want {
+		if got[node] == "" {
+			t.Errorf("node %d printed no HIER_FP line", node)
+			continue
+		}
+		if got[node] != want[node] {
+			t.Errorf("node %d per-rank send streams diverged between fabrics:\ntcp  %s\nproc %s",
+				node, want[node], got[node])
+		}
 	}
 }
 

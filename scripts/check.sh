@@ -27,6 +27,11 @@ go test -race -short -run 'Coalesc|Handle|Flag|Batch|Nb' .
 # the generated programs across sim seeds and the concurrent fabrics,
 # under the race detector.
 go test -race -run 'WorkloadFingerprintParity' .
+# The topology-aware collectives (k-nomial tree, hierarchical two-level
+# barrier, NIC-offload fence) under the race detector: the tree
+# constructions in internal/collective plus the end-to-end barrier
+# parity tests on the concurrent fabrics.
+go test -race -run 'Knomial|Hierarchical|Topology' ./internal/collective .
 # The multi-process smoke: a 4-rank smoke-sized Fig. 7 point through
 # armci-run — real OS processes, rendezvous, routed puts, clean drain.
 go run ./cmd/armci-run -n 4 -workload fig7-small
