@@ -48,7 +48,7 @@ func main() {
 	log.SetPrefix("armci-bench: ")
 
 	var (
-		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, crossover, crossover-n, counts, ablate, smallput, workloads, all")
+		fig      = flag.String("fig", "all", "experiment: 7, 8, 9, 10, lock, lockcrash, elastic, crossover, crossover-n, counts, ablate, smallput, workloads, all")
 		workload = flag.String("workload", "", "with -fig workloads: semicolon-separated workload specs (default stencil;paramserver;prodcons;mixed)")
 		fabric   = flag.String("fabric", "sim", "fabric: sim, chan, tcp, proc (proc: multi-process, see -fabric proc notes)")
 		preset   = flag.String("preset", string(armci.PresetMyrinet2000), "cost model: myrinet2000, fast-ethernet, zero")
@@ -132,6 +132,8 @@ func main() {
 		runLock(common, procCounts, *iters, csv)
 	case "lockcrash":
 		runLockCrash(common, procCounts)
+	case "elastic":
+		runElastic(common, procCounts)
 	case "crossover":
 		runCrossover(common, procCounts, csv)
 	case "crossover-n":
@@ -154,6 +156,8 @@ func main() {
 		runLock(common, procCounts, *iters, csv)
 		fmt.Println()
 		runLockCrash(common, procCounts)
+		fmt.Println()
+		runElastic(common, procCounts)
 		fmt.Println()
 		runCrossover(common, nil, csv)
 		fmt.Println()
@@ -416,6 +420,24 @@ func runLockCrash(common bench.Opts, procCounts []int) {
 		log.Fatal(err)
 	}
 	fmt.Print(bench.FormatLockCrash(res))
+}
+
+// runElastic prices the elastic subsystem: steady-state replication
+// overhead and crash-recovery latency, both deterministic virtual times.
+func runElastic(common bench.Opts, procCounts []int) {
+	if common.Fabric != armci.FabricSim {
+		fmt.Println("elastic: skipped (measures deterministic virtual times; sim fabric only — the real-crash path is armci-run -workload elastic)")
+		return
+	}
+	opts := bench.ElasticOpts{Opts: common}
+	if len(procCounts) > 0 {
+		opts.Procs = procCounts[len(procCounts)-1]
+	}
+	res, err := bench.Elastic(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.FormatElastic(res))
 }
 
 func runCrossover(common bench.Opts, procCounts []int, csv bool) {

@@ -66,6 +66,9 @@ func TestParseFaultsRejectsBadValues(t *testing.T) {
 		"crash=2",
 		"crash=-1@5",
 		"crash=2@0",
+		"crashrank=2",
+		"crashrank=-1@3",
+		"crashrank=2@0",
 	} {
 		if _, err := parseFaults(plan); err == nil {
 			t.Fatalf("bad plan %q accepted", plan)

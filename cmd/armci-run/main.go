@@ -25,10 +25,13 @@ import (
 	"log"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
+	"armci"
 	"armci/internal/bench"
 	"armci/internal/cluster"
+	"armci/internal/elastic"
 	"armci/internal/pipeline"
 )
 
@@ -39,10 +42,13 @@ func main() {
 	var (
 		n        = flag.Int("n", 4, "total number of ranks (user processes)")
 		ppn      = flag.Int("ppn", 1, "ranks per SMP node; one worker OS process is spawned per node")
-		workload = flag.String("workload", "", "built-in workload instead of an external program: fig7, fig7-small")
+		workload = flag.String("workload", "", "built-in workload instead of an external program: fig7, fig7-small, elastic")
 		reps     = flag.Int("reps", 0, "fig7: timed repetitions per point (default per workload)")
 		block    = flag.Int("block", 0, "fig7: per-process block edge in elements (default per workload)")
 		patch    = flag.Int("patch", 0, "fig7: patch edge written to every remote block (default per workload)")
+		steps    = flag.Int("steps", 0, "elastic: sync epochs of replicated work (default 6)")
+		faults   = flag.String("faults", "", "fault plan for the built-in workloads (armci-bench grammar; elastic honors crashrank=<r>@<n>)")
+		elastf   = flag.Bool("elastic", false, "repair worker loss by respawn instead of failing the launch (requires -ppn 1)")
 		timeout  = flag.Duration("timeout", 0, "kill the launch after this long (default 10m)")
 		quiet    = flag.Bool("q", false, "suppress worker output (built-in workloads still print their result)")
 		verbose  = flag.Bool("v", false, "log coordinator diagnostics to stderr")
@@ -51,7 +57,7 @@ func main() {
 	flag.Parse()
 
 	if *worker {
-		os.Exit(runWorker(*workload, *n, *reps, *block, *patch))
+		os.Exit(runWorker(*workload, *n, *reps, *block, *patch, *steps, *faults))
 	}
 
 	if *n <= 0 {
@@ -69,7 +75,18 @@ func main() {
 		logf = func(format string, args ...any) { log.Printf(format, args...) }
 	}
 
+	if *elastf && *ppn != 1 {
+		// Elastic recovery replaces whole worker processes; with more
+		// than one rank per node a single respawn would have to rebuild
+		// several ranks' memory at once, which the replication protocol
+		// does not cover.
+		log.Fatalf("-elastic requires -ppn 1, got -ppn %d", *ppn)
+	}
+
 	if *workload != "" {
+		if *workload == "elastic" {
+			os.Exit(runElasticWorkload(*n, *steps, *faults, *elastf, *timeout, *quiet, logf))
+		}
 		os.Exit(runWorkload(*workload, *n, *ppn, *reps, *block, *patch, *timeout, *quiet, logf))
 	}
 
@@ -82,6 +99,7 @@ func main() {
 		RunTimeout:     *timeout,
 		ForwardSignals: true,
 		Logf:           logf,
+		Elastic:        *elastf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -147,9 +165,127 @@ func runWorkload(name string, n, ppn, reps, block, patch int, timeout time.Durat
 	return 0
 }
 
+// runElasticWorkload launches the elastic-replication workload: every
+// rank streams dirty-page deltas to a deterministic peer each sync
+// epoch, and — with -elastic and a crashrank fault — one worker is
+// killed mid-epoch and recovered by respawn. The launcher aggregates
+// the per-rank ELASTIC_FP lines and fails unless every rank (including
+// a respawned one) reports the same cluster fingerprint.
+func runElasticWorkload(n, steps int, faults string, elastf bool, timeout time.Duration, quiet bool, logf func(string, ...any)) int {
+	plan, err := armci.ParseFaults(faults)
+	if err != nil {
+		log.Printf("-faults %q: %v", faults, err)
+		return 2
+	}
+	if plan.ElasticCrashStep > 0 && !elastf {
+		log.Printf("-faults crashrank kills a worker for real under the proc fabric; add -elastic to recover it")
+		return 2
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Printf("resolving own binary for self-exec: %v", err)
+		return 2
+	}
+	argv := []string{self, "-worker", "-workload", "elastic",
+		"-n", fmt.Sprint(n),
+		"-steps", fmt.Sprint(steps),
+		"-faults", faults}
+	output := io.Writer(os.Stdout)
+	if quiet {
+		output = io.Discard
+	}
+	var mu sync.Mutex
+	fps := make(map[int]string)
+	recovered := 0
+	out, err := cluster.Launch(cluster.Spec{
+		Procs:          n,
+		ProcsPerNode:   1,
+		Command:        argv,
+		Output:         output,
+		RunTimeout:     timeout,
+		ForwardSignals: true,
+		Logf:           logf,
+		Elastic:        elastf,
+		OnLine: func(node int, line string) {
+			var fp string
+			var rec, inc int
+			if _, serr := fmt.Sscanf(line, "ELASTIC_FP %s recovered=%d incarnation=%d", &fp, &rec, &inc); serr == nil {
+				mu.Lock()
+				fps[node] = fp
+				recovered += rec
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		if out != nil && out.Fault != nil {
+			log.Printf("rank %d lost: %v", out.Fault.Rank, err)
+		} else {
+			log.Printf("elastic: %v", err)
+		}
+		return 1
+	}
+	if len(fps) != n {
+		log.Printf("elastic: got fingerprints from %d of %d ranks", len(fps), n)
+		return 1
+	}
+	for node := 1; node < n; node++ {
+		if fps[node] != fps[0] {
+			log.Printf("elastic: rank %d fingerprint %s diverges from rank 0's %s", node, fps[node], fps[0])
+			return 1
+		}
+	}
+	if want := fmt.Sprintf("0x%016x", elastic.Oracle(elastic.Config{Steps: steps}, n)); fps[0] != want {
+		log.Printf("elastic: cluster fingerprint %s diverges from the pure-replay oracle %s — ops lost or duplicated", fps[0], want)
+		return 1
+	}
+	if plan.ElasticCrashStep > 0 && recovered == 0 {
+		log.Printf("elastic: crashrank fault armed but no rank reported a recovery")
+		return 1
+	}
+	status := "no faults"
+	if plan.ElasticCrashStep > 0 {
+		status = fmt.Sprintf("rank %d killed at epoch %d and recovered", plan.ElasticCrashRank, plan.ElasticCrashStep)
+	}
+	fmt.Printf("elastic (proc fabric, %d ranks): fingerprint %s on all ranks, %s, %v\n",
+		n, fps[0], status, out.Elapsed.Round(time.Millisecond))
+	return 0
+}
+
+// runElasticWorker is the per-worker body of the elastic workload.
+func runElasticWorker(n, steps int, faults string) int {
+	plan, err := armci.ParseFaults(faults)
+	if err != nil {
+		log.Printf("worker: -faults %q: %v", faults, err)
+		return 2
+	}
+	var res elastic.Result
+	_, err = armci.Run(armci.Options{
+		Procs:  n,
+		Fabric: armci.FabricProc,
+		Faults: plan,
+	}, func(p *armci.Proc) {
+		res = elastic.Run(p, elastic.Config{Steps: steps})
+	})
+	if err != nil {
+		log.Printf("worker: %s", strings.ReplaceAll(err.Error(), "\n", "; "))
+		return 1
+	}
+	rec := 0
+	if res.Recovered {
+		rec = 1
+	}
+	// One machine-readable line per rank; the launcher aggregates.
+	fmt.Printf("ELASTIC_FP 0x%016x recovered=%d incarnation=%d\n", res.Fingerprint, rec, res.Incarnation)
+	return 0
+}
+
 // runWorker is the body of one spawned workload worker. The rendezvous
 // comes from the environment the launcher set.
-func runWorker(name string, n, reps, block, patch int) int {
+func runWorker(name string, n, reps, block, patch, steps int, faults string) int {
+	if name == "elastic" {
+		return runElasticWorker(n, steps, faults)
+	}
 	opts := bench.Fig7Opts{BlockDim: block, PatchDim: patch}
 	opts.Reps = reps
 	switch name {

@@ -25,6 +25,10 @@ import (
 //	crashheld=<rank>@<n> fail-stop rank right after its n-th lock
 //	                     acquisition — the rank dies holding the lock,
 //	                     n >= 1
+//	crashrank=<rank>@<n> kill rank partway through sync epoch n of an
+//	                     elastic-replication workload (a real worker
+//	                     exit under armci-run -elastic, a cooperative
+//	                     emulation on the in-process fabrics), n >= 1
 //	seed=<int>           fault pattern seed
 //
 // The empty string parses to the zero Faults (no faults). Any accepted
@@ -159,6 +163,26 @@ func ParseFaults(s string) (Faults, error) {
 				return f, fmt.Errorf("bad faults crashheld acquire count %d: must be >= 1", n)
 			}
 			f.CrashHeldRank, f.CrashHeldAcquire = r, n
+		case "crashrank":
+			rv, sv, ok := strings.Cut(val, "@")
+			if !ok {
+				return f, fmt.Errorf("bad faults crashrank %q (want <rank>@<step>)", val)
+			}
+			r, err := strconv.Atoi(rv)
+			if err != nil {
+				return f, fmt.Errorf("bad faults crashrank rank %q: %v", rv, err)
+			}
+			if r < 0 {
+				return f, fmt.Errorf("bad faults crashrank rank %d: must be >= 0", r)
+			}
+			n, err := strconv.Atoi(sv)
+			if err != nil {
+				return f, fmt.Errorf("bad faults crashrank step %q: %v", sv, err)
+			}
+			if n < 1 {
+				return f, fmt.Errorf("bad faults crashrank step %d: must be >= 1", n)
+			}
+			f.ElasticCrashRank, f.ElasticCrashStep = r, n
 		case "seed":
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
@@ -177,7 +201,7 @@ func ParseFaults(s string) (Faults, error) {
 
 // FormatFaults renders a fault plan in the canonical form of the
 // ParseFaults grammar: knobs in a fixed order (jitter, spike, dup, loss,
-// rto, retry, crash, crashheld, seed), zero-valued knobs omitted, optional
+// rto, retry, crash, crashheld, crashrank, seed), zero-valued knobs omitted, optional
 // sub-values omitted when zero. The output re-parses to the same struct
 // for any plan ParseFaults accepts. MaxDupsPerPair has no textual form
 // and is not rendered.
@@ -218,6 +242,9 @@ func FormatFaults(f Faults) string {
 	}
 	if f.CrashHeldAcquire != 0 {
 		parts = append(parts, fmt.Sprintf("crashheld=%d@%d", f.CrashHeldRank, f.CrashHeldAcquire))
+	}
+	if f.ElasticCrashStep != 0 {
+		parts = append(parts, fmt.Sprintf("crashrank=%d@%d", f.ElasticCrashRank, f.ElasticCrashStep))
 	}
 	if f.Seed != 0 {
 		parts = append(parts, "seed="+strconv.FormatInt(f.Seed, 10))

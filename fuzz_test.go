@@ -295,6 +295,11 @@ func FuzzParseFaults(f *testing.F) {
 		"crashheld=0@0",
 		"crashheld=-1@2",
 		"crashheld=1@1,crashheld=2@1",
+		"crashrank=1@3",
+		"crash=2@40,crashrank=1@2,seed=5",
+		"crashrank=0@0",
+		"crashrank=-1@2",
+		"crashrank=1@1,crashrank=2@1",
 	} {
 		f.Add(seed)
 	}

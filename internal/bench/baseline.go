@@ -177,6 +177,18 @@ func CollectBaseline(opts BaselineOpts) (*Baseline, error) {
 	det("lockcrash/handoff/us", lc.HandoffUS, "us")
 	det("lockcrash/recovery/us", lc.RecoveryUS, "us")
 
+	// Elastic recovery: the kill-one-rank recovery latency and the
+	// steady-state replication overhead (percent premium of streaming
+	// dirty-page deltas every sync epoch), both deterministic virtual
+	// values; the experiment itself rejects any run whose fingerprint
+	// diverges from the pure-replay oracle.
+	el, err := Elastic(ElasticOpts{})
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline elastic: %w", err)
+	}
+	det("elastic/recovery/us", el.RecoveryUS, "us")
+	det("elastic/repl_overhead_pct", el.OverheadPct, "pct")
+
 	// Named workloads: deterministic virtual makespan and wire totals of
 	// each scenario kind at its default shape, so a protocol change that
 	// slows a whole communication pattern — not just one primitive — is

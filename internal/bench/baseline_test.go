@@ -28,6 +28,7 @@ func TestBaselineRoundTripAndGate(t *testing.T) {
 		"hotpath/explore_case/ns_op",
 		"smallput/uncoalesced/us", "smallput/coalesced/us", "smallput/ratio_pct",
 		"lockcrash/handoff/us", "lockcrash/recovery/us",
+		"elastic/recovery/us", "elastic/repl_overhead_pct",
 	} {
 		if _, ok := base.Metrics[name]; !ok {
 			t.Errorf("baseline is missing tracked metric %q", name)

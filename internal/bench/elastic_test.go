@@ -1,0 +1,31 @@
+package bench
+
+import "testing"
+
+// TestElasticExperiment runs the elastic-recovery experiment at its
+// default shape and checks the structure of the result: replication
+// costs something (the overhead metric is meaningful), recovery has a
+// positive span, and determinism holds across a repeat — these are the
+// numbers the baseline gate tracks.
+func TestElasticExperiment(t *testing.T) {
+	r, err := Elastic(ElasticOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaseUS <= 0 || r.ReplUS <= r.BaseUS {
+		t.Errorf("replication must cost something: base %.1fus, replicated %.1fus", r.BaseUS, r.ReplUS)
+	}
+	if r.OverheadPct <= 0 {
+		t.Errorf("overhead = %.2f%%, want positive", r.OverheadPct)
+	}
+	if r.RecoveryUS <= 0 {
+		t.Errorf("recovery span = %.1fus, want positive", r.RecoveryUS)
+	}
+	again, err := Elastic(ElasticOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *r {
+		t.Errorf("experiment not deterministic:\nfirst  %+v\nsecond %+v", *r, *again)
+	}
+}

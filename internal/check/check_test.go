@@ -207,6 +207,7 @@ func TestMutationsTargetExpectedOracle(t *testing.T) {
 		MutAccLostUpdate:      "state",
 		MutFlagBeforeData:     "state",
 		MutKnomialSkipSubtree: "fence",
+		MutReplStaleEpoch:     "state",
 	}
 	for name, oracle := range want {
 		found := false

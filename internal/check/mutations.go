@@ -112,6 +112,17 @@ const (
 	// Detected by the fence oracle (a pre-entry operation completing
 	// after some rank's exit).
 	MutKnomialSkipSubtree = "knomial-skip-subtree"
+	// MutReplStaleEpoch: an elastic-replication recovery in which the
+	// survivors skip the rollback to the cluster resume epoch — state
+	// from the aborted epoch (a deposed view of the computation, the
+	// in-memory analogue of applying a deposed incarnation's frame)
+	// survives into the re-execution, so the non-idempotent fetch-adds
+	// of the interrupted epoch apply twice. Detected by the state
+	// oracle: the post-recovery cluster fingerprint diverges from the
+	// pure-replay oracle every correct run must converge to. The byte
+	// puts are idempotent and would mask the bug; only the fetch-add
+	// half of the workload exposes it.
+	MutReplStaleEpoch = "repl-stale-epoch"
 	// MutPanicCase: not an algorithm bug — the workload panics outright
 	// mid-case, simulating a harness defect. It exists to test that the
 	// sweep runner recovers per case, attributes the panic to its
@@ -151,6 +162,10 @@ type mutationSpec struct {
 	hazards  workload.Hazards
 	// ppn overrides the case's processes per node (0 = default).
 	ppn int
+	// elastic runs the elastic-replication recovery workload with the
+	// skip-rollback hazard armed (the crash itself comes from the
+	// case's crashrank fault plan).
+	elastic bool
 }
 
 var mutationSpecs = map[string]mutationSpec{
@@ -171,7 +186,8 @@ var mutationSpecs = map[string]mutationSpec{
 		hazards: workload.Hazards{FlagBeforeData: true}},
 	MutKnomialSkipSubtree: {alg: "queue", sync: "barrier-knomial", faults: "spike=5ms@0.05",
 		syncFn: brokenKnomialBarrier},
-	MutPanicCase: {alg: "queue", sync: "barrier", harnessPanic: true},
+	MutReplStaleEpoch: {sync: "barrier", faults: "crashrank=1@2", elastic: true},
+	MutPanicCase:      {alg: "queue", sync: "barrier", harnessPanic: true},
 }
 
 // Mutations returns the broken variant names, in a fixed order.
@@ -179,7 +195,7 @@ func Mutations() []string {
 	return []string{MutQueueSkipLinkWait, MutTicketOffByOne, MutBarrierSkipStage2,
 		MutSyncOldSkipFence, MutEventPoolRecycle, MutCoalesceReorder,
 		MutLeaseStaleRelease, MutAccLostUpdate, MutFlagBeforeData,
-		MutKnomialSkipSubtree}
+		MutKnomialSkipSubtree, MutReplStaleEpoch}
 }
 
 // MutationWorkload reports the workload spec a mutation targets (""

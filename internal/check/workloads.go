@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"armci"
+	"armci/internal/elastic"
 	"armci/internal/workload"
 )
 
@@ -38,6 +39,20 @@ import (
 // variant (real or mutated), so a broken barrier is exposed to both the
 // trace-level fence oracle and the state-level read-back.
 func workloadBody(c Case, col *collector) func(p *armci.Proc) {
+	if mutationSpecs[c.Mutation].elastic {
+		// The elastic-recovery mutation replaces the whole workload: the
+		// case's crashrank plan injects the (emulated) crash, the hazard
+		// makes survivors keep the aborted epoch's writes, and the
+		// pure-replay oracle is the state check.
+		return func(p *armci.Proc) {
+			cfg := elastic.Config{Steps: 4, Seed: c.Seed, SkipRollback: true}
+			res := elastic.Run(p, cfg)
+			if want := elastic.Oracle(cfg, p.Size()); res.Fingerprint != want {
+				col.addf("elastic fingerprint 0x%016x diverges from pure-replay oracle 0x%016x — aborted-epoch state survived recovery",
+					res.Fingerprint, want)
+			}
+		}
+	}
 	if c.Workload != "" {
 		// A named workload (internal/workload) replaces all three phases;
 		// its own invariant oracle reports through the state collector and

@@ -70,6 +70,29 @@ const (
 	// declared dead; payload is the dead worker's first rank (i32) plus
 	// a reason string.
 	frameFault
+	// frameView: coordinator → worker; payload is a wire.View body — the
+	// membership roster at one view epoch, sent after the initial roster
+	// and on every elastic membership change.
+	frameView
+	// frameViewAck: worker → coordinator; payload is a wire.ViewAck body
+	// answering a view change with the worker's committed sync epoch.
+	frameViewAck
+	// frameEpoch: worker → coordinator; payload is a wire.EpochReport
+	// announcing arrival at one cluster barrier (Epoch is the barrier id).
+	frameEpoch
+	// frameEpochRelease: coordinator → worker, broadcast when every live
+	// node entered a barrier; payload echoes the barrier id.
+	frameEpochRelease
+	// frameResume: coordinator → worker, broadcast once every node of the
+	// new view acked it; payload is a wire.EpochReport whose Node is the
+	// replaced slot and whose Epoch is the sync epoch to resume from.
+	frameResume
+	// framePeerHello: worker → worker; the first frame on a lazily dialed
+	// direct peer connection. Payload is a wire.ClusterHello body (the
+	// dialer's node claim and launch cookie); validated like the
+	// coordinator handshake, after which the connection carries only
+	// frameData frames from dialer to acceptor.
+	framePeerHello
 )
 
 // Listen opens the rendezvous TCP listener, retrying transient

@@ -34,6 +34,18 @@ type Config struct {
 	// Logf, if non-nil, receives diagnostic log lines (rejections,
 	// fault declarations).
 	Logf func(format string, args ...any)
+	// Elastic turns worker loss from a fatal fault into a membership
+	// change: the coordinator bumps the view epoch, respawns the dead
+	// node's worker, and drives survivors through the recovery barrier
+	// protocol instead of failing the launch.
+	Elastic bool
+	// MaxRecoveries bounds how many worker losses are repaired before
+	// the coordinator gives up and declares a fault. Defaults to 1.
+	MaxRecoveries int
+	// Respawn relaunches the worker process for a node slot at the given
+	// incarnation (>= 1) and view epoch. Required when Elastic is set;
+	// invoked from its own goroutine.
+	Respawn func(node int, incarnation uint32, viewEpoch uint64) error
 }
 
 func (c *Config) normalize() error {
@@ -54,6 +66,12 @@ func (c *Config) normalize() error {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 1
+	}
+	if c.Elastic && c.Respawn == nil {
+		return fmt.Errorf("cluster: elastic config needs a Respawn hook")
 	}
 	return nil
 }
@@ -77,6 +95,16 @@ type Coordinator struct {
 	fault      *pipeline.FaultError // first declared fault
 	err        error                // final result, set by finish
 
+	// Elastic membership state.
+	inc        []uint32                // per-node incarnation (spawn count)
+	peerAddrs  []string                // per-node direct data-listener address
+	viewEpoch  uint64                  // bumped on every membership change
+	recoveries int                     // membership changes performed so far
+	recovering bool                    // a view change is awaiting acks
+	deadNode   int                     // slot being replaced (valid while recovering)
+	acks       map[int]wire.ViewAck    // node → ack at the current view epoch
+	barriers   map[uint64]map[int]bool // barrier id → nodes arrived
+
 	done     chan struct{}
 	doneOnce sync.Once
 }
@@ -97,6 +125,10 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		ln:        ln,
 		conns:     make(map[int]*clusterConn),
 		usersDone: make(map[int]bool),
+		inc:       make([]uint32, cfg.numNodes()),
+		peerAddrs: make([]string, cfg.numNodes()),
+		deadNode:  -1,
+		barriers:  make(map[uint64]map[int]bool),
 		done:      make(chan struct{}),
 	}
 	go co.acceptLoop()
@@ -200,14 +232,18 @@ func (co *Coordinator) serveConn(c net.Conn) {
 		if err != nil {
 			co.mu.Lock()
 			benign := co.drainSent || co.fault != nil || co.err != nil
+			stale := co.conns[node] != cc // already deposed by a newer incarnation
 			co.mu.Unlock()
-			if benign {
-				co.connFinished(node)
+			if benign || stale {
+				co.connFinished(node, cc)
 				return
 			}
 			reason := fmt.Sprintf("connection to worker node %d lost (%v)", node, err)
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				reason = fmt.Sprintf("worker node %d went silent: no heartbeat for %v", node, dl)
+			}
+			if co.elasticRecover(node, reason) {
+				return
 			}
 			co.declareFault(node, reason)
 			return
@@ -221,6 +257,20 @@ func (co *Coordinator) serveConn(c net.Conn) {
 			co.route(node, body)
 		case frameUserDone:
 			co.userDone(node)
+		case frameEpoch:
+			r, derr := wire.DecodeEpochReport(body[1:])
+			if derr != nil {
+				co.declareFault(node, fmt.Sprintf("worker node %d sent a corrupt epoch report: %v", node, derr))
+				return
+			}
+			co.epochArrive(node, r.Epoch)
+		case frameViewAck:
+			a, derr := wire.DecodeViewAck(body[1:])
+			if derr != nil {
+				co.declareFault(node, fmt.Sprintf("worker node %d sent a corrupt view ack: %v", node, derr))
+				return
+			}
+			co.onViewAck(node, a)
 		default:
 			co.declareFault(node, fmt.Sprintf("worker node %d sent unknown frame type %#x", node, body[0]))
 			return
@@ -255,7 +305,34 @@ func (co *Coordinator) admit(cc *clusterConn, body []byte) (int, error) {
 		co.mu.Unlock()
 		return 0, fmt.Errorf("node %d already joined: duplicate worker", h.Node)
 	}
+	if h.Incarnation != co.inc[h.Node] {
+		cur := co.inc[h.Node]
+		co.mu.Unlock()
+		return 0, fmt.Errorf("node %d presented incarnation %d, current view admits %d", h.Node, h.Incarnation, cur)
+	}
 	co.conns[h.Node] = cc
+	co.peerAddrs[h.Node] = h.PeerAddr
+	if co.rosterSent {
+		// A respawned incarnation rejoining mid-run: hand it the roster
+		// and current view directly, and refresh everyone else's view so
+		// survivors learn its new peer address.
+		view := co.viewLocked()
+		others := make([]*clusterConn, 0, len(co.conns))
+		for n, other := range co.conns {
+			if n != h.Node {
+				others = append(others, other)
+			}
+		}
+		co.mu.Unlock()
+		cc.writeFrame(frameRoster, rosterPayload(co.cfg.Procs, co.cfg.ProcsPerNode, co.cfg.numNodes()))
+		payload := wire.EncodeView(view)
+		cc.writeFrame(frameView, payload)
+		for _, other := range others {
+			other.writeFrame(frameView, payload)
+		}
+		co.cfg.Logf("cluster: node %d rejoined as incarnation %d", h.Node, h.Incarnation)
+		return h.Node, nil
+	}
 	co.joined++
 	complete := co.joined == co.cfg.numNodes()
 	if complete {
@@ -265,15 +342,33 @@ func (co *Coordinator) admit(cc *clusterConn, body []byte) (int, error) {
 	for _, other := range co.conns {
 		conns = append(conns, other)
 	}
+	var view wire.View
+	if complete {
+		view = co.viewLocked()
+	}
 	co.mu.Unlock()
 
 	if complete {
 		payload := rosterPayload(co.cfg.Procs, co.cfg.ProcsPerNode, co.cfg.numNodes())
+		viewPayload := wire.EncodeView(view)
 		for _, other := range conns {
 			other.writeFrame(frameRoster, payload)
+			other.writeFrame(frameView, viewPayload)
 		}
 	}
 	return h.Node, nil
+}
+
+// viewLocked renders the current membership view. Callers hold co.mu.
+func (co *Coordinator) viewLocked() wire.View {
+	v := wire.View{Epoch: co.viewEpoch, Dead: co.deadNode}
+	if !co.recovering {
+		v.Dead = -1
+	}
+	for n := 0; n < co.cfg.numNodes(); n++ {
+		v.Members = append(v.Members, wire.ViewMember{Node: n, Incarnation: co.inc[n], Addr: co.peerAddrs[n]})
+	}
+	return v
 }
 
 // route forwards a data frame to the node hosting its destination
@@ -322,10 +417,12 @@ func (co *Coordinator) userDone(node int) {
 }
 
 // connFinished records a post-drain connection close; when the last one
-// goes, the launch completed cleanly.
-func (co *Coordinator) connFinished(node int) {
+// goes, the launch completed cleanly. Only the connection currently
+// registered for the node counts — a deposed incarnation's close must
+// not unregister its successor.
+func (co *Coordinator) connFinished(node int, cc *clusterConn) {
 	co.mu.Lock()
-	if co.conns[node] != nil {
+	if co.conns[node] == cc {
 		delete(co.conns, node)
 		co.finished++
 	}
@@ -365,4 +462,126 @@ func (co *Coordinator) declareFault(node int, reason string) {
 		cc.writeFrame(frameFault, payload)
 	}
 	co.finish(fe)
+}
+
+// elasticRecover turns a lost worker into a membership change: bump the
+// view epoch and the slot's incarnation, broadcast the new view to
+// survivors, and respawn the dead worker. Returns false when the loss
+// cannot be repaired (elastic off, recovery budget spent, rendezvous not
+// complete, or a recovery already in flight) — the caller then falls
+// back to declareFault.
+func (co *Coordinator) elasticRecover(node int, reason string) bool {
+	co.mu.Lock()
+	if !co.cfg.Elastic || !co.rosterSent || co.recovering ||
+		co.recoveries >= co.cfg.MaxRecoveries || co.fault != nil || co.err != nil {
+		co.mu.Unlock()
+		return false
+	}
+	co.recoveries++
+	co.recovering = true
+	co.deadNode = node
+	co.viewEpoch++
+	co.inc[node]++
+	co.peerAddrs[node] = ""
+	delete(co.conns, node)
+	delete(co.usersDone, node)
+	// Pending barrier arrivals are from the old view: survivors will be
+	// interrupted out of their waits and re-enter after recovery.
+	co.barriers = make(map[uint64]map[int]bool)
+	co.acks = make(map[int]wire.ViewAck)
+	epoch := co.viewEpoch
+	incarnation := co.inc[node]
+	view := co.viewLocked()
+	survivors := make([]*clusterConn, 0, len(co.conns))
+	for _, cc := range co.conns {
+		survivors = append(survivors, cc)
+	}
+	co.mu.Unlock()
+
+	co.cfg.Logf("cluster: view %d: node %d lost (%s), respawning incarnation %d", epoch, node, reason, incarnation)
+	payload := wire.EncodeView(view)
+	for _, cc := range survivors {
+		cc.writeFrame(frameView, payload)
+	}
+	go func() {
+		if err := co.cfg.Respawn(node, incarnation, epoch); err != nil {
+			co.declareFault(node, fmt.Sprintf("respawn of node %d failed: %v", node, err))
+		}
+	}()
+	// The respawned worker must rejoin within the join window or the
+	// recovery is abandoned.
+	time.AfterFunc(co.cfg.JoinTimeout, func() {
+		co.mu.Lock()
+		stuck := co.recovering && co.viewEpoch == epoch
+		co.mu.Unlock()
+		if stuck {
+			co.declareFault(node, fmt.Sprintf("respawned node %d did not rejoin within %v", node, co.cfg.JoinTimeout))
+		}
+	})
+	return true
+}
+
+// onViewAck collects view acknowledgments; once every node of the new
+// view (survivors plus the respawned worker) has acked, the resume
+// epoch — the newest sync epoch any survivor committed — is broadcast
+// and the recovery hand-off completes.
+func (co *Coordinator) onViewAck(node int, a wire.ViewAck) {
+	co.mu.Lock()
+	if !co.recovering || a.Epoch != co.viewEpoch {
+		co.mu.Unlock()
+		return
+	}
+	co.acks[node] = a
+	if len(co.acks) < co.cfg.numNodes() {
+		co.mu.Unlock()
+		return
+	}
+	var resume uint64
+	for n, ack := range co.acks {
+		if n != co.deadNode && ack.Committed > resume {
+			resume = ack.Committed
+		}
+	}
+	dead := co.deadNode
+	co.recovering = false
+	conns := make([]*clusterConn, 0, len(co.conns))
+	for _, cc := range co.conns {
+		conns = append(conns, cc)
+	}
+	co.mu.Unlock()
+
+	co.cfg.Logf("cluster: view %d acked by all nodes, resuming from sync epoch %d", a.Epoch, resume)
+	payload := wire.EncodeEpochReport(wire.EpochReport{Node: dead, Epoch: resume})
+	for _, cc := range conns {
+		cc.writeFrame(frameResume, payload)
+	}
+}
+
+// epochArrive is the cluster barrier service: one arrival per node per
+// barrier id; when every node of the current view has arrived, the
+// release is broadcast and the barrier forgotten (ids are reused across
+// recovery re-executions).
+func (co *Coordinator) epochArrive(node int, id uint64) {
+	co.mu.Lock()
+	m := co.barriers[id]
+	if m == nil {
+		m = make(map[int]bool)
+		co.barriers[id] = m
+	}
+	m[node] = true
+	if len(m) < co.cfg.numNodes() {
+		co.mu.Unlock()
+		return
+	}
+	delete(co.barriers, id)
+	conns := make([]*clusterConn, 0, len(co.conns))
+	for _, cc := range co.conns {
+		conns = append(conns, cc)
+	}
+	co.mu.Unlock()
+
+	payload := wire.EncodeEpochReport(wire.EpochReport{Node: -1, Epoch: id})
+	for _, cc := range conns {
+		cc.writeFrame(frameEpochRelease, payload)
+	}
 }

@@ -24,6 +24,16 @@ const (
 	EnvHeartbeatInterval = "ARMCI_CLUSTER_HB_INTERVAL"
 	// EnvJoinTimeout bounds dialing + rendezvous (Go duration).
 	EnvJoinTimeout = "ARMCI_CLUSTER_JOIN_TIMEOUT"
+	// EnvIncarnation is the spawn count of this node slot (0 = initial
+	// launch; set by the coordinator's respawn path).
+	EnvIncarnation = "ARMCI_CLUSTER_INCARNATION"
+	// EnvViewEpoch is the membership view epoch at spawn time, so a
+	// respawned worker stamps its traffic into the current view from its
+	// first message.
+	EnvViewEpoch = "ARMCI_CLUSTER_VIEW_EPOCH"
+	// EnvElastic marks the launch as elastic: worker loss is repaired by
+	// respawn instead of failing the job.
+	EnvElastic = "ARMCI_CLUSTER_ELASTIC"
 )
 
 // WorkerEnv is everything a worker process needs to join its launch —
@@ -48,6 +58,13 @@ type WorkerEnv struct {
 	// JoinTimeout bounds dialing plus waiting for the roster. 0
 	// selects 30s.
 	JoinTimeout time.Duration
+	// Incarnation is this node slot's spawn count: 0 at launch, bumped
+	// by each elastic respawn.
+	Incarnation uint32
+	// ViewEpoch is the membership view epoch at spawn time.
+	ViewEpoch uint64
+	// Elastic marks the launch as elastic.
+	Elastic bool
 }
 
 // NumNodes returns the launch's node count.
@@ -114,6 +131,15 @@ func (e WorkerEnv) Environ() []string {
 	if e.JoinTimeout > 0 {
 		env = append(env, EnvJoinTimeout+"="+e.JoinTimeout.String())
 	}
+	if e.Incarnation > 0 {
+		env = append(env, EnvIncarnation+"="+strconv.FormatUint(uint64(e.Incarnation), 10))
+	}
+	if e.ViewEpoch > 0 {
+		env = append(env, EnvViewEpoch+"="+strconv.FormatUint(e.ViewEpoch, 10))
+	}
+	if e.Elastic {
+		env = append(env, EnvElastic+"=1")
+	}
 	return env
 }
 
@@ -147,6 +173,19 @@ func FromEnv() (WorkerEnv, bool, error) {
 	if e.JoinTimeout, err = envDuration(EnvJoinTimeout); err != nil {
 		return e, true, err
 	}
+	if v := os.Getenv(EnvIncarnation); v != "" {
+		inc, perr := strconv.ParseUint(v, 10, 32)
+		if perr != nil {
+			return e, true, fmt.Errorf("cluster: bad %s=%q: %v", EnvIncarnation, v, perr)
+		}
+		e.Incarnation = uint32(inc)
+	}
+	if v := os.Getenv(EnvViewEpoch); v != "" {
+		if e.ViewEpoch, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return e, true, fmt.Errorf("cluster: bad %s=%q: %v", EnvViewEpoch, v, err)
+		}
+	}
+	e.Elastic = os.Getenv(EnvElastic) != ""
 	return e, true, e.validate()
 }
 

@@ -52,6 +52,12 @@ type Spec struct {
 	ForwardSignals bool
 	// Logf, if non-nil, receives launcher diagnostics.
 	Logf func(format string, args ...any)
+	// Elastic makes worker loss survivable: the coordinator respawns the
+	// dead node's worker (same command, bumped incarnation) and drives
+	// the membership recovery protocol instead of failing the launch.
+	Elastic bool
+	// MaxRecoveries bounds elastic repairs per launch. Defaults to 1.
+	MaxRecoveries int
 }
 
 // Outcome is the aggregate result of one launch.
@@ -108,61 +114,52 @@ func Launch(spec Spec) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	co, err := NewCoordinator(Config{
-		Procs:            spec.Procs,
-		ProcsPerNode:     spec.ProcsPerNode,
-		Cookie:           cookie,
-		JoinTimeout:      spec.JoinTimeout,
-		HeartbeatTimeout: spec.HeartbeatTimeout,
-		Logf:             spec.Logf,
-	})
-	if err != nil {
-		return nil, err
-	}
-	defer co.Close()
 
 	numNodes := (spec.Procs + spec.ProcsPerNode - 1) / spec.ProcsPerNode
 	start := time.Now()
 	out := &Outcome{WorkerErrs: make([]error, numNodes)}
 
-	var outMu sync.Mutex // serializes interleaved worker output lines
+	var outMu sync.Mutex   // serializes interleaved worker output lines
+	var spawnMu sync.Mutex // guards cmds, spawn generations, live count, WorkerErrs writes
 	cmds := make([]*exec.Cmd, numNodes)
+	gens := make([]int, numNodes) // spawn generation per node; only the latest reports its exit
+	live := 0                     // workers whose scanner goroutine has not finished
 	var wg sync.WaitGroup
-	for node := 0; node < numNodes; node++ {
-		we := WorkerEnv{
-			Addr:              co.Addr(),
-			Node:              node,
-			Procs:             spec.Procs,
-			ProcsPerNode:      spec.ProcsPerNode,
-			Cookie:            cookie,
-			HeartbeatInterval: spec.HeartbeatInterval,
-			JoinTimeout:       spec.JoinTimeout,
-		}
+
+	// spawn starts one worker process for a node slot. Respawns (elastic
+	// recoveries) reuse it with a bumped incarnation; only the latest
+	// generation's exit status counts, so a killed first incarnation does
+	// not fail a successfully recovered launch.
+	spawn := func(we WorkerEnv) error {
 		cmd := exec.Command(spec.Command[0], spec.Command[1:]...)
 		cmd.Env = append(append(os.Environ(), we.Environ()...), spec.ExtraEnv...)
 		stdout, perr := cmd.StdoutPipe()
-		if perr == nil {
-			cmd.Stderr = cmd.Stdout // one interleaved stream per worker
-		}
 		if perr != nil {
-			killAll(cmds)
-			return fail(out, start, fmt.Errorf("cluster: worker %d pipe: %w", node, perr))
+			return fmt.Errorf("cluster: worker %d pipe: %w", we.Node, perr)
 		}
+		cmd.Stderr = cmd.Stdout // one interleaved stream per worker
+
+		spawnMu.Lock()
 		if serr := cmd.Start(); serr != nil {
-			killAll(cmds)
-			return fail(out, start, fmt.Errorf("cluster: spawn worker %d (%s): %w", node, spec.Command[0], serr))
+			spawnMu.Unlock()
+			return fmt.Errorf("cluster: spawn worker %d (%s): %w", we.Node, spec.Command[0], serr)
 		}
-		cmds[node] = cmd
-		logf("cluster: worker node %d started (pid %d)", node, cmd.Process.Pid)
+		cmds[we.Node] = cmd
+		gens[we.Node]++
+		gen := gens[we.Node]
+		// live > 0 guarantees the WaitGroup counter is positive, so this
+		// Add cannot race a completed Wait.
+		live++
+		wg.Add(1)
+		spawnMu.Unlock()
+		logf("cluster: worker node %d started (pid %d, incarnation %d)", we.Node, cmd.Process.Pid, we.Incarnation)
 
 		prefix := fmt.Sprintf("[rank %d] ", we.FirstRank())
 		if spec.ProcsPerNode > 1 {
 			last := we.FirstRank() + len(we.LocalRanks()) - 1
 			prefix = fmt.Sprintf("[rank %d-%d] ", we.FirstRank(), last)
 		}
-		wg.Add(1)
-		go func(node int, r io.Reader, prefix string, cmd *exec.Cmd) {
-			defer wg.Done()
+		go func(node, gen int, r io.Reader, prefix string, cmd *exec.Cmd) {
 			sc := bufio.NewScanner(r)
 			sc.Buffer(make([]byte, 64*1024), 1<<20)
 			for sc.Scan() {
@@ -176,8 +173,73 @@ func Launch(spec Spec) (*Outcome, error) {
 			}
 			// Wait only after the pipe hits EOF: Wait closes the pipe and
 			// would race the scanner out of the worker's final lines.
-			out.WorkerErrs[node] = cmd.Wait()
-		}(node, stdout, prefix, cmd)
+			werr := cmd.Wait()
+			spawnMu.Lock()
+			if gen == gens[node] {
+				out.WorkerErrs[node] = werr
+			}
+			live--
+			spawnMu.Unlock()
+			wg.Done()
+		}(we.Node, gen, stdout, prefix, cmd)
+		return nil
+	}
+
+	workerEnv := func(node int) WorkerEnv {
+		return WorkerEnv{
+			Node:              node,
+			Procs:             spec.Procs,
+			ProcsPerNode:      spec.ProcsPerNode,
+			Cookie:            cookie,
+			HeartbeatInterval: spec.HeartbeatInterval,
+			JoinTimeout:       spec.JoinTimeout,
+			Elastic:           spec.Elastic,
+		}
+	}
+
+	var co *Coordinator
+	co, err = NewCoordinator(Config{
+		Procs:            spec.Procs,
+		ProcsPerNode:     spec.ProcsPerNode,
+		Cookie:           cookie,
+		JoinTimeout:      spec.JoinTimeout,
+		HeartbeatTimeout: spec.HeartbeatTimeout,
+		Logf:             spec.Logf,
+		Elastic:          spec.Elastic,
+		MaxRecoveries:    spec.MaxRecoveries,
+		Respawn: func(node int, incarnation uint32, viewEpoch uint64) error {
+			spawnMu.Lock()
+			dead := live == 0
+			spawnMu.Unlock()
+			if dead {
+				return fmt.Errorf("cluster: no live workers left to recover alongside node %d", node)
+			}
+			we := workerEnv(node)
+			we.Addr = co.Addr()
+			we.Incarnation = incarnation
+			we.ViewEpoch = viewEpoch
+			return spawn(we)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer co.Close()
+
+	killLatest := func() {
+		spawnMu.Lock()
+		snapshot := append([]*exec.Cmd(nil), cmds...)
+		spawnMu.Unlock()
+		killAll(snapshot)
+	}
+
+	for node := 0; node < numNodes; node++ {
+		we := workerEnv(node)
+		we.Addr = co.Addr()
+		if serr := spawn(we); serr != nil {
+			killLatest()
+			return fail(out, start, serr)
+		}
 	}
 
 	if spec.ForwardSignals {
@@ -187,7 +249,10 @@ func Launch(spec Spec) (*Outcome, error) {
 		go func() {
 			for sig := range sigCh {
 				logf("cluster: forwarding %v to %d workers", sig, numNodes)
-				for _, cmd := range cmds {
+				spawnMu.Lock()
+				snapshot := append([]*exec.Cmd(nil), cmds...)
+				spawnMu.Unlock()
+				for _, cmd := range snapshot {
 					if cmd != nil && cmd.Process != nil {
 						cmd.Process.Signal(sig)
 					}
@@ -218,11 +283,11 @@ func Launch(spec Spec) (*Outcome, error) {
 		case <-workersDone:
 		case <-time.After(5 * time.Second):
 			logf("cluster: killing workers that outlived the coordinator verdict")
-			killAll(cmds)
+			killLatest()
 			<-workersDone
 		}
 	case <-time.After(spec.RunTimeout):
-		killAll(cmds)
+		killLatest()
 		co.Close()
 		<-workersDone
 		return fail(out, start, fmt.Errorf("cluster: run timeout: launch still going after %v", spec.RunTimeout))

@@ -23,6 +23,17 @@ type Handlers struct {
 	// declared dead (the error carries the dead worker's first rank) or
 	// the coordinator itself vanished. nil ignores faults.
 	Fault func(*pipeline.FaultError)
+	// View receives every membership view the coordinator broadcasts:
+	// the initial roster view and, on elastic runs, each membership
+	// change. nil ignores views.
+	View func(wire.View)
+	// Resume receives the recovery hand-off after a membership change:
+	// the replaced node slot and the sync epoch to resume from. nil
+	// ignores it.
+	Resume func(wire.EpochReport)
+	// Release receives cluster barrier releases by barrier id. nil
+	// ignores them.
+	Release func(id uint64)
 }
 
 // Session is one worker's connection to its launch: it joins via the
@@ -43,6 +54,20 @@ type Session struct {
 	closed bool
 	err    *pipeline.FaultError
 	fOnce  sync.Once
+
+	// Direct peer routing state. Workers advertise a data listener in
+	// their hello; the coordinator redistributes the addresses through
+	// membership views, and the first send to a node dials it directly —
+	// lazily, so pairs that never communicate never hold a connection.
+	// The route per destination node is sticky (direct once dialed,
+	// coordinator once a dial failed) until a view change resets it, so
+	// one node pair's frames stay on a single FIFO path.
+	peerLn    net.Listener
+	peerMu    sync.Mutex
+	peerConns map[int]*clusterConn // node → dialed direct connection
+	peerAddrs []string             // node → advertised listener address
+	peerInc   []uint32             // node → incarnation, from the last view
+	peerBad   map[int]bool         // node → route via coordinator (sticky)
 }
 
 // Join dials the coordinator (retrying until the join timeout, since
@@ -54,6 +79,13 @@ func Join(env WorkerEnv, h Handlers) (*Session, error) {
 	if err := env.validate(); err != nil {
 		return nil, err
 	}
+	// The direct data listener opens before the hello so its address can
+	// be advertised; peers dial it lazily on their first send to this
+	// node.
+	peerLn, lerr := Listen("127.0.0.1:0")
+	if lerr != nil {
+		return nil, fmt.Errorf("cluster: node %d peer listener: %w", env.Node, lerr)
+	}
 	deadline := time.Now().Add(env.joinTimeout())
 	var conn net.Conn
 	for {
@@ -63,6 +95,7 @@ func Join(env WorkerEnv, h Handlers) (*Session, error) {
 			break
 		}
 		if time.Now().After(deadline) {
+			peerLn.Close()
 			return nil, fmt.Errorf("cluster: node %d cannot reach coordinator at %s: %w", env.Node, env.Addr, err)
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -73,34 +106,48 @@ func Join(env WorkerEnv, h Handlers) (*Session, error) {
 		Procs:        env.Procs,
 		ProcsPerNode: env.ProcsPerNode,
 		Cookie:       env.Cookie,
+		Incarnation:  env.Incarnation,
+		PeerAddr:     peerLn.Addr().String(),
 	})[4:] // strip the outer length prefix; writeFrame re-frames
-	if err := cc.writeFrame(frameHello, hello); err != nil {
+	fail := func(err error) (*Session, error) {
 		conn.Close()
-		return nil, fmt.Errorf("cluster: node %d hello: %w", env.Node, err)
+		peerLn.Close()
+		return nil, err
+	}
+	if err := cc.writeFrame(frameHello, hello); err != nil {
+		return fail(fmt.Errorf("cluster: node %d hello: %w", env.Node, err))
 	}
 
 	conn.SetReadDeadline(deadline)
 	var early [][]byte // data frames that overtook our roster write
-join:
-	for {
+	var initView *wire.View
+	haveRoster := false
+	// The handshake completes on the roster plus the initial membership
+	// view: peer addresses must be installed before the first send, so a
+	// node pair never switches between coordinator and direct routing
+	// mid-stream.
+	for initView == nil || !haveRoster {
 		body, err := wire.ReadFrame(conn)
 		if err != nil {
-			conn.Close()
-			return nil, fmt.Errorf("cluster: node %d: no roster from coordinator within %v: %w", env.Node, env.joinTimeout(), err)
+			return fail(fmt.Errorf("cluster: node %d: no roster from coordinator within %v: %w", env.Node, env.joinTimeout(), err))
 		}
 		if len(body) == 0 {
 			continue
 		}
 		switch body[0] {
 		case frameReject:
-			conn.Close()
-			return nil, fmt.Errorf("cluster: node %d rejected by coordinator: %s", env.Node, body[1:])
+			return fail(fmt.Errorf("cluster: node %d rejected by coordinator: %s", env.Node, body[1:]))
 		case frameRoster:
 			if rerr := checkRoster(body[1:], env); rerr != nil {
-				conn.Close()
-				return nil, rerr
+				return fail(rerr)
 			}
-			break join
+			haveRoster = true
+		case frameView:
+			v, derr := wire.DecodeView(body[1:])
+			if derr != nil {
+				return fail(fmt.Errorf("cluster: node %d: %w", env.Node, derr))
+			}
+			initView = &v
 		case frameData:
 			// The coordinator broadcasts the roster conn by conn, so a
 			// fast peer that already saw its roster can have a data frame
@@ -108,34 +155,41 @@ join:
 			// completes.
 			mb, derr := dataMsgBody(body[1:])
 			if derr != nil {
-				conn.Close()
-				return nil, fmt.Errorf("cluster: node %d: %w", env.Node, derr)
+				return fail(fmt.Errorf("cluster: node %d: %w", env.Node, derr))
 			}
 			early = append(early, mb)
 		case frameFault:
 			// The launch already failed (a peer died mid-rendezvous).
 			rank, reason := parseFault(body[1:])
-			conn.Close()
-			return nil, &pipeline.FaultError{Rank: rank, Op: reason, Kind: pipeline.FaultPeerLost}
+			return fail(&pipeline.FaultError{Rank: rank, Op: reason, Kind: pipeline.FaultPeerLost})
 		default:
-			conn.Close()
-			return nil, fmt.Errorf("cluster: node %d: unexpected frame %#x before roster", env.Node, body[0])
+			return fail(fmt.Errorf("cluster: node %d: unexpected frame %#x before roster", env.Node, body[0]))
 		}
 	}
 	conn.SetReadDeadline(time.Time{})
 
 	s := &Session{
-		env:      env,
-		cc:       cc,
-		h:        h,
-		drainCh:  make(chan struct{}),
-		pingDone: make(chan struct{}),
+		env:       env,
+		cc:        cc,
+		h:         h,
+		drainCh:   make(chan struct{}),
+		pingDone:  make(chan struct{}),
+		peerLn:    peerLn,
+		peerConns: make(map[int]*clusterConn),
+		peerAddrs: make([]string, env.NumNodes()),
+		peerInc:   make([]uint32, env.NumNodes()),
+		peerBad:   make(map[int]bool),
+	}
+	s.installView(*initView)
+	if h.View != nil {
+		h.View(*initView)
 	}
 	for _, mb := range early {
 		if h.Data != nil {
 			h.Data(mb)
 		}
 	}
+	go s.acceptPeers()
 	go s.readLoop()
 	go s.pingLoop()
 	return s, nil
@@ -144,12 +198,9 @@ join:
 // Env returns the worker env the session joined with.
 func (s *Session) Env() WorkerEnv { return s.env }
 
-// SendMsg encodes m and ships it to the coordinator for routing to the
-// node hosting m.Dst. The encode reuses the connection's frame buffer,
-// so steady-state sends do not allocate. The caller must have stamped
-// the message through the pipeline first (Src, Dst, Seq).
-func (s *Session) SendMsg(m *msg.Message) error {
-	cc := s.cc
+// writeDataMsg encodes m as a data frame on cc, reusing the
+// connection's frame buffer so steady-state sends do not allocate.
+func (cc *clusterConn) writeDataMsg(m *msg.Message) error {
 	cc.mu.Lock()
 	b := append(cc.buf[:0], 0, 0, 0, 0, frameData)
 	b = wire.AppendEncode(b, m) // appends the inner [len][msg body] frame
@@ -157,13 +208,169 @@ func (s *Session) SendMsg(m *msg.Message) error {
 	cc.buf = b
 	err := wire.WriteFrame(cc.c, b)
 	cc.mu.Unlock()
-	if err != nil {
+	return err
+}
+
+// SendMsg ships m to the node hosting m.Dst — over a lazily dialed
+// direct peer connection when the destination advertises one, otherwise
+// through the coordinator's routing star. The caller must have stamped
+// the message through the pipeline first (Src, Dst, Seq).
+func (s *Session) SendMsg(m *msg.Message) error {
+	node := nodeOf(m.Dst, s.env.NumNodes(), s.env.ProcsPerNode)
+	if cc := s.peerConn(node); cc != nil {
+		if err := cc.writeDataMsg(m); err == nil {
+			return nil
+		}
+		// The direct path died mid-run (peer crash or teardown). Fall
+		// back to the coordinator, which either still routes to the node
+		// or has already begun declaring the loss.
+		s.dropPeer(node, true)
+	}
+	if err := s.cc.writeDataMsg(m); err != nil {
 		if fe := s.Err(); fe != nil {
 			return fe
 		}
 		return fmt.Errorf("cluster: node %d send: %w", s.env.Node, err)
 	}
 	return nil
+}
+
+// peerConn returns the direct connection for a destination node, dialing
+// it on first use. Returns nil when the route for the node is the
+// coordinator: the destination is this node's own coordinator star (no
+// address yet), a previous dial failed, or a view change is mid-flight.
+func (s *Session) peerConn(node int) *clusterConn {
+	if node == s.env.Node {
+		return nil
+	}
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if node < 0 || node >= len(s.peerAddrs) || s.peerBad[node] {
+		return nil
+	}
+	if cc := s.peerConns[node]; cc != nil {
+		return cc
+	}
+	addr := s.peerAddrs[node]
+	if addr == "" {
+		// No advertised listener (mid-recovery slot). Stick to the
+		// coordinator until the next view change so this pair's frames
+		// stay on one FIFO path.
+		s.peerBad[node] = true
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		s.peerBad[node] = true
+		return nil
+	}
+	cc := &clusterConn{c: conn}
+	hello := wire.EncodeClusterHello(wire.ClusterHello{
+		Node:         s.env.Node,
+		Procs:        s.env.Procs,
+		ProcsPerNode: s.env.ProcsPerNode,
+		Cookie:       s.env.Cookie,
+		Incarnation:  s.env.Incarnation,
+	})[4:]
+	if err := cc.writeFrame(framePeerHello, hello); err != nil {
+		conn.Close()
+		s.peerBad[node] = true
+		return nil
+	}
+	s.peerConns[node] = cc
+	return cc
+}
+
+// dropPeer tears down the direct connection to a node. bad pins the
+// node's route to the coordinator until the next view change.
+func (s *Session) dropPeer(node int, bad bool) {
+	s.peerMu.Lock()
+	if cc := s.peerConns[node]; cc != nil {
+		cc.c.Close()
+		delete(s.peerConns, node)
+	}
+	if bad {
+		s.peerBad[node] = true
+	}
+	s.peerMu.Unlock()
+}
+
+// installView records a membership view's peer addresses and
+// incarnations, resetting the route of every slot that changed.
+func (s *Session) installView(v wire.View) {
+	s.peerMu.Lock()
+	for _, m := range v.Members {
+		if m.Node < 0 || m.Node >= len(s.peerAddrs) {
+			continue
+		}
+		if m.Incarnation != s.peerInc[m.Node] || m.Addr != s.peerAddrs[m.Node] {
+			if cc := s.peerConns[m.Node]; cc != nil {
+				cc.c.Close()
+				delete(s.peerConns, m.Node)
+			}
+			delete(s.peerBad, m.Node)
+			s.peerInc[m.Node] = m.Incarnation
+			s.peerAddrs[m.Node] = m.Addr
+		}
+	}
+	s.peerMu.Unlock()
+}
+
+// acceptPeers serves the direct data listener: each inbound connection
+// is a peer's lazily dialed send path, validated by a peer hello and
+// then drained for data frames until the peer closes it.
+func (s *Session) acceptPeers() {
+	for {
+		conn, err := s.peerLn.Accept()
+		if err != nil {
+			return // listener closed at teardown
+		}
+		go s.servePeer(conn)
+	}
+}
+
+func (s *Session) servePeer(conn net.Conn) {
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(s.env.joinTimeout()))
+	body, err := wire.ReadFrame(conn)
+	if err != nil || len(body) < 1 || body[0] != framePeerHello {
+		return
+	}
+	h, err := wire.DecodeClusterHello(body[1:])
+	if err != nil || h.Cookie != s.env.Cookie ||
+		h.Procs != s.env.Procs || h.ProcsPerNode != s.env.ProcsPerNode ||
+		h.Node < 0 || h.Node >= s.env.NumNodes() {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+	for {
+		body, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // dialer closed the path; the coordinator judges liveness
+		}
+		if len(body) < 1 || body[0] != frameData {
+			continue
+		}
+		mb, derr := dataMsgBody(body[1:])
+		if derr != nil {
+			return
+		}
+		if s.h.Data != nil {
+			s.h.Data(mb)
+		}
+	}
+}
+
+// SendViewAck answers a membership change with this node's committed
+// sync epoch.
+func (s *Session) SendViewAck(a wire.ViewAck) error {
+	return s.cc.writeFrame(frameViewAck, wire.EncodeViewAck(a))
+}
+
+// EnterBarrier announces arrival at cluster barrier id; the release
+// arrives through Handlers.Release once every node has entered.
+func (s *Session) EnterBarrier(id uint64) error {
+	return s.cc.writeFrame(frameEpoch, wire.EncodeEpochReport(wire.EpochReport{Node: s.env.Node, Epoch: id}))
 }
 
 // UserDone tells the coordinator this node's user ranks all finished.
@@ -190,6 +397,15 @@ func (s *Session) Close() {
 		s.mu.Unlock()
 		close(s.pingDone)
 		s.cc.c.Close()
+		if s.peerLn != nil {
+			s.peerLn.Close()
+		}
+		s.peerMu.Lock()
+		for node, cc := range s.peerConns {
+			cc.c.Close()
+			delete(s.peerConns, node)
+		}
+		s.peerMu.Unlock()
 	})
 }
 
@@ -257,6 +473,25 @@ func (s *Session) readLoop() {
 			rank, reason := parseFault(body[1:])
 			s.fail(&pipeline.FaultError{Rank: rank, Op: reason, Kind: pipeline.FaultPeerLost})
 			return
+		case frameView:
+			v, derr := wire.DecodeView(body[1:])
+			if derr != nil {
+				continue
+			}
+			s.installView(v)
+			if s.h.View != nil {
+				s.h.View(v)
+			}
+		case frameResume:
+			r, derr := wire.DecodeEpochReport(body[1:])
+			if derr == nil && s.h.Resume != nil {
+				s.h.Resume(r)
+			}
+		case frameEpochRelease:
+			r, derr := wire.DecodeEpochReport(body[1:])
+			if derr == nil && s.h.Release != nil {
+				s.h.Release(r.Epoch)
+			}
 		case framePing, frameRoster:
 			// Harmless repeats.
 		}

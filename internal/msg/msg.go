@@ -205,6 +205,13 @@ type Message struct {
 	// with trace events.
 	Seq uint64
 
+	// Epoch is the membership view epoch the transport pipeline stamps
+	// on every send under elastic operation. The receive side rejects
+	// messages from earlier epochs, fencing out in-flight traffic from
+	// deposed incarnations after a rank is respawned. Zero on fabrics
+	// that never change membership.
+	Epoch uint64
+
 	// Sent is stamped by the fabric: the (virtual or wall) time at
 	// which the send was initiated (after the modeled send overhead).
 	Sent time.Duration

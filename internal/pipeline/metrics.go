@@ -113,6 +113,10 @@ type FaultCounts struct {
 	RetryExhausted int
 	// Crashes counts injected fail-stop crashes (at most one per run).
 	Crashes int
+	// StaleEpochs counts messages rejected because they carried a
+	// membership view epoch older than the receiver's — in-flight
+	// traffic from a deposed incarnation fenced out after a respawn.
+	StaleEpochs int
 }
 
 // Metrics collects per-kind and per-pair latency histograms, fault
@@ -219,6 +223,15 @@ func (x *Metrics) countDupSuppressed() {
 	}
 	x.mu.Lock()
 	x.faults.DupsSuppressed++
+	x.mu.Unlock()
+}
+
+func (x *Metrics) countStaleEpoch() {
+	if x == nil {
+		return
+	}
+	x.mu.Lock()
+	x.faults.StaleEpochs++
 	x.mu.Unlock()
 }
 

@@ -128,6 +128,18 @@ type Faults struct {
 	// lives here so it rides the same plan/grammar as every other
 	// fault. 0 disables the fault.
 	CrashHeldAcquire int
+	// ElasticCrashRank selects the rank killed by the elastic crash
+	// fault (used only when ElasticCrashStep > 0).
+	ElasticCrashRank int
+	// ElasticCrashStep, when > 0, kills ElasticCrashRank partway
+	// through that sync epoch of an elastic-replication workload: a
+	// real worker-process exit under armci-run -elastic, a cooperative
+	// wipe-and-restore emulation on the in-process fabrics. Like
+	// CrashHeldAcquire, the pipeline cannot see sync epochs — the
+	// elastic runner reads the knob and injects the crash itself; it
+	// lives here to ride the same plan/grammar as every other fault.
+	// 0 disables the fault.
+	ElasticCrashStep int
 }
 
 // Enabled reports whether any fault is configured.
@@ -171,6 +183,10 @@ func (f Faults) Validate() error {
 		return fmt.Errorf("pipeline: Faults.CrashHeldRank must be >= 0, got %d", f.CrashHeldRank)
 	case f.CrashHeldAcquire < 0:
 		return fmt.Errorf("pipeline: Faults.CrashHeldAcquire must be >= 0, got %d", f.CrashHeldAcquire)
+	case f.ElasticCrashRank < 0:
+		return fmt.Errorf("pipeline: Faults.ElasticCrashRank must be >= 0, got %d", f.ElasticCrashRank)
+	case f.ElasticCrashStep < 0:
+		return fmt.Errorf("pipeline: Faults.ElasticCrashStep must be >= 0, got %d", f.ElasticCrashStep)
 	}
 	return nil
 }
@@ -491,6 +507,7 @@ type Pipeline struct {
 	pairs        map[Pair]*pairState // sequencing/FIFO/dedup state per pipe
 	sends        map[msg.Addr]uint64 // total sends per source (crash fault)
 	crashCounted bool                // the crash was counted in metrics
+	epoch        uint64              // membership view epoch stamped on sends
 
 	crashMu     sync.Mutex
 	crashed     []int  // user ranks that fail-stopped, in crash order
@@ -519,6 +536,39 @@ func (p *Pipeline) pairLocked(pr Pair) *pairState {
 
 // Faults returns the active fault plan.
 func (p *Pipeline) Faults() Faults { return p.cfg.Faults }
+
+// SetEpoch installs the membership view epoch stamped on every
+// subsequent send. Elastic fabrics bump it on a view change; messages
+// already in flight carry the old epoch and are rejected by Inbound,
+// which is what fences out traffic from deposed incarnations.
+func (p *Pipeline) SetEpoch(e uint64) {
+	p.mu.Lock()
+	p.epoch = e
+	p.mu.Unlock()
+}
+
+// Epoch returns the current membership view epoch.
+func (p *Pipeline) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// ResetPeer clears the sequencing state of every directed pipe whose
+// source or destination endpoint matches. A respawned incarnation
+// restarts its sequence numbers at 1, so survivors must forget both the
+// receive-side dedup watermark (or every message from the newcomer
+// would be suppressed as a duplicate) and the send-side counter (so the
+// newcomer's fresh watermark admits them).
+func (p *Pipeline) ResetPeer(match func(msg.Addr) bool) {
+	p.mu.Lock()
+	for pr := range p.pairs {
+		if match(pr[0]) || match(pr[1]) {
+			delete(p.pairs, pr)
+		}
+	}
+	p.mu.Unlock()
+}
 
 // SetCrashNotify installs the fabric's crash broadcast: it is invoked
 // once per NoteCrash, outside the pipeline's locks, so the fabric can
@@ -634,6 +684,7 @@ func (p *Pipeline) SendTo(src, dst msg.Addr, m *msg.Message, clock func() time.D
 	seq := ps.seq
 	m.Src, m.Dst = src, dst
 	m.Seq, m.Sent = seq, now
+	m.Epoch = p.epoch
 	m.Dup, m.FaultDelay = false, 0
 
 	drops, retransDelay, exhausted := p.cfg.Faults.lossAttempts(src, dst, seq)
@@ -725,9 +776,18 @@ func arrivalLocked(ps *pairState, now, wire time.Duration) time.Duration {
 // the actual arrival when the modeled one is earlier or absent — this is
 // what populates trace.Event.Arrival on the TCP fabric — and are
 // observed by the metrics stage.
+// Messages stamped with a membership view epoch older than the current
+// one are rejected first: they were in flight when a view change deposed
+// their sender's incarnation, and admitting them would let a dead rank's
+// writes land after its replacement restored state.
 func (p *Pipeline) Inbound(m *msg.Message, now time.Duration) bool {
 	if m.Seq != 0 {
 		p.mu.Lock()
+		if m.Epoch < p.epoch {
+			p.mu.Unlock()
+			p.cfg.Metrics.countStaleEpoch()
+			return false
+		}
 		ps := p.pairLocked(Pair{m.Src, m.Dst})
 		if m.Seq <= ps.seen {
 			p.mu.Unlock()

@@ -1,0 +1,56 @@
+package proc
+
+import (
+	"armci/internal/shmem"
+	"armci/internal/trace"
+)
+
+// RepairLeasesHeldBy frees every lease in the table still registered to
+// a rank known to have fail-stopped, restamping each freed lock. It is
+// the rejoin-time administrative sweep of the elastic recovery path:
+// waiter-side repair (core.LeaseLock.maybeRecover) frees a dead
+// holder's lease only after a waiter's TTL expires, but when a
+// membership view change has already proved the holder dead there is no
+// reason to wait — survivors sweep the table while converging on the
+// resume epoch, so re-executed critical sections start immediately.
+//
+// Each free uses the same epoch-advancing CAS discipline as the lease
+// lock itself: {epoch, dead+1} -> {epoch+1, -(dead+1)}. Advancing the
+// epoch is what makes the sweep safe against resurrection — if the dead
+// rank's incarnation was not as dead as reported (or a delayed release
+// of its is still in flight), that release presents the old epoch,
+// loses its CAS, and touches nothing. Losing the CAS here is equally
+// benign: a waiter's TTL repair (or the holder's own last release) got
+// there first, and the state has already moved on.
+//
+// After winning a free, the sweep restamps LeaseStamp with the current
+// fabric time — waiters measure lease freshness from it — and wakes the
+// dead rank's queued successor so FIFO resumes from the crash point.
+// Wakes are hints, never grants, so waking a rank that already moved on
+// costs nothing. It returns the number of leases freed.
+func RepairLeasesHeldBy(g *Engine, t *LockTable, dead int) int {
+	env := g.Env()
+	now := int64(env.Clock().Now())
+	freed := 0
+	for i := range t.Home {
+		state := t.LeaseState[i]
+		st := g.LoadPair(state)
+		if int(st.Lo) != dead+1 {
+			continue // free, never held, or held by a survivor
+		}
+		if g.CompareAndSwapPair(state, st, shmem.Pair{Hi: st.Hi + 1, Lo: -st.Lo}) != st {
+			continue // another repairer (or a racing release) moved it on
+		}
+		env.Trace().RecordOp(trace.OpEvent{
+			Kind: trace.OpRepair, Rank: env.Rank(), Node: env.Node(env.Rank()),
+			Lock: i, Prev: dead, Ticket: -1, Epoch: int(st.Hi) + 1, Time: env.Clock().Now(),
+		})
+		g.Store(t.LeaseStamp[i], now)
+		next := g.LoadPair(t.LeaseQNode[i][dead].Add(QNodeNextHi)).UnpackPtr()
+		if !next.IsNil() {
+			g.Store(next.Add(QNodeLocked), 0)
+		}
+		freed++
+	}
+	return freed
+}

@@ -1,0 +1,54 @@
+package proc_test
+
+import (
+	"testing"
+
+	"armci/internal/proc"
+	"armci/internal/shmem"
+)
+
+// TestRepairLeasesHeldBy stages a lock table as a crash leaves it — one
+// lease registered to the dead rank with a queued successor, one lease
+// free — and has two survivors sweep it concurrently. Exactly one free
+// per held lease must happen (the epoch CAS arbitrates), the state must
+// advance by the lease lock's own encoding, the stamp must be renewed
+// and the dead rank's successor woken; the free lease must be untouched.
+func TestRepairLeasesHeldBy(t *testing.T) {
+	const dead = 2
+	c := newCluster(t, 3, 1, proc.FenceRequest, 2)
+	sp := c.space()
+	locks := c.locks
+
+	// Lock 0: held by the dead rank under epoch 5, with rank 0 queued
+	// behind it (next pointer linked, wake flag armed).
+	sp.StorePair(locks.LeaseState[0], shmem.Pair{Hi: 5, Lo: dead + 1})
+	sp.StorePair(locks.LeaseQNode[0][dead].Add(proc.QNodeNextHi), shmem.PackPtr(locks.LeaseQNode[0][0]))
+	sp.Store(locks.LeaseQNode[0][0].Add(proc.QNodeLocked), 1)
+	sp.Store(locks.LeaseStamp[0], -1) // sentinel: the winner must restamp
+	// Lock 1: free, the dead rank merely the last holder — nothing to do.
+	sp.StorePair(locks.LeaseState[1], shmem.Pair{Hi: 2, Lo: -(dead + 1)})
+
+	freed := make([]int, 3)
+	c.run(func(g *proc.Engine) {
+		if g.Rank() == dead {
+			return
+		}
+		freed[g.Rank()] = proc.RepairLeasesHeldBy(g, locks, dead)
+	})
+
+	if total := freed[0] + freed[1]; total != 1 {
+		t.Errorf("survivors freed %d leases (%v), want exactly 1", total, freed[:2])
+	}
+	if got, want := sp.LoadPair(locks.LeaseState[0]), (shmem.Pair{Hi: 6, Lo: -(dead + 1)}); got != want {
+		t.Errorf("lock 0 state = %+v, want %+v (epoch advanced, freed, dead rank anchored)", got, want)
+	}
+	if got := sp.Load(locks.LeaseStamp[0]); got < 0 {
+		t.Errorf("lock 0 stamp = %d, want renewed to the repair's fabric time", got)
+	}
+	if got := sp.Load(locks.LeaseQNode[0][0].Add(proc.QNodeLocked)); got != 0 {
+		t.Errorf("dead rank's queued successor not woken: wake flag = %d, want 0", got)
+	}
+	if got, want := sp.LoadPair(locks.LeaseState[1]), (shmem.Pair{Hi: 2, Lo: -(dead + 1)}); got != want {
+		t.Errorf("free lock 1 state = %+v, want untouched %+v", got, want)
+	}
+}

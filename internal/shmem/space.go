@@ -16,6 +16,7 @@ type Space struct {
 	nodeOf   []int // rank -> node index
 	numNodes int
 	ranks    []rankMem
+	prot     []protState // per-rank dirty-page tracking (nil until Protect)
 
 	// onWrite, when non-nil, is invoked (outside the space lock) after
 	// every mutation. The concurrent fabrics use it to wake processes
@@ -141,7 +142,7 @@ func (s *Space) Load(p Ptr) int64 {
 
 // Store atomically writes v to the cell at p.
 func (s *Space) Store(p Ptr, v int64) {
-	s.locked(func() { s.words(p, 1)[0] = v })
+	s.locked(func() { s.words(p, 1)[0] = v; s.mark(p, 1) })
 	s.notify()
 }
 
@@ -153,6 +154,7 @@ func (s *Space) FetchAdd(p Ptr, delta int64) int64 {
 		w := s.words(p, 1)
 		old = w[0]
 		w[0] += delta
+		s.mark(p, 1)
 	})
 	s.notify()
 	return old
@@ -166,6 +168,7 @@ func (s *Space) Swap(p Ptr, v int64) int64 {
 		w := s.words(p, 1)
 		old = w[0]
 		w[0] = v
+		s.mark(p, 1)
 	})
 	s.notify()
 	return old
@@ -181,6 +184,7 @@ func (s *Space) CompareAndSwap(p Ptr, old, new int64) int64 {
 		prev = w[0]
 		if prev == old {
 			w[0] = new
+			s.mark(p, 1)
 		}
 	})
 	s.notify()
@@ -210,6 +214,7 @@ func (s *Space) StorePair(p Ptr, v Pair) {
 	s.locked(func() {
 		w := s.words(p, 2)
 		w[0], w[1] = v.Hi, v.Lo
+		s.mark(p, 2)
 	})
 	s.notify()
 }
@@ -222,6 +227,7 @@ func (s *Space) SwapPair(p Ptr, v Pair) Pair {
 		w := s.words(p, 2)
 		old = Pair{w[0], w[1]}
 		w[0], w[1] = v.Hi, v.Lo
+		s.mark(p, 2)
 	})
 	s.notify()
 	return old
@@ -237,6 +243,7 @@ func (s *Space) CompareAndSwapPair(p Ptr, old, new Pair) Pair {
 		prev = Pair{w[0], w[1]}
 		if prev == old {
 			w[0], w[1] = new.Hi, new.Lo
+			s.mark(p, 2)
 		}
 	})
 	s.notify()
@@ -247,7 +254,7 @@ func (s *Space) CompareAndSwapPair(p Ptr, old, new Pair) Pair {
 
 // Put copies data into memory at p.
 func (s *Space) Put(p Ptr, data []byte) {
-	s.locked(func() { copy(s.bytesAt(p, int64(len(data))), data) })
+	s.locked(func() { copy(s.bytesAt(p, int64(len(data))), data); s.mark(p, int64(len(data))) })
 	s.notify()
 }
 
@@ -280,6 +287,7 @@ func (s *Space) Accumulate(op AccOp, p Ptr, data []byte, scale float64) {
 	}
 	s.locked(func() {
 		dst := s.bytesAt(p, int64(len(data)))
+		s.mark(p, int64(len(data)))
 		switch op {
 		case AccFloat64:
 			for i := 0; i+8 <= len(data); i += 8 {

@@ -128,6 +128,7 @@ func (s *Space) UnpackTo(dst Ptr, d Strided, data []byte) {
 		pos := 0
 		d.EachRun(func(off int64, n int) {
 			copy(s.bytesAt(dst.Add(off), int64(n)), data[pos:pos+n])
+			s.mark(dst.Add(off), int64(n))
 			pos += n
 		})
 	})

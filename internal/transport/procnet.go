@@ -45,6 +45,15 @@ type ProcFabric struct {
 	shutdown  bool
 	fault     error // cluster fault; aborts every blocked local actor
 
+	// Elastic membership state, guarded by mu. A view change interrupts
+	// local user actors (viewIntr) so the elastic runner can drive the
+	// recovery protocol; servers keep running to serve restore reads.
+	viewEpoch uint64            // installed membership view epoch
+	viewDead  int               // node slot replaced by the pending view change
+	viewIntr  bool              // user actors must abort into recovery
+	resume    *wire.EpochReport // latest recovery hand-off, nil until broadcast
+	released  map[uint64]bool   // cluster barrier releases observed
+
 	users   []actorSpec
 	servers []actorSpec
 
@@ -71,11 +80,17 @@ func NewProc(cfg Config, env cluster.WorkerEnv) (*ProcFabric, error) {
 		env:       env,
 		space:     shmem.NewSpace(cfg.nodeMap()),
 		mailboxes: make(map[msg.Addr]*msg.Queue),
+		viewEpoch: env.ViewEpoch,
+		viewDead:  -1,
+		released:  make(map[uint64]bool),
 		panics:    make(chan error, cfg.Procs+2*cfg.numNodes()+1),
 	}
 	// Like tcpnet, procnet measures real socket costs: the cost-model
 	// stage stays inactive; trace, fault injection and metrics run.
 	f.pipe = cfg.newPipeline(f.space, false)
+	// A respawned incarnation stamps its traffic into the view it was
+	// spawned under from its first message.
+	f.pipe.SetEpoch(env.ViewEpoch)
 	f.cond = sync.NewCond(&f.mu)
 	f.space.SetOnWrite(func() {
 		f.mu.Lock()
@@ -126,8 +141,11 @@ func (f *ProcFabric) Run() error {
 	f.start = time.Now()
 
 	sess, err := cluster.Join(f.env, cluster.Handlers{
-		Data:  f.onData,
-		Fault: f.onFault,
+		Data:    f.onData,
+		Fault:   f.onFault,
+		View:    f.onView,
+		Resume:  f.onResume,
+		Release: f.onRelease,
 	})
 	if err != nil {
 		var fe *pipeline.FaultError
@@ -249,6 +267,198 @@ func (f *ProcFabric) onFault(fe *pipeline.FaultError) {
 	f.panics <- fe
 }
 
+// onView installs a membership view. A newer epoch is a membership
+// change: local user actors are interrupted out of their blocking calls
+// so the elastic runner can abort the current sync epoch and run
+// recovery. The pipeline epoch is NOT advanced here — that happens in
+// AckView, after the user actor has unwound, so every message this
+// worker sent for the aborted epoch still carries the old view epoch
+// and is fenced out at receivers that have already advanced.
+func (f *ProcFabric) onView(v wire.View) {
+	f.mu.Lock()
+	if v.Epoch > f.viewEpoch {
+		f.viewEpoch = v.Epoch
+		f.viewDead = v.Dead
+		f.viewIntr = true
+		f.resume = nil
+		f.released = make(map[uint64]bool)
+		f.cond.Broadcast()
+	}
+	f.mu.Unlock()
+}
+
+// onResume records the coordinator's recovery hand-off.
+func (f *ProcFabric) onResume(r wire.EpochReport) {
+	f.mu.Lock()
+	f.resume = &r
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// onRelease records a cluster barrier release.
+func (f *ProcFabric) onRelease(id uint64) {
+	f.mu.Lock()
+	f.released[id] = true
+	f.cond.Broadcast()
+	f.mu.Unlock()
+}
+
+// ViewInterrupt is the abort thrown through a user actor's blocking
+// calls when a membership change invalidates the sync epoch it is
+// executing. The elastic runner recovers it (see transport.AsViewInterrupt)
+// and drives the recovery protocol; a workload that does not handle it
+// fails the worker, which is the right outcome for non-elastic bodies
+// run under an elastic launch.
+type ViewInterrupt struct {
+	// Epoch is the new membership view epoch.
+	Epoch uint64
+	// Dead is the node slot being replaced.
+	Dead int
+}
+
+func (v *ViewInterrupt) Error() string {
+	return fmt.Sprintf("membership view changed to epoch %d (node %d replaced)", v.Epoch, v.Dead)
+}
+
+// AsViewInterrupt reports whether a recovered panic value is a view
+// interrupt — the elastic runner's recovery entry point.
+func AsViewInterrupt(r any) (*ViewInterrupt, bool) {
+	a, ok := r.(abort)
+	if !ok {
+		return nil, false
+	}
+	var vi *ViewInterrupt
+	if errors.As(a.err, &vi) {
+		return vi, true
+	}
+	return nil, false
+}
+
+// ElasticEnv is the recovery interface of fabrics that support elastic
+// membership (currently procnet). The elastic runner type-asserts its
+// Env to reach it; on fabrics without it, crashes are emulated
+// cooperatively in-process instead.
+type ElasticEnv interface {
+	// ElasticEnabled reports whether this run repairs worker loss.
+	ElasticEnabled() bool
+	// Incarnation is this worker's spawn count (0 = initial launch).
+	Incarnation() uint32
+	// ViewEpoch is the installed membership view epoch — the recovery
+	// barrier namespace of the current repair.
+	ViewEpoch() uint64
+	// AckView acknowledges the pending view change with this rank's
+	// committed sync epoch and replica state. It clears the view
+	// interrupt, fences the aborted epoch's traffic (mailbox purge,
+	// pipeline epoch advance, dead-pair reset) and must be the first
+	// env call on the recovery path.
+	AckView(committed, shadow, staged uint64)
+	// AwaitResume blocks for the coordinator's recovery hand-off and
+	// returns the replaced node slot and the sync epoch to resume from.
+	AwaitResume() (dead int, resume uint64)
+	// ClusterBarrier blocks until every node of the launch entered
+	// barrier id. Ids are reused across recovery re-executions.
+	ClusterBarrier(id uint64)
+}
+
+var _ ElasticEnv = (*procEnv)(nil)
+
+func (e *procEnv) ElasticEnabled() bool { return e.f.env.Elastic }
+func (e *procEnv) Incarnation() uint32  { return e.f.env.Incarnation }
+
+func (e *procEnv) ViewEpoch() uint64 {
+	e.f.mu.Lock()
+	defer e.f.mu.Unlock()
+	return e.f.viewEpoch
+}
+
+// AckView fences the aborted sync epoch and acknowledges the view: from
+// here on this worker stamps the new epoch, drops queued old-epoch
+// traffic, and forgets per-pair sequencing with the replaced node (its
+// respawned incarnation restarts sequences at 1).
+func (e *procEnv) AckView(committed, shadow, staged uint64) {
+	f := e.f
+	f.mu.Lock()
+	epoch := f.viewEpoch
+	dead := f.viewDead
+	f.viewIntr = false
+	for _, q := range f.mailboxes {
+		for q.TryPop(func(m *msg.Message) bool { return m.Epoch < epoch }) != nil {
+		}
+	}
+	f.mu.Unlock()
+	f.pipe.SetEpoch(epoch)
+	f.pipe.ResetPeer(func(a msg.Addr) bool { return endpointNode(f.space, a) == dead })
+	if err := f.sess.SendViewAck(wire.ViewAck{
+		Node: f.env.Node, Epoch: epoch, Committed: committed, Shadow: shadow, Staged: staged,
+	}); err != nil {
+		if fe := f.sess.Err(); fe != nil {
+			panic(abort{fe})
+		}
+		panic(fmt.Sprintf("procnet: node %d view ack: %v", f.env.Node, err))
+	}
+}
+
+// AwaitResume blocks for the recovery hand-off. Deliberately exempt
+// from the per-op deadline: the window includes a full process respawn,
+// bounded by the cluster join timeout and the run deadline instead.
+func (e *procEnv) AwaitResume() (int, uint64) {
+	f := e.f
+	f.mu.Lock()
+	for f.resume == nil {
+		if ferr := f.fault; ferr != nil {
+			f.mu.Unlock()
+			panic(abort{ferr})
+		}
+		f.cond.Wait()
+	}
+	r := *f.resume
+	f.mu.Unlock()
+	return r.Node, r.Epoch
+}
+
+// ClusterBarrier enters coordinator barrier id and blocks for its
+// release. A view change mid-wait aborts with a ViewInterrupt.
+func (e *procEnv) ClusterBarrier(id uint64) {
+	f := e.f
+	f.mu.Lock()
+	// A release for this id from a previous use (pre-recovery
+	// re-execution) must not satisfy this entry.
+	delete(f.released, id)
+	f.mu.Unlock()
+	if err := f.sess.EnterBarrier(id); err != nil {
+		if fe := f.sess.Err(); fe != nil {
+			panic(abort{fe})
+		}
+		panic(fmt.Sprintf("procnet: node %d barrier %d: %v", f.env.Node, id, err))
+	}
+	f.mu.Lock()
+	for !f.released[id] {
+		if ferr := f.fault; ferr != nil {
+			f.mu.Unlock()
+			panic(abort{ferr})
+		}
+		if f.viewIntr {
+			vi := &ViewInterrupt{Epoch: f.viewEpoch, Dead: f.viewDead}
+			f.mu.Unlock()
+			panic(abort{vi})
+		}
+		f.cond.Wait()
+	}
+	f.mu.Unlock()
+}
+
+// viewIntrCheckLocked aborts a user actor caught by a membership
+// change. Callers hold f.mu; servers are never interrupted — they must
+// keep serving the restore reads of the recovery protocol.
+func (e *procEnv) viewIntrCheckLocked() {
+	f := e.f
+	if f.viewIntr && !e.addr.Server {
+		vi := &ViewInterrupt{Epoch: f.viewEpoch, Dead: f.viewDead}
+		f.mu.Unlock()
+		panic(abort{vi})
+	}
+}
+
 // procEnv is the Env of one local actor on the proc fabric.
 type procEnv struct {
 	f    *ProcFabric
@@ -272,6 +482,9 @@ func (e *procEnv) Charge(d time.Duration) {
 }
 
 func (e *procEnv) Send(to msg.Addr, m *msg.Message) {
+	e.f.mu.Lock()
+	e.viewIntrCheckLocked()
+	e.f.mu.Unlock()
 	err := e.f.pipe.SendTo(e.addr, to, m,
 		func() time.Duration { return time.Since(e.f.start) }, nil,
 		func(d pipeline.Delivery) {
@@ -308,6 +521,7 @@ func (e *procEnv) Recv(match msg.Match) *msg.Message {
 			e.f.mu.Unlock()
 			panic(abort{ferr})
 		}
+		e.viewIntrCheckLocked()
 		if e.addr.Server && e.f.shutdown {
 			e.f.mu.Unlock()
 			return nil
@@ -327,6 +541,7 @@ func (e *procEnv) TryRecv(match msg.Match) *msg.Message {
 		e.f.mu.Unlock()
 		panic(abort{ferr})
 	}
+	e.viewIntrCheckLocked()
 	m := e.f.mailboxes[e.addr].TryPop(func(m *msg.Message) bool {
 		return m.Arrival <= now && match(m)
 	})
@@ -343,6 +558,7 @@ func (e *procEnv) WaitUntil(tag string, pred func() bool) {
 			e.f.mu.Unlock()
 			panic(abort{ferr})
 		}
+		e.viewIntrCheckLocked()
 		if e.f.shutdown && e.addr.Server {
 			break
 		}
@@ -373,6 +589,7 @@ func (e *procEnv) WaitUntilFor(tag string, pred func() bool, d time.Duration) bo
 			e.f.mu.Unlock()
 			panic(abort{ferr})
 		}
+		e.viewIntrCheckLocked()
 		if !time.Now().Before(deadline) {
 			e.f.mu.Unlock()
 			return false

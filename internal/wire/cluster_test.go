@@ -14,6 +14,7 @@ func TestClusterHelloRoundTrip(t *testing.T) {
 		{},
 		{Node: 3, Procs: 8, ProcsPerNode: 1, Cookie: 0xdeadbeefcafef00d},
 		{Node: 0, Procs: 1, ProcsPerNode: 4, Cookie: 1},
+		{Node: 2, Procs: 4, ProcsPerNode: 1, Cookie: 7, Incarnation: 3, PeerAddr: "127.0.0.1:45123"},
 	} {
 		got, err := DecodeClusterHello(EncodeClusterHello(h)[4:])
 		if err != nil {
@@ -37,7 +38,7 @@ func TestClusterHelloStrictness(t *testing.T) {
 	}{
 		"empty":     {nil, "truncated"},
 		"truncated": {good[:len(good)-1], "truncated"},
-		"oversized": {append(append([]byte{}, good...), 0), "oversized"},
+		"oversized": {append(append([]byte{}, good...), 0), "peer address"},
 		"bad magic": {func() []byte {
 			b := append([]byte{}, good...)
 			binary.LittleEndian.PutUint32(b, 0x12345678)

@@ -33,12 +33,15 @@ const ClusterMagic = 0x434d5241
 // ClusterVersion is the cluster handshake protocol revision this binary
 // speaks. Bump it whenever the hello layout or any cluster control frame
 // changes incompatibly; mismatched peers are rejected with a descriptive
-// error instead of desynchronizing mid-run.
-const ClusterVersion = 1
+// error instead of desynchronizing mid-run. Version 2 added the message
+// epoch field, the worker incarnation number and the peer data-listener
+// address (elastic membership).
+const ClusterVersion = 2
 
-// clusterHelloLen is the exact body size of a cluster hello frame:
-// magic(4) + version(2) + node(4) + procs(4) + ppn(4) + cookie(8).
-const clusterHelloLen = 26
+// clusterHelloFixed is the fixed prefix of a cluster hello frame body:
+// magic(4) + version(2) + node(4) + procs(4) + ppn(4) + cookie(8) +
+// incarnation(4) + addrlen(2). The peer address bytes follow.
+const clusterHelloFixed = 32
 
 // ClusterHello is the versioned handshake a multi-process worker presents
 // to the rendezvous coordinator before being admitted: which node it
@@ -54,18 +57,29 @@ type ClusterHello struct {
 	// Cookie is the per-launch shared secret; the coordinator rejects a
 	// hello whose cookie does not match the run's.
 	Cookie uint64
+	// Incarnation counts how many times this node slot has been
+	// (re)spawned: 0 for the initial launch, bumped by the coordinator
+	// on every elastic respawn so stale traffic is attributable.
+	Incarnation uint32
+	// PeerAddr is the worker's direct data-listener address, dialed
+	// lazily by peers on first send. Empty when the worker only routes
+	// through the coordinator.
+	PeerAddr string
 }
 
 // EncodeClusterHello serializes h into a ready-to-write frame (length
 // prefix included).
 func EncodeClusterHello(h ClusterHello) []byte {
-	b := make([]byte, 0, clusterHelloLen)
+	b := make([]byte, 0, clusterHelloFixed+len(h.PeerAddr))
 	b = binary.LittleEndian.AppendUint32(b, ClusterMagic)
 	b = binary.LittleEndian.AppendUint16(b, ClusterVersion)
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(h.Node)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(h.Procs)))
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(h.ProcsPerNode)))
 	b = binary.LittleEndian.AppendUint64(b, h.Cookie)
+	b = binary.LittleEndian.AppendUint32(b, h.Incarnation)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(h.PeerAddr)))
+	b = append(b, h.PeerAddr...)
 	return frame(b)
 }
 
@@ -75,11 +89,8 @@ func EncodeClusterHello(h ClusterHello) []byte {
 // rejected before any field is interpreted.
 func DecodeClusterHello(body []byte) (ClusterHello, error) {
 	var h ClusterHello
-	if len(body) < clusterHelloLen {
-		return h, fmt.Errorf("wire: cluster hello truncated: %d of %d bytes", len(body), clusterHelloLen)
-	}
-	if len(body) > clusterHelloLen {
-		return h, fmt.Errorf("wire: cluster hello oversized: %d trailing bytes", len(body)-clusterHelloLen)
+	if len(body) < clusterHelloFixed {
+		return h, fmt.Errorf("wire: cluster hello truncated: %d of %d bytes", len(body), clusterHelloFixed)
 	}
 	if magic := binary.LittleEndian.Uint32(body); magic != ClusterMagic {
 		return h, fmt.Errorf("wire: bad cluster magic %#08x (want %#08x): peer is not an armci cluster endpoint", magic, uint32(ClusterMagic))
@@ -91,6 +102,12 @@ func DecodeClusterHello(body []byte) (ClusterHello, error) {
 	h.Procs = int(int32(binary.LittleEndian.Uint32(body[10:])))
 	h.ProcsPerNode = int(int32(binary.LittleEndian.Uint32(body[14:])))
 	h.Cookie = binary.LittleEndian.Uint64(body[18:])
+	h.Incarnation = binary.LittleEndian.Uint32(body[26:])
+	alen := int(binary.LittleEndian.Uint16(body[30:]))
+	if len(body) != clusterHelloFixed+alen {
+		return h, fmt.Errorf("wire: cluster hello of %d bytes, want %d for a %d-byte peer address", len(body), clusterHelloFixed+alen, alen)
+	}
+	h.PeerAddr = string(body[clusterHelloFixed:])
 	return h, nil
 }
 
@@ -132,7 +149,7 @@ func DecodeHello(body []byte) (msg.Addr, error) {
 // on the wire. Dup and FaultDelay are sender-local diagnostics and are
 // not transmitted.
 func Encode(m *msg.Message) []byte {
-	return AppendEncode(make([]byte, 0, 124+len(m.Data)), m)
+	return AppendEncode(make([]byte, 0, 132+len(m.Data)), m)
 }
 
 // AppendEncode appends m's frame (length prefix included) to b and
@@ -147,6 +164,7 @@ func AppendEncode(b []byte, m *msg.Message) []byte {
 	b = binary.LittleEndian.AppendUint32(b, uint32(int32(m.Origin)))
 	b = binary.LittleEndian.AppendUint64(b, m.Token)
 	b = binary.LittleEndian.AppendUint64(b, m.Seq)
+	b = binary.LittleEndian.AppendUint64(b, m.Epoch)
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Sent)))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Arrival)))
 	b = binary.LittleEndian.AppendUint64(b, uint64(int64(m.Tag)))
@@ -179,6 +197,7 @@ func Decode(body []byte) (*msg.Message, error) {
 	m.Origin = int(int32(d.u32()))
 	m.Token = d.u64()
 	m.Seq = d.u64()
+	m.Epoch = d.u64()
 	m.Sent = time.Duration(int64(d.u64()))
 	m.Arrival = time.Duration(int64(d.u64()))
 	m.Tag = int(int64(d.u64()))

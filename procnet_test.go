@@ -16,6 +16,7 @@ import (
 	"armci"
 	"armci/internal/bench"
 	"armci/internal/cluster"
+	"armci/internal/elastic"
 	"armci/internal/msg"
 	"armci/internal/pipeline"
 	"armci/internal/trace"
@@ -38,6 +39,8 @@ func TestMain(m *testing.M) {
 		os.Exit(procWorkerCoalRing())
 	case "die":
 		os.Exit(procWorkerDie())
+	case "elastic":
+		os.Exit(procWorkerElastic())
 	case "fig7":
 		os.Exit(procWorkerFig7())
 	case "workload":
@@ -225,6 +228,43 @@ func procWorkerDie() int {
 	}
 	fmt.Fprintf(os.Stderr, "want a rank-attributed fault, got %v\n", err)
 	return 1
+}
+
+// procWorkerElastic runs the elastic-replication workload as a cluster
+// worker: it makes this rank's Space recoverable (delta replication to
+// the right neighbor each sync epoch) and, when the fault plan arms
+// crashrank, one incarnation of the victim exits mid-epoch for real.
+// The respawned incarnation restores from the peer replica and the run
+// completes with the crash-free fingerprint.
+func procWorkerElastic() int {
+	we, ok, err := cluster.FromEnv()
+	if err != nil || !ok {
+		fmt.Fprintf(os.Stderr, "elastic worker needs the cluster environment (err=%v)\n", err)
+		return 2
+	}
+	plan, err := armci.ParseFaults(os.Getenv("ARMCI_PROCNET_TEST_FAULTS"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var res elastic.Result
+	_, err = armci.Run(armci.Options{
+		Procs:  we.Procs,
+		Fabric: armci.FabricProc,
+		Faults: plan,
+	}, func(p *armci.Proc) {
+		res = elastic.Run(p, elastic.Config{Steps: 4})
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rec := 0
+	if res.Recovered {
+		rec = 1
+	}
+	fmt.Printf("ELASTIC_FP node=%d fp=0x%016x rec=%d inc=%d\n", we.Node, res.Fingerprint, rec, res.Incarnation)
+	return 0
 }
 
 // procWorkloadSeed pins the generator seed of the parity runs, so every
@@ -749,6 +789,80 @@ func TestProcnetWorkerDeathIsAttributed(t *testing.T) {
 		} else if rank != procDieVictim {
 			t.Errorf("survivor node %d blamed rank %d, want %d", node, rank, procDieVictim)
 		}
+	}
+}
+
+// TestProcnetElasticKillAndRespawn is the kill-one-worker scenario run
+// under elastic recovery: the same abrupt mid-run worker death that
+// TestProcnetWorkerDeathIsAttributed turns into a rank-attributed abort
+// instead completes the job. The coordinator respawns the victim, the
+// newcomer restores its Space from the peer replica, survivors roll
+// back to the last committed sync epoch, and every rank — including the
+// respawned incarnation — reports the crash-free cluster fingerprint.
+func TestProcnetElasticKillAndRespawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const procs = 4
+	run := func(faults string) (fps map[int]string, recovered int, maxInc int) {
+		t.Helper()
+		fps = map[int]string{}
+		var mu sync.Mutex
+		out, err := cluster.Launch(cluster.Spec{
+			Procs:      procs,
+			Command:    []string{testExe(t)},
+			ExtraEnv:   []string{"ARMCI_PROCNET_TEST_WORKLOAD=elastic", "ARMCI_PROCNET_TEST_FAULTS=" + faults},
+			Output:     io.Discard,
+			RunTimeout: time.Minute,
+			Elastic:    true,
+			OnLine: func(node int, line string) {
+				fp, ok := parseTagged(line, "ELASTIC_FP", "fp")
+				if !ok {
+					return
+				}
+				rec, _ := parseTagged(line, "ELASTIC_FP", "rec")
+				inc, _ := parseTagged(line, "ELASTIC_FP", "inc")
+				mu.Lock()
+				defer mu.Unlock()
+				fps[node] = fp
+				if rec == "1" {
+					recovered++
+				}
+				if v, aerr := strconv.Atoi(inc); aerr == nil && v > maxInc {
+					maxInc = v
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("elastic launch (faults=%q): %v (outcome %+v)", faults, err, out)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for node := 0; node < procs; node++ {
+			if fps[node] == "" {
+				t.Fatalf("faults=%q: node %d printed no ELASTIC_FP line", faults, node)
+			}
+			if fps[node] != fps[0] {
+				t.Fatalf("faults=%q: node %d fingerprint %s diverges from node 0's %s",
+					faults, node, fps[node], fps[0])
+			}
+		}
+		return fps, recovered, maxInc
+	}
+
+	base, rec, inc := run("")
+	if rec != 0 || inc != 0 {
+		t.Fatalf("crash-free run claims a recovery (recovered=%d, max incarnation=%d)", rec, inc)
+	}
+	fps, rec, inc := run("crashrank=1@2")
+	if fps[0] != base[0] {
+		t.Errorf("post-recovery fingerprint %s != crash-free %s — ops lost or duplicated", fps[0], base[0])
+	}
+	if rec != procs {
+		t.Errorf("%d of %d ranks ran the recovery protocol", rec, procs)
+	}
+	if inc != 1 {
+		t.Errorf("max incarnation %d, want 1 (victim respawned exactly once)", inc)
 	}
 }
 

@@ -32,9 +32,18 @@ go test -race -run 'WorkloadFingerprintParity' .
 # constructions in internal/collective plus the end-to-end barrier
 # parity tests on the concurrent fabrics.
 go test -race -run 'Knomial|Hierarchical|Topology' ./internal/collective .
+# The elastic subsystem under the race detector: membership views,
+# Space replication, the deterministic recovery tests on the concurrent
+# fabrics, and the rejoin-time lease restamp.
+go test -race -run 'Elastic|RepairLeases' . ./internal/proc
 # The multi-process smoke: a 4-rank smoke-sized Fig. 7 point through
 # armci-run — real OS processes, rendezvous, routed puts, clean drain.
 go run ./cmd/armci-run -n 4 -workload fig7-small
+# The elastic smoke: the same 4-rank launch with one worker killed
+# mid-epoch and recovered by respawn; the launcher verifies every rank's
+# fingerprint (the respawned one included) against the pure-replay
+# oracle, so a lost or duplicated op fails the gate.
+go run ./cmd/armci-run -n 4 -workload elastic -elastic -faults crashrank=1@3
 # The benchmark-regression gate against the committed BENCH_*.json
 # baseline. -quick judges only the deterministic metrics (simulated
 # virtual times, allocation budgets, sweep event counts), so this pass
